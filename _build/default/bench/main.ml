@@ -1,0 +1,176 @@
+(* Benchmark and reproduction harness.
+
+   Usage:  main.exe [target] [--fast]
+
+   Targets: table1 table2 fig5 fig6 fig7 ablation micro all (default: all).
+   Each figure target regenerates the corresponding paper table/figure
+   as text rows (variant, area, gate count, deltas vs the "Full"
+   baseline); `micro` runs one Bechamel timing per table/figure on a
+   representative kernel of that experiment.
+
+   By default Figure 7 runs on a scaled-down RIDECORE configuration
+   (16-entry ROB / 48 physical registers) so the whole harness finishes
+   in ~25 minutes; pass `--full` for the paper-scale 100k-gate core
+   (~8 minutes per variant).  Table II always reports the full-size
+   core. *)
+
+let fast = not (Array.exists (( = ) "--full") Sys.argv)
+
+let figure title figs =
+  List.iter
+    (fun fig ->
+      let rows = Experiments.Runner.run_figure ~fast fig in
+      Format.printf "%a@."
+        (Experiments.Runner.pp_rows ~title:(title ^ " / " ^ fig))
+        rows)
+    figs
+
+let run_table1 () = Format.printf "%a@." Experiments.Tables.pp_table1 ()
+let run_table2 () = Format.printf "%a@." Experiments.Tables.pp_table2 ()
+
+let run_fig5 () =
+  figure "Figure 5: Ibex variants (cutpoint-based PDAT)"
+    [ "fig5-isa"; "fig5-mibench"; "fig5-special" ]
+
+let run_fig6 () = figure "Figure 6: obfuscated Cortex-M0 (port-based PDAT)" [ "fig6" ]
+let run_fig7 () =
+  if fast then
+    Format.printf
+      "(RIDECORE scaled to ROB=16/PRF=48/IQ=8 for this run; pass --full for \
+       the 100k-gate configuration)@.";
+  figure "Figure 7: RIDECORE (port-based PDAT)" [ "fig7" ]
+
+(* --- ablations ---------------------------------------------------------- *)
+
+let run_ablation () =
+  (* A2: constraint style — port vs cutpoint on the same subset *)
+  Format.printf "== Ablation A2: port-based vs cutpoint-based (Ibex, rv32i) ==@.";
+  let t = Cores.Ibex_like.build () in
+  let d = t.Cores.Ibex_like.design in
+  let run_style label env =
+    let r = Pdat.Pipeline.run ~design:d ~env () in
+    Format.printf "%-10s %a@." label Pdat.Pipeline.pp_report r.Pdat.Pipeline.report
+  in
+  run_style "cutpoint"
+    (Pdat.Environment.riscv_cutpoint d ~nets:(Cores.Ibex_like.cutpoint_nets t)
+       Isa.Subset.rv32i);
+  run_style "port" (Pdat.Environment.riscv_port d ~port:"instr_rdata" Isa.Subset.rv32i);
+  (* A3: engine knobs — simulation depth and induction depth *)
+  Format.printf "@.== Ablation A3: engine knobs (Ibex, rv32i, cutpoint) ==@.";
+  let env () =
+    Pdat.Environment.riscv_cutpoint d ~nets:(Cores.Ibex_like.cutpoint_nets t)
+      Isa.Subset.rv32i
+  in
+  List.iter
+    (fun (label, rsim, k) ->
+      let r =
+        Pdat.Pipeline.run ~rsim
+          ~induction:
+            { Engine.Induction.k; call_conflict_budget = 30_000;
+              total_conflict_budget = 2_000_000 }
+          ~design:d ~env:(env ()) ()
+      in
+      Format.printf "%-28s %a@." label Pdat.Pipeline.pp_report
+        r.Pdat.Pipeline.report)
+    [
+      ("sim 64 cycles, k=1",
+       { Engine.Rsim.default with Engine.Rsim.cycles = 64; runs = 1 }, 1);
+      ("sim 384 cycles x2, k=1",
+       { Engine.Rsim.default with Engine.Rsim.cycles = 384; runs = 2 }, 1);
+      ("sim 384 cycles x2, k=2",
+       { Engine.Rsim.default with Engine.Rsim.cycles = 384; runs = 2 }, 2);
+    ]
+
+(* --- bechamel micro-benchmarks ------------------------------------------ *)
+
+let run_micro () =
+  let open Bechamel in
+  let ibex = lazy (Cores.Ibex_like.build ()) in
+  let small_rsim = { Engine.Rsim.default with Engine.Rsim.cycles = 64; runs = 1 } in
+  (* one Test.make per table/figure, timing that experiment's dominant
+     kernel at a bounded size *)
+  let t_table1 =
+    Test.make ~name:"table1:workload-profiles"
+      (Staged.stage (fun () -> ignore (Sys.opaque_identity Isa.Workloads.table1_riscv)))
+  in
+  let t_table2 =
+    Test.make ~name:"table2:core-stats"
+      (Staged.stage (fun () ->
+           let t = Lazy.force ibex in
+           ignore (Netlist.Stats.of_design t.Cores.Ibex_like.design)))
+  in
+  let t_fig5 =
+    Test.make ~name:"fig5:ibex-candidate-mining"
+      (Staged.stage (fun () ->
+           let t = Lazy.force ibex in
+           let d = t.Cores.Ibex_like.design in
+           let env =
+             Pdat.Environment.riscv_cutpoint d
+               ~nets:(Cores.Ibex_like.cutpoint_nets t) Isa.Subset.rv32i
+           in
+           ignore
+             (Pdat.Property_library.mine ~config:small_rsim
+                ~model:env.Pdat.Environment.model
+                ~assume:env.Pdat.Environment.assume
+                ~stimulus:env.Pdat.Environment.stimulus ())))
+  in
+  let t_fig6 =
+    Test.make ~name:"fig6:cm0-obfuscation"
+      (Staged.stage (fun () ->
+           let t = Lazy.force ibex in
+           ignore (Netlist.Obfuscate.nand_remap t.Cores.Ibex_like.design)))
+  in
+  let t_fig7 =
+    Test.make ~name:"fig7:resynthesis-pass"
+      (Staged.stage (fun () ->
+           let t = Lazy.force ibex in
+           ignore (Synthkit.Simplify.run t.Cores.Ibex_like.design)))
+  in
+  let tests =
+    Test.make_grouped ~name:"pdat" ~fmt:"%s %s"
+      [ t_table1; t_table2; t_fig5; t_fig6; t_fig7 ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.printf "== Bechamel micro-benchmarks (monotonic clock) ==@.";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] -> Format.printf "%-32s %12.0f ns/run@." name ns
+      | Some _ | None -> Format.printf "%-32s (no estimate)@." name)
+    results
+
+let () =
+  let targets =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--fast" && a <> "--full")
+  in
+  let targets = if targets = [] then [ "all" ] else targets in
+  let dispatch = function
+    | "table1" -> run_table1 ()
+    | "table2" -> run_table2 ()
+    | "fig5" -> run_fig5 ()
+    | "fig6" -> run_fig6 ()
+    | "fig7" -> run_fig7 ()
+    | "ablation" -> run_ablation ()
+    | "micro" -> run_micro ()
+    | "all" ->
+        run_table1 ();
+        run_table2 ();
+        run_fig5 ();
+        run_fig6 ();
+        run_fig7 ();
+        run_ablation ();
+        run_micro ()
+    | other ->
+        Format.eprintf "unknown target %s@." other;
+        exit 1
+  in
+  List.iter dispatch targets

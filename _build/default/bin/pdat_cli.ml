@@ -1,0 +1,188 @@
+(* pdat — command-line driver for the PDAT framework.
+
+   Subcommands:
+     list                      catalog of experiment variants
+     run VARIANT [...]         run the pipeline for catalog variants
+     reduce --core C --subset S [--port|--cutpoint] [-o out.v]
+                               custom reduction with Verilog export
+     export --core C -o out.v  dump a core's baseline netlist
+     table1 | table2           paper tables *)
+
+open Cmdliner
+
+let fast =
+  let doc = "Use the reduced RIDECORE configuration." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+(* ---------------- list ---------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun fig ->
+        Format.printf "%s:@." fig;
+        List.iter
+          (fun v ->
+            Format.printf "  %-28s %s@." v.Experiments.Variants.id
+              v.Experiments.Variants.label)
+          (Experiments.Variants.by_figure fig))
+      Experiments.Variants.figures
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiment variant catalog")
+    Term.(const run $ const ())
+
+(* ---------------- run ----------------------------------------------- *)
+
+let run_cmd =
+  let variants =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"VARIANT")
+  in
+  let run fast ids =
+    List.iter
+      (fun id ->
+        match Experiments.Variants.find id with
+        | v ->
+            let row = Experiments.Runner.run ~fast v in
+            Format.printf "%a@." Experiments.Runner.pp_row row
+        | exception Not_found ->
+            Format.eprintf "unknown variant %s (try `pdat list')@." id;
+            exit 1)
+      ids
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run catalog variants through the PDAT pipeline")
+    Term.(const run $ fast $ variants)
+
+(* ---------------- core / subset parsing ------------------------------- *)
+
+let core_arg =
+  let doc = "Core: ibex, cm0 (obfuscated) or ridecore." in
+  Arg.(required & opt (some (enum [ ("ibex", `Ibex); ("cm0", `Cm0); ("ridecore", `Ridecore) ])) None
+       & info [ "core" ] ~doc)
+
+let build_core ?(fast = false) kind =
+  match kind with
+  | `Ibex ->
+      let t = Cores.Ibex_like.build () in
+      (t.Cores.Ibex_like.design, Some (Cores.Ibex_like.cutpoint_nets t))
+  | `Cm0 ->
+      let t = Cores.Cm0_like.build () in
+      (Netlist.Obfuscate.run t.Cores.Cm0_like.design, None)
+  | `Ridecore ->
+      let config =
+        if fast then
+          { Cores.Ridecore_like.rob_entries = 16; phys_regs = 48;
+            iq_entries = 8; pht_entries = 64; btb_entries = 8 }
+        else Cores.Ridecore_like.default_config
+      in
+      ((Cores.Ridecore_like.build ~config ()).Cores.Ridecore_like.design, None)
+
+let riscv_subsets =
+  [ ("rv32imcz", Isa.Subset.rv32imcz); ("rv32imc", Isa.Subset.rv32imc);
+    ("rv32im", Isa.Subset.rv32im); ("rv32ic", Isa.Subset.rv32ic);
+    ("rv32i", Isa.Subset.rv32i); ("rv32e", Isa.Subset.rv32e);
+    ("mibench-all", Isa.Workloads.riscv_all);
+    ("mibench-networking", Isa.Workloads.riscv Isa.Workloads.Networking);
+    ("mibench-security", Isa.Workloads.riscv Isa.Workloads.Security);
+    ("mibench-automotive", Isa.Workloads.riscv Isa.Workloads.Automotive);
+    ("reduced-addressing", Isa.Subset.rv32i_reduced_addressing);
+    ("safety-critical", Isa.Subset.rv32i_safety_critical);
+    ("no-parallelism", Isa.Subset.rv32i_no_parallelism);
+    ("risc16", Isa.Subset.risc16) ]
+
+let arm_subsets =
+  [ ("armv6m", Isa.Subset.armv6m_full);
+    ("interesting", Isa.Subset.armv6m_interesting);
+    ("mibench-all", Isa.Workloads.arm_all);
+    ("mibench-networking", Isa.Workloads.arm Isa.Workloads.Networking);
+    ("mibench-security", Isa.Workloads.arm Isa.Workloads.Security);
+    ("mibench-automotive", Isa.Workloads.arm Isa.Workloads.Automotive) ]
+
+let subset_arg =
+  let doc = "ISA subset name (e.g. rv32i, mibench-all, interesting)." in
+  Arg.(required & opt (some string) None & info [ "subset" ] ~doc)
+
+let out_arg =
+  let doc = "Write the resulting netlist as structural Verilog." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+
+(* ---------------- reduce --------------------------------------------- *)
+
+let reduce_cmd =
+  let port_flag =
+    Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
+  in
+  let run fast core subset_name port out =
+    let design, cut_nets = build_core ~fast core in
+    let env =
+      match core with
+      | `Ibex | `Ridecore -> (
+          let subset =
+            try List.assoc subset_name riscv_subsets
+            with Not_found ->
+              Format.eprintf "unknown RISC-V subset %s@." subset_name;
+              exit 1
+          in
+          let rv32e = subset_name = "rv32e" in
+          match cut_nets with
+          | Some nets when not port ->
+              Pdat.Environment.riscv_cutpoint ~rv32e design ~nets subset
+          | _ -> Pdat.Environment.riscv_port ~rv32e design ~port:"instr_rdata" subset)
+      | `Cm0 ->
+          let subset =
+            try List.assoc subset_name arm_subsets
+            with Not_found ->
+              Format.eprintf "unknown ARM subset %s@." subset_name;
+              exit 1
+          in
+          Pdat.Environment.arm_port design ~port:"instr_rdata" subset
+    in
+    let result = Pdat.Pipeline.run ~design ~env () in
+    Format.printf "%a@." Pdat.Pipeline.pp_report result.Pdat.Pipeline.report;
+    Option.iter
+      (fun path ->
+        Netlist.Verilog.write_file result.Pdat.Pipeline.reduced path;
+        Format.printf "wrote %s@." path)
+      out
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Reduce a core for an ISA subset and optionally export Verilog")
+    Term.(const run $ fast $ core_arg $ subset_arg $ port_flag $ out_arg)
+
+(* ---------------- export --------------------------------------------- *)
+
+let export_cmd =
+  let run fast core out =
+    let design, _ = build_core ~fast core in
+    let d, _ = Synthkit.Optimize.run design in
+    (match out with
+    | Some path ->
+        Netlist.Verilog.write_file d path;
+        Format.printf "wrote %s@." path
+    | None -> print_string (Netlist.Verilog.to_string d));
+    Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.of_design d)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a core's synthesized baseline netlist")
+    Term.(const run $ fast $ core_arg $ out_arg)
+
+(* ---------------- tables ---------------------------------------------- *)
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Print the paper's Table I")
+    Term.(const (fun () -> Format.printf "%a@." Experiments.Tables.pp_table1 ()) $ const ())
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Print the paper's Table II")
+    Term.(const (fun () -> Format.printf "%a@." Experiments.Tables.pp_table2 ()) $ const ())
+
+let () =
+  let info =
+    Cmd.info "pdat" ~version:"1.0.0"
+      ~doc:"Property-driven automatic generation of reduced-ISA hardware"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; reduce_cmd; export_cmd; table1_cmd; table2_cmd ]))

@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Cores Format Isa Netlist Pdat

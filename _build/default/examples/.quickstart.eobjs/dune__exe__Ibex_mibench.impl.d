@@ -1,0 +1,1 @@
+examples/ibex_mibench.ml: Array Cores Format Isa Pdat String Sys

@@ -1,0 +1,1 @@
+examples/ibex_mibench.mli:

@@ -1,0 +1,1 @@
+examples/obfuscated_cm0.ml: Array Cores Format Isa List Netlist Pdat Sys

@@ -1,0 +1,1 @@
+examples/obfuscated_cm0.mli:

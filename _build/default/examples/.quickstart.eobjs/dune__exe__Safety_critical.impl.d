@@ -1,0 +1,1 @@
+examples/safety_critical.ml: Cores Format Isa Pdat String

@@ -1,0 +1,57 @@
+(* Quickstart: the PDAT flow on a 30-gate circuit, no processor needed.
+
+   We build a tiny "peripheral" with a mode input: mode=1 enables a CRC
+   path, mode=0 a parity path.  The deployment never uses CRC, so the
+   environment restriction is simply "mode is always 0".  PDAT proves
+   the CRC path untoggleable and resynthesis deletes it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Hdl.Ops
+module Ctx = Hdl.Ctx
+module Reg = Hdl.Reg
+
+let build () =
+  let c = Ctx.create "peripheral" in
+  let mode = Ctx.input c "mode" 1 in
+  let data = Ctx.input c "data" 8 in
+  (* parity path: cheap *)
+  let parity = reduce_xor data in
+  (* CRC-ish path: an 8-bit LFSR accumulating the data byte *)
+  let crc = Reg.create c ~init:0xFF ~width:8 "crc" in
+  let feedback =
+    let q = Reg.q crc in
+    let tap = msb q ^: reduce_xor data in
+    concat [ bits q ~hi:6 ~lo:0; tap ] ^: mux2 tap (zero c 8) (const c ~width:8 0x1D)
+  in
+  Reg.connect_en crc ~en:mode feedback;
+  Ctx.output c "out"
+    (mux2 mode (zero_extend parity 8) (Reg.q crc));
+  Ctx.finish c
+
+let () =
+  let design = build () in
+  (* The environment: a monitor asserting mode == 0, plus a stimulus
+     that drives mode low.  For ISA work you would use
+     Pdat.Environment.riscv_port / riscv_cutpoint / arm_port instead. *)
+  let model = Netlist.Design.copy design in
+  let mode_net = Option.get (Netlist.Design.find_input model "mode") in
+  let assume = Netlist.Design.add_cell model Netlist.Cell.Inv [| mode_net |] in
+  let env =
+    {
+      Pdat.Environment.model;
+      assume;
+      stimulus =
+        Engine.Stimulus.
+          {
+            drive =
+              (fun _ ->
+                [ (Option.get (Netlist.Design.find_input design "mode"), 0L) ]);
+          };
+      description = "mode pinned to 0";
+    }
+  in
+  let result = Pdat.Pipeline.run ~design ~env () in
+  Format.printf "%a@.@." Pdat.Pipeline.pp_report result.Pdat.Pipeline.report;
+  Format.printf "reduced netlist:@.%s@."
+    (Netlist.Verilog.to_string result.Pdat.Pipeline.reduced)

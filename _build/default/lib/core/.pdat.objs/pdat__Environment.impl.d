@@ -1,0 +1,1 @@
+lib/core/environment.ml: Array Engine Hashtbl Hdl Isa List Netlist Printf Random

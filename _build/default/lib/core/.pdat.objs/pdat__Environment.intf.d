@@ -1,0 +1,1 @@
+lib/core/environment.mli: Engine Isa Netlist

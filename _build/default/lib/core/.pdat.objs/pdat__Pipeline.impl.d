@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Engine Environment Format List Netlist Property_library Rewire Synthkit Unix

@@ -1,0 +1,1 @@
+lib/core/property_library.mli: Engine Netlist

@@ -1,0 +1,1 @@
+lib/core/rewire.ml: Engine Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/core/rewire.mli: Engine Netlist

@@ -1,0 +1,75 @@
+type report = {
+  variant : string;
+  mined : int;
+  proved : int;
+  induction : Engine.Induction.stats;
+  before : Netlist.Stats.t;
+  after : Netlist.Stats.t;
+  seconds : float;
+}
+
+type result = {
+  reduced : Netlist.Design.t;
+  report : report;
+}
+
+let baseline d =
+  let d', _ = Synthkit.Optimize.run d in
+  (d', Netlist.Stats.of_design d')
+
+let default_refine =
+  { Engine.Rsim.default with Engine.Rsim.cycles = 2048; runs = 4 }
+
+let run ?rsim ?(refine = default_refine) ?induction ~design ~env () =
+  let t0 = Unix.gettimeofday () in
+  let candidates =
+    Property_library.mine ?config:rsim ~model:env.Environment.model
+      ~assume:env.Environment.assume ~stimulus:env.Environment.stimulus ()
+    |> Property_library.restrict_to_original ~original:design
+  in
+  (* a long, candidate-focused simulation pass kills most false
+     candidates far more cheaply than SAT counterexamples would *)
+  let candidates =
+    Engine.Rsim.refine ~config:refine ~assume:env.Environment.assume
+      env.Environment.model env.Environment.stimulus candidates
+  in
+  let proved, istats =
+    Engine.Induction.prove ?options:induction
+      ~cex:(env.Environment.stimulus, 24)
+      ~assume:env.Environment.assume env.Environment.model candidates
+  in
+  let rewired = Rewire.apply design proved in
+  let reduced, _ = Synthkit.Optimize.run rewired in
+  let _, before = baseline design in
+  let after = Netlist.Stats.of_design reduced in
+  {
+    reduced;
+    report =
+      {
+        variant = env.Environment.description;
+        mined = List.length candidates;
+        proved = List.length proved;
+        induction = istats;
+        before;
+        after;
+        seconds = Unix.gettimeofday () -. t0;
+      };
+  }
+
+let area_delta_pct r =
+  Netlist.Stats.delta_pct ~baseline:r.before.Netlist.Stats.area
+    r.after.Netlist.Stats.area
+
+let gate_delta_pct r =
+  Netlist.Stats.delta_pct
+    ~baseline:(float_of_int (Netlist.Stats.gate_count r.before))
+    (float_of_int (Netlist.Stats.gate_count r.after))
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>%s: mined=%d proved=%d (%a)@,area %.1f -> %.1f um^2 (%.1f%%), gates %d -> %d (%.1f%%), %.1fs@]"
+    r.variant r.mined r.proved Engine.Induction.pp_stats r.induction
+    r.before.Netlist.Stats.area r.after.Netlist.Stats.area (area_delta_pct r)
+    (Netlist.Stats.gate_count r.before)
+    (Netlist.Stats.gate_count r.after)
+    (gate_delta_pct r) r.seconds

@@ -1,0 +1,47 @@
+(** The PDAT pipeline (paper Figure 2): Property Checking, Netlist
+    Rewiring, Logic Resynthesis.
+
+    [run] takes the design to be reduced and an {!Environment} built
+    over it, mines property-library candidates on the environment's
+    model, proves them by mutual k-induction, rewires the original
+    netlist with the survivors, and resynthesizes.  The baseline
+    against which the paper reports area/gate deltas is the original
+    design pushed through the same resynthesis flow with no PDAT
+    transformation ({!baseline}). *)
+
+type report = {
+  variant : string;
+  mined : int;
+  proved : int;
+  induction : Engine.Induction.stats;
+  before : Netlist.Stats.t;   (** baseline-optimized original *)
+  after : Netlist.Stats.t;    (** PDAT-reduced, resynthesized *)
+  seconds : float;
+}
+
+type result = {
+  reduced : Netlist.Design.t;
+  report : report;
+}
+
+val baseline : Netlist.Design.t -> Netlist.Design.t * Netlist.Stats.t
+(** Plain synthesis of the input, the paper's "Full" variant. *)
+
+val run :
+  ?rsim:Engine.Rsim.config ->
+  ?refine:Engine.Rsim.config ->
+  ?induction:Engine.Induction.options ->
+  design:Netlist.Design.t ->
+  env:Environment.t ->
+  unit ->
+  result
+(** [rsim] controls candidate mining, [refine] the long candidate-only
+    simulation pass that weeds out false candidates before the prover
+    (default: 4 runs of 2048 cycles). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val area_delta_pct : report -> float
+(** Percent area reduction of [after] versus [before]. *)
+
+val gate_delta_pct : report -> float

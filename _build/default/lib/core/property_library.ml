@@ -1,0 +1,54 @@
+module C = Netlist.Cell
+
+type property_class = {
+  name : string;
+  applies_to : C.kind list;
+  description : string;
+  rewires_to : string;
+}
+
+let every_cell =
+  [ C.Buf; C.Inv; C.And2; C.Or2; C.Nand2; C.Nor2; C.Xor2; C.Xnor2; C.And3;
+    C.Or3; C.Nand3; C.Nor3; C.And4; C.Or4; C.Mux2; C.Aoi21; C.Oai21; C.Dff ]
+
+let catalog =
+  [
+    {
+      name = "out_stuck_0";
+      applies_to = every_cell;
+      description =
+        "assert property (ZN == 1'b0): the cell's output never rises \
+         under the environment restriction";
+      rewires_to = "output net tied to the 0 rail; cell becomes dead logic";
+    };
+    {
+      name = "out_stuck_1";
+      applies_to = every_cell;
+      description = "assert property (ZN == 1'b1)";
+      rewires_to = "output net tied to the 1 rail; cell becomes dead logic";
+    };
+    {
+      name = "in_implies";
+      applies_to = [ C.And2; C.Nand2; C.Or2; C.Nor2 ];
+      description =
+        "assert property (A1 -> A2) (and the symmetric A2 -> A1): one \
+         input dominates the other on all reachable states";
+      rewires_to =
+        "AND2 output becomes the dominated input (NAND2 its inverse); \
+         OR2 output becomes the dominating input (NOR2 its inverse)";
+    };
+  ]
+
+let mine ?config ~model ~assume ~stimulus () =
+  Engine.Rsim.mine ?config ~assume model stimulus
+
+let restrict_to_original ~original cands =
+  let max_net = Netlist.Design.num_nets original in
+  let max_cell = Netlist.Design.num_cells original in
+  List.filter
+    (fun c ->
+      match c with
+      | Engine.Candidate.Const (n, _) -> n < max_net
+      | Engine.Candidate.Implies { cell; a; b } ->
+          cell < max_cell && a < max_net && b < max_net)
+    cands

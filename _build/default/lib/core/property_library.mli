@@ -1,0 +1,41 @@
+(** The Property Library (paper section IV.1).
+
+    Properties are semantically-meaningful invariants over a gate's
+    pins, bound to every instance of the matching cell kind: output
+    stuck-at constants for every cell, and pairwise input implications
+    for AND/NAND/OR/NOR gates (Listing 1's [and_in_A2_A1] family).
+    Because the properties live at the standard-cell level they apply
+    to any netlist in the library, including obfuscated ones.
+
+    Operationally the library is realized in two steps: constrained
+    random simulation proposes candidate instances ({!mine}), and
+    {!Engine.Induction} proves or refutes them.  Only proved instances
+    reach the rewiring stage. *)
+
+type property_class = {
+  name : string;           (** e.g. ["out_stuck_0"], ["in_implies"] *)
+  applies_to : Netlist.Cell.kind list;
+  description : string;
+  rewires_to : string;     (** what the rewiring stage does with it *)
+}
+
+val catalog : property_class list
+(** Human-readable property catalog, mirroring Listing 1. *)
+
+val mine :
+  ?config:Engine.Rsim.config ->
+  model:Netlist.Design.t ->
+  assume:Netlist.Design.net ->
+  stimulus:Engine.Stimulus.t ->
+  unit ->
+  Engine.Candidate.t list
+(** Instantiates the library against a design: returns every property
+    instance that survived constrained simulation. *)
+
+val restrict_to_original :
+  original:Netlist.Design.t ->
+  Engine.Candidate.t list ->
+  Engine.Candidate.t list
+(** Drops candidate instances that mention monitor/cutpoint logic
+    (nets or cells beyond the original design), so rewiring only ever
+    touches the input netlist. *)

@@ -1,0 +1,49 @@
+module D = Netlist.Design
+module C = Netlist.Cell
+
+(* Substitutions can chain (an implication redirects a gate output to
+   an input that is itself proved constant), so resolve the map
+   transitively before substituting. *)
+let apply d cands =
+  let d = D.copy d in
+  let target = Hashtbl.create 64 in
+  (* constants win over implications on the same net *)
+  List.iter
+    (fun cand ->
+      match cand with
+      | Engine.Candidate.Const (n, b) ->
+          Hashtbl.replace target n (if b then D.net_true else D.net_false)
+      | Engine.Candidate.Implies _ -> ())
+    cands;
+  List.iter
+    (fun cand ->
+      match cand with
+      | Engine.Candidate.Const _ -> ()
+      | Engine.Candidate.Implies { cell; a; b } ->
+          if cell < 0 || cell >= D.num_cells d then
+            invalid_arg "Rewire.apply: unknown cell";
+          let c = D.cell d cell in
+          if not (Hashtbl.mem target c.D.out) then begin
+            (* a -> b on this gate *)
+            let redirect =
+              match c.D.kind with
+              | C.And2 -> Some a               (* a & b = a *)
+              | C.Or2 -> Some b                (* a | b = b *)
+              | C.Nand2 -> Some (D.add_cell d C.Inv [| a |])
+              | C.Nor2 -> Some (D.add_cell d C.Inv [| b |])
+              | C.Const0 | C.Const1 | C.Buf | C.Inv | C.Xor2 | C.Xnor2
+              | C.And3 | C.Or3 | C.Nand3 | C.Nor3 | C.And4 | C.Or4 | C.Mux2
+              | C.Aoi21 | C.Oai21 | C.Dff ->
+                  None
+            in
+            match redirect with
+            | Some n -> Hashtbl.replace target c.D.out n
+            | None -> ()
+          end)
+    cands;
+  let rec resolve seen n =
+    match Hashtbl.find_opt target n with
+    | Some n' when not (List.mem n' seen) -> resolve (n :: seen) n'
+    | Some _ | None -> n
+  in
+  D.substitute d (fun n -> resolve [] n)

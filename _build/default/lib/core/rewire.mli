@@ -1,0 +1,13 @@
+(** The Netlist Rewiring Stage (paper section IV-B).
+
+    Applies proved property instances to the original netlist: nets
+    proved constant are detached from their drivers and tied to the
+    matching rail; a proved input implication collapses its gate's
+    output onto the dominating/dominated input (through an inverter
+    for the inverting gates).  No cell is removed here — the dead
+    drivers are left for the resynthesis stage, exactly as in the
+    paper. *)
+
+val apply : Netlist.Design.t -> Engine.Candidate.t list -> Netlist.Design.t
+(** Candidates must have been proved on (a model of) this design;
+    instances referring to unknown cells raise [Invalid_argument]. *)

@@ -1,0 +1,1 @@
+lib/cores/cm0_like.ml: Array Hdl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/cores/ibex_like.ml: Array Hdl Netlist Printf Rv_util

@@ -1,0 +1,1 @@
+lib/cores/ibex_like.mli: Netlist

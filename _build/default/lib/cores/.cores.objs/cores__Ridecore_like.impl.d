@@ -1,0 +1,1 @@
+lib/cores/ridecore_like.ml: Array Hdl List Netlist Printf Rv_util

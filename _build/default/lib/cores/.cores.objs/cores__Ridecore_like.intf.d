@@ -1,0 +1,1 @@
+lib/cores/ridecore_like.mli: Netlist

@@ -1,0 +1,1 @@
+lib/cores/rv_util.ml: Hdl List

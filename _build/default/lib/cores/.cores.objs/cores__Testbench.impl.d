@@ -1,0 +1,1 @@
+lib/cores/testbench.ml: Array Bytes Char Netlist

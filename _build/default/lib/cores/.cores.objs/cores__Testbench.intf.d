@@ -1,0 +1,1 @@
+lib/cores/testbench.mli: Netlist

@@ -1,0 +1,647 @@
+open Hdl.Ops
+module Ctx = Hdl.Ctx
+module Reg = Hdl.Reg
+module Mem = Hdl.Mem
+
+type t = {
+  design : Netlist.Design.t;
+  instr_port : string;
+}
+
+let exception_vector = 8
+
+let build () =
+  let c = Ctx.create "cm0_like" in
+  let instr_rdata = Ctx.input c "instr_rdata" 16 in
+  let data_rdata = Ctx.input c "data_rdata" 32 in
+  let k w v = const c ~width:w v in
+
+  (* ------------------------------------------------------------------ *)
+  (* Fetch state                                                          *)
+  (* ------------------------------------------------------------------ *)
+  let pc = Reg.create c ~init:0 ~width:32 "pc" in
+  let if_id_hw = Reg.create c ~width:16 "if_id_hw" in
+  let if_id_pc = Reg.create c ~width:32 "if_id_pc" in
+  let if_id_valid = Reg.create c ~init:0 ~width:1 "if_id_valid" in
+  (* second-half tracking for 32-bit encodings *)
+  let wide_pending = Reg.create c ~init:0 ~width:1 "wide_pending" in
+  let wide_first = Reg.create c ~width:16 "wide_first" in
+
+  let hw = Reg.q if_id_hw in
+  let id_pc = Reg.q if_id_pc in
+  let valid = Reg.q if_id_valid in
+
+  (* ------------------------------------------------------------------ *)
+  (* Register file (r0-r14; r15 is the program counter)                   *)
+  (* ------------------------------------------------------------------ *)
+  let rf = Mem.create c ~words:16 ~width:32 "rf" in
+  let pc_read = id_pc +: k 32 4 in
+  let read_reg idx =
+    mux2 (eq_const idx 15) (Mem.read rf idx) pc_read
+  in
+  let flag_n = Reg.create c ~init:0 ~width:1 "flag_n" in
+  let flag_z = Reg.create c ~init:0 ~width:1 "flag_z" in
+  let flag_c = Reg.create c ~init:0 ~width:1 "flag_c" in
+  let flag_v = Reg.create c ~init:0 ~width:1 "flag_v" in
+
+  (* ------------------------------------------------------------------ *)
+  (* Decode                                                               *)
+  (* ------------------------------------------------------------------ *)
+  let top5 = bits hw ~hi:15 ~lo:11 in
+  let top4 = bits hw ~hi:15 ~lo:12 in
+  let is_wide_first =
+    eq_const top5 0b11101 |: eq_const top5 0b11110 |: eq_const top5 0b11111
+  in
+  let second_half = valid &: Reg.q wide_pending in
+  let first_half = valid &: is_wide_first &: ~:(Reg.q wide_pending) in
+
+  (* group predicates for the 16-bit space *)
+  let g_shift_imm = eq_const (bits hw ~hi:15 ~lo:13) 0b000
+                    &: ~:(eq_const (bits hw ~hi:12 ~lo:11) 0b11) in
+  let g_addsub = eq_const (bits hw ~hi:15 ~lo:11) 0b00011 in
+  let g_imm8 = eq_const (bits hw ~hi:15 ~lo:13) 0b001 in
+  let g_dp = eq_const (bits hw ~hi:15 ~lo:10) 0b010000 in
+  let g_special = eq_const (bits hw ~hi:15 ~lo:10) 0b010001 in
+  let g_ldr_lit = eq_const top5 0b01001 in
+  let g_ls_reg = eq_const top4 0b0101 in
+  let g_ls_imm = eq_const (bits hw ~hi:15 ~lo:13) 0b011 in
+  let g_ls_h = eq_const top4 0b1000 in
+  let g_ls_sp = eq_const top4 0b1001 in
+  let g_adr = eq_const top5 0b10100 in
+  let g_add_sp = eq_const top5 0b10101 in
+  let g_misc = eq_const top4 0b1011 in
+  let g_stm = eq_const top5 0b11000 in
+  let g_ldm = eq_const top5 0b11001 in
+  let g_bcond = eq_const top4 0b1101 in
+  let g_b = eq_const top5 0b11100 in
+
+  let misc_op = bits hw ~hi:11 ~lo:8 in
+  let g_sp_adj = g_misc &: eq_const misc_op 0b0000 in
+  let g_extend = g_misc &: eq_const misc_op 0b0010 in
+  let g_push = g_misc &: eq_const (bits hw ~hi:11 ~lo:9) 0b010 in
+  let g_pop = g_misc &: eq_const (bits hw ~hi:11 ~lo:9) 0b110 in
+  let g_rev = g_misc &: eq_const misc_op 0b1010 in
+  let g_bkpt = g_misc &: eq_const misc_op 0b1110 in
+  let g_hint = g_misc &: eq_const misc_op 0b1111 in
+  let g_cps = g_misc &: eq_const misc_op 0b0110 in
+  let cond = bits hw ~hi:11 ~lo:8 in
+  let g_udf16 = g_bcond &: eq_const cond 0b1110 in
+  let g_svc = g_bcond &: eq_const cond 0b1111 in
+  let g_bcond_real = g_bcond &: ~:g_udf16 &: ~:g_svc in
+
+  let known16 =
+    g_shift_imm |: g_addsub |: g_imm8 |: g_dp |: g_special |: g_ldr_lit
+    |: g_ls_reg |: g_ls_imm |: g_ls_h |: g_ls_sp |: g_adr |: g_add_sp
+    |: g_sp_adj |: g_extend |: g_push |: g_pop |: g_rev |: g_bkpt |: g_hint
+    |: g_cps |: g_stm |: g_ldm |: g_bcond |: g_b |: is_wide_first
+  in
+  let illegal16 = ~:known16 in
+
+  (* wide instruction classification from the stored first half *)
+  let wf = Reg.q wide_first in
+  let w_is_bl =
+    eq_const (bits wf ~hi:15 ~lo:11) 0b11110 &: eq_const (bits hw ~hi:15 ~lo:14) 0b11
+    &: bit hw 12
+  in
+  (* MSR/MRS/barriers are architecturally significant but micro-
+     architecturally a nop in this single-hart core: any wide encoding
+     that is neither BL nor UDF.W falls through as a two-halfword nop *)
+  let w_is_udf = eq_const (bits wf ~hi:15 ~lo:11) 0b11110
+                 &: eq_const (bits wf ~hi:10 ~lo:4) 0b1111111 in
+
+  (* ------------------------------------------------------------------ *)
+  (* Operand fetch                                                        *)
+  (* ------------------------------------------------------------------ *)
+  let rd_lo = bits hw ~hi:2 ~lo:0 in
+  let rn_lo = bits hw ~hi:5 ~lo:3 in
+  let rm_lo = bits hw ~hi:8 ~lo:6 in
+  let rd3 = zero_extend rd_lo 4 in
+  let rn3 = zero_extend rn_lo 4 in
+  let rm3 = zero_extend rm_lo 4 in
+  let rm4 = bits hw ~hi:6 ~lo:3 in
+  let imm5 = bits hw ~hi:10 ~lo:6 in
+  let imm8 = bits hw ~hi:7 ~lo:0 in
+  let rd_imm8 = bits hw ~hi:10 ~lo:8 in
+
+  let sp_idx = k 4 13 in
+  let lr_idx = k 4 14 in
+  let sp_val = Mem.read rf sp_idx in
+
+  (* ------------------------------------------------------------------ *)
+  (* Shifter with full carry semantics                                    *)
+  (* ------------------------------------------------------------------ *)
+  let shift_unit rm_v amount8 =
+    (* amount clamped to 33 keeps the barrel small while preserving
+       result and carry for any amount *)
+    let big = amount8 >=: k 8 33 in
+    let amt = mux2 big (bits amount8 ~hi:5 ~lo:0) (k 6 33) in
+    let lsl_ext = sll (zero_extend rm_v 34) amt in
+    let lsl_res = bits lsl_ext ~hi:31 ~lo:0 in
+    let lsl_c = bit lsl_ext 32 in
+    let t = concat [ rm_v; zero c 1 ] in      (* 33 bits, rm in [32:1] *)
+    let lsr_t = srl t amt in
+    let lsr_res = bits lsr_t ~hi:32 ~lo:1 in
+    let lsr_c = bit lsr_t 0 in
+    let asr_t = sra t amt in
+    let asr_res = bits asr_t ~hi:32 ~lo:1 in
+    let asr_c = bit asr_t 0 in
+    let rork = bits amount8 ~hi:4 ~lo:0 in
+    let ror_res = srl rm_v (zero_extend rork 5) |: sll rm_v (negate (zero_extend rork 5)) in
+    let ror_c = msb ror_res in
+    ((lsl_res, lsl_c), (lsr_res, lsr_c), (asr_res, asr_c), (ror_res, ror_c))
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Main ALU                                                             *)
+  (* ------------------------------------------------------------------ *)
+  (* operand selection happens per-group below; the adder is shared *)
+  let adder a b cin =
+    let sum, cout = add_carry a b ~cin in
+    let v = msb a ==: msb b &: (msb sum <>: msb a) in
+    (sum, cout, v)
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* load/store multiple FSM (PUSH, POP, STM, LDM)                        *)
+  (* ------------------------------------------------------------------ *)
+  let ls_active = Reg.create c ~init:0 ~width:1 "lsm_active" in
+  let ls_list = Reg.create c ~init:0 ~width:9 "lsm_list" in
+  let ls_addr = Reg.create c ~init:0 ~width:32 "lsm_addr" in
+  let ls_load = Reg.create c ~init:0 ~width:1 "lsm_load" in
+  let ls_pc_bit = Reg.create c ~init:0 ~width:1 "lsm_pc" in
+  let ls_wb_reg = Reg.create c ~init:0 ~width:4 "lsm_wb_reg" in
+  let ls_final = Reg.create c ~init:0 ~width:32 "lsm_final" in
+
+  let g_lsm = g_push |: g_pop |: g_stm |: g_ldm in
+  let lsm_start = valid &: g_lsm &: ~:(Reg.q ls_active) in
+  let reg_list9 =
+    (* bit 8: LR for push, PC for pop; absent for stm/ldm *)
+    concat [ bit hw 8 &: (g_push |: g_pop); imm8 ]
+  in
+  let list_count = zero_extend (popcount reg_list9) 32 in
+  let bytes = sll_const list_count 2 in
+  let lsm_base =
+    mux2 (g_stm |: g_ldm) (mux2 g_push sp_val (sp_val -: bytes))
+      (Mem.read rf (zero_extend rd_imm8 4))
+  in
+  let lsm_final_v =
+    one_hot_mux
+      [ (g_push, sp_val -: bytes);
+        (g_pop, sp_val +: bytes);
+        (g_stm |: g_ldm, lsm_base +: bytes) ]
+  in
+  (* lowest set bit of the remaining list *)
+  let cur_list = mux2 lsm_start (Reg.q ls_list) reg_list9 in
+  let rec lowest i =
+    if i = 8 then k 4 8
+    else mux2 (bit cur_list i) (lowest (i + 1)) (k 4 i)
+  in
+  let low_idx = lowest 0 in
+  let clear_mask =
+    (* one-hot of low_idx, 9 bits *)
+    sll (zero_extend (vdd c) 9) (zero_extend low_idx 4)
+  in
+  let next_list = cur_list &: ~:clear_mask in
+  let lsm_running = Reg.q ls_active |: lsm_start in
+  let lsm_done = lsm_running &: eq_const next_list 0 in
+  let cur_addr = mux2 lsm_start (Reg.q ls_addr) lsm_base in
+  let cur_load = mux2 lsm_start (Reg.q ls_load) (g_pop |: g_ldm) in
+  let transfer_reg =
+    (* bit 8 means LR (store side, push) or PC (load side, pop) *)
+    mux2 (eq_const low_idx 8) (zero_extend low_idx 4)
+      (mux2 cur_load lr_idx (k 4 15))
+  in
+  Reg.connect ls_active
+    (mux2 lsm_running (Reg.q ls_active) (~:lsm_done));
+  Reg.connect ls_list (mux2 lsm_running (Reg.q ls_list) next_list);
+  Reg.connect ls_addr (mux2 lsm_running (Reg.q ls_addr) (cur_addr +: k 32 4));
+  Reg.connect_en ls_load ~en:lsm_start (g_pop |: g_ldm);
+  Reg.connect_en ls_pc_bit ~en:lsm_start (g_pop &: bit hw 8);
+  Reg.connect_en ls_wb_reg ~en:lsm_start
+    (mux2 (g_stm |: g_ldm) sp_idx (zero_extend rd_imm8 4));
+  Reg.connect_en ls_final ~en:lsm_start lsm_final_v;
+
+  (* ------------------------------------------------------------------ *)
+  (* Iterative multiplier (MULS)                                          *)
+  (* ------------------------------------------------------------------ *)
+  let mul_busy = Reg.create c ~init:0 ~width:1 "mul_busy" in
+  let mul_count = Reg.create c ~init:0 ~width:6 "mul_count" in
+  let mul_acc = Reg.create c ~init:0 ~width:32 "mul_acc" in
+  let mul_a = Reg.create c ~init:0 ~width:32 "mul_a" in
+  let mul_b = Reg.create c ~init:0 ~width:32 "mul_b" in
+  let is_muls = g_dp &: eq_const (bits hw ~hi:9 ~lo:6) 0b1101 in
+  let mul_start = valid &: is_muls &: ~:(Reg.q mul_busy) in
+  let mul_done = Reg.q mul_busy &: eq_const (Reg.q mul_count) 0 in
+  let mul_iter = Reg.q mul_busy &: ~:mul_done in
+  Reg.connect mul_busy (mux2 mul_start (Reg.q mul_busy &: ~:mul_done) (vdd c));
+  Reg.connect mul_count
+    (mux2 mul_start
+       (mux2 (Reg.q mul_busy) (Reg.q mul_count) (Reg.q mul_count -: k 6 1))
+       (k 6 32));
+  let rdn_v = read_reg rd3 in
+  let rm_v3 = read_reg rn3 in
+  Reg.connect mul_a
+    (mux2 mul_start (mux2 mul_iter (Reg.q mul_a) (sll_const (Reg.q mul_a) 1)) rdn_v);
+  Reg.connect mul_b
+    (mux2 mul_start (mux2 mul_iter (Reg.q mul_b) (srl_const (Reg.q mul_b) 1)) rm_v3);
+  Reg.connect mul_acc
+    (mux2 mul_start
+       (mux2 mul_iter (Reg.q mul_acc)
+          (Reg.q mul_acc +: (Reg.q mul_a &: repeat (lsb (Reg.q mul_b)) 32)))
+       (zero c 32));
+
+  let stall = (lsm_running &: ~:lsm_done) |: mul_start |: mul_iter in
+
+  (* ------------------------------------------------------------------ *)
+  (* Per-group execution                                                  *)
+  (* ------------------------------------------------------------------ *)
+  let rn_v = read_reg rn3 in
+  let rm_v = read_reg rm3 in
+  let rd_v = read_reg rd3 in
+  let rm4_v = read_reg rm4 in
+  let imm8_32 = zero_extend imm8 32 in
+  let imm5_32 = zero_extend imm5 32 in
+
+  (* shift-immediate group (LSL/LSR/ASR imm; covers MOVS reg as LSL #0) *)
+  let sop = bits hw ~hi:12 ~lo:11 in
+  let shift_amt_imm =
+    (* LSR/ASR with imm5 = 0 mean 32 *)
+    mux2 (eq_const imm5 0 &: ~:(eq_const sop 0b00)) (zero_extend imm5 8) (k 8 32)
+  in
+  let (sl, slc), (srr, src), (sa, sac), (_, _) = shift_unit rn_v shift_amt_imm in
+  let shift_imm_res = mux sop [ sl; srr; sa ] in
+  let shift_imm_c =
+    (* LSL #0 leaves C unchanged *)
+    mux2 (eq_const sop 0b00 &: eq_const imm5 0)
+      (mux sop [ slc; src; sac ])
+      (Reg.q flag_c)
+  in
+
+  (* add/sub register & 3-bit immediate *)
+  let as_b = mux2 (bit hw 10) rm_v (zero_extend rm_lo 32) in
+  let as_sub = bit hw 9 in
+  let as_sum, as_c, as_v =
+    adder rn_v (mux2 as_sub as_b (~:as_b)) (mux2 as_sub (gnd c) (vdd c))
+  in
+
+  (* imm8 group: MOVS/CMP/ADDS/SUBS *)
+  let i8op = bits hw ~hi:12 ~lo:11 in
+  let i8_rd_v = read_reg (zero_extend rd_imm8 4) in
+  let i8_sub = eq_const i8op 0b01 |: eq_const i8op 0b11 in
+  let i8_sum, i8_c, i8_v =
+    adder i8_rd_v
+      (mux2 i8_sub imm8_32 (~:imm8_32))
+      (mux2 i8_sub (gnd c) (vdd c))
+  in
+
+  (* data-processing group *)
+  let dpop = bits hw ~hi:9 ~lo:6 in
+  let (dl, dlc), (dr, drc), (da, dac), (dro, droc) =
+    shift_unit rd_v (bits rm_v3 ~hi:7 ~lo:0)
+  in
+  let dp_and = rd_v &: rm_v3 in
+  let dp_eor = rd_v ^: rm_v3 in
+  let dp_orr = rd_v |: rm_v3 in
+  let dp_bic = rd_v &: ~:rm_v3 in
+  let dp_mvn = ~:rm_v3 in
+  let adc_sum, adc_c, adc_v = adder rd_v rm_v3 (Reg.q flag_c) in
+  let sbc_sum, sbc_c, sbc_v = adder rd_v (~:rm_v3) (Reg.q flag_c) in
+  let sub_sum, sub_c, sub_v = adder rd_v (~:rm_v3) (vdd c) in
+  let add_sum, add_c, add_v = adder rd_v rm_v3 (gnd c) in
+  (* RSBS rd, rm, #0 negates the [5:3] operand *)
+  let rsb_sum, rsb_c, rsb_v = adder (~:rm_v3) (zero c 32) (vdd c) in
+  let dp_res =
+    mux dpop
+      [ dp_and; dp_eor; dl; dr; da; adc_sum; sbc_sum; dro;
+        dp_and; rsb_sum; sub_sum; add_sum; dp_orr; Reg.q mul_acc; dp_bic;
+        dp_mvn ]
+  in
+  let dp_c =
+    mux dpop
+      [ Reg.q flag_c; Reg.q flag_c; dlc; drc; dac; adc_c; sbc_c; droc;
+        Reg.q flag_c; rsb_c; sub_c; add_c; Reg.q flag_c; Reg.q flag_c;
+        Reg.q flag_c; Reg.q flag_c ]
+  in
+  let dp_v =
+    mux dpop
+      [ Reg.q flag_v; Reg.q flag_v; Reg.q flag_v; Reg.q flag_v; Reg.q flag_v;
+        adc_v; sbc_v; Reg.q flag_v; Reg.q flag_v; rsb_v; sub_v; add_v;
+        Reg.q flag_v; Reg.q flag_v; Reg.q flag_v; Reg.q flag_v ]
+  in
+  let dp_no_wb = eq_const dpop 0b1000 |: eq_const dpop 0b1010 |: eq_const dpop 0b1011 in
+  (* TST/CMP/CMN set flags from a different value than the result mux *)
+  let dp_flag_val =
+    mux2 (eq_const dpop 0b1010)
+      (mux2 (eq_const dpop 0b1011) dp_res add_sum)
+      sub_sum
+  in
+
+  (* special data: ADD/CMP/MOV hi, BX/BLX *)
+  let sd_rd = concat [ bit hw 7; rd_lo ] in
+  let sd_rd_v = read_reg sd_rd in
+  let sd_op = bits hw ~hi:9 ~lo:8 in
+  let sd_add = sd_rd_v +: rm4_v in
+  let sd_cmp_sum, sd_cmp_c, sd_cmp_v = adder sd_rd_v (~:rm4_v) (vdd c) in
+  let is_bx = g_special &: eq_const sd_op 0b11 &: ~:(bit hw 7) in
+  let is_blx = g_special &: eq_const sd_op 0b11 &: bit hw 7 in
+  let is_add_hi = g_special &: eq_const sd_op 0b00 in
+  let is_cmp_hi = g_special &: eq_const sd_op 0b01 in
+  let is_mov_hi = g_special &: eq_const sd_op 0b10 in
+
+  (* loads/stores *)
+  let ls_reg_op = bits hw ~hi:11 ~lo:9 in
+  let addr_reg = rn_v +: rm_v in
+  let ls_imm_word = ~:(bit hw 12) in  (* 0110x word, 0111x byte *)
+  let addr_imm =
+    mux2 ls_imm_word (rn_v +: imm5_32) (rn_v +: sll_const imm5_32 2)
+  in
+  let addr_h = rn_v +: sll_const imm5_32 1 in
+  let addr_sp = sp_val +: sll_const imm8_32 2 in
+  let lit_base = concat [ bits pc_read ~hi:31 ~lo:2; zero c 2 ] in
+  let addr_lit = lit_base +: sll_const imm8_32 2 in
+  let is_load16 =
+    (g_ls_reg &: (bit hw 11 |: eq_const ls_reg_op 0b011))
+    |: (g_ls_imm &: bit hw 11) |: (g_ls_h &: bit hw 11)
+    |: (g_ls_sp &: bit hw 11) |: g_ldr_lit
+  in
+  let is_store16 =
+    (g_ls_reg &: ~:(bit hw 11) &: ~:(eq_const ls_reg_op 0b011))
+    |: (g_ls_imm &: ~:(bit hw 11)) |: (g_ls_h &: ~:(bit hw 11))
+    |: (g_ls_sp &: ~:(bit hw 11))
+  in
+  let mem_addr16 =
+    one_hot_mux
+      [ (g_ls_reg, addr_reg); (g_ls_imm, addr_imm); (g_ls_h, addr_h);
+        (g_ls_sp, addr_sp); (g_ldr_lit, addr_lit) ]
+  in
+  (* transfer size: 0=byte,1=half,2=word *)
+  let size16 =
+    one_hot_mux
+      [ (g_ls_reg,
+         mux ls_reg_op
+           [ k 2 2; k 2 1; k 2 0; k 2 0; k 2 2; k 2 1; k 2 0; k 2 1 ]);
+        (g_ls_imm, mux2 ls_imm_word (k 2 0) (k 2 2));
+        (g_ls_h, k 2 1); (g_ls_sp, k 2 2); (g_ldr_lit, k 2 2) ]
+  in
+  let sign_ld =
+    g_ls_reg &: (eq_const ls_reg_op 0b011 |: eq_const ls_reg_op 0b111)
+  in
+  (* fold in the LSM transfers *)
+  let mem_addr = mux2 lsm_running mem_addr16 cur_addr in
+  let mem_size = mux2 lsm_running size16 (k 2 2) in
+  let mem_load = mux2 lsm_running is_load16 cur_load in
+  let mem_store = mux2 lsm_running is_store16 (~:cur_load) in
+  let addr_lo2 = bits mem_addr ~hi:1 ~lo:0 in
+  let byte_shift = mux addr_lo2 [ k 5 0; k 5 8; k 5 16; k 5 24 ] in
+  let load_shifted = srl data_rdata byte_shift in
+  let load_val =
+    mux mem_size
+      [ mux2 sign_ld (zero_extend (bits load_shifted ~hi:7 ~lo:0) 32)
+          (sign_extend (bits load_shifted ~hi:7 ~lo:0) 32);
+        mux2 sign_ld (zero_extend (bits load_shifted ~hi:15 ~lo:0) 32)
+          (sign_extend (bits load_shifted ~hi:15 ~lo:0) 32);
+        load_shifted ]
+  in
+  let store_reg16 =
+    one_hot_mux
+      [ (g_ls_reg |: g_ls_imm |: g_ls_h, rd3);
+        (g_ls_sp, zero_extend rd_imm8 4) ]
+  in
+  let store_src = mux2 lsm_running (read_reg store_reg16) (read_reg transfer_reg) in
+  let store_val = sll store_src byte_shift in
+  let be_base = mux mem_size [ k 4 0b0001; k 4 0b0011; k 4 0b1111 ] in
+  let be = sll be_base (zero_extend addr_lo2 2) in
+
+  (* adr / add-sp / sp adjust *)
+  let adr_res = lit_base +: sll_const imm8_32 2 in
+  let add_sp_res = sp_val +: sll_const imm8_32 2 in
+  let imm7_32 = zero_extend (bits hw ~hi:6 ~lo:0) 32 in
+  let sp_adj_res =
+    mux2 (bit hw 7) (sp_val +: sll_const imm7_32 2) (sp_val -: sll_const imm7_32 2)
+  in
+
+  (* extend / reverse *)
+  let ext_op = bits hw ~hi:7 ~lo:6 in
+  let ext_res =
+    mux ext_op
+      [ sign_extend (bits rn_v ~hi:15 ~lo:0) 32;  (* sxth *)
+        sign_extend (bits rn_v ~hi:7 ~lo:0) 32;   (* sxtb *)
+        zero_extend (bits rn_v ~hi:15 ~lo:0) 32;  (* uxth *)
+        zero_extend (bits rn_v ~hi:7 ~lo:0) 32 ]  (* uxtb *)
+  in
+  let byte0 = bits rn_v ~hi:7 ~lo:0 in
+  let byte1 = bits rn_v ~hi:15 ~lo:8 in
+  let byte2 = bits rn_v ~hi:23 ~lo:16 in
+  let byte3 = bits rn_v ~hi:31 ~lo:24 in
+  let rev_op = bits hw ~hi:7 ~lo:6 in
+  let rev_res =
+    mux rev_op
+      [ concat [ byte0; byte1; byte2; byte3 ];              (* rev *)
+        concat [ byte2; byte3; byte0; byte1 ];              (* rev16 *)
+        concat [ byte2; byte3; byte0; byte1 ];              (* 10: n/a *)
+        sign_extend (concat [ byte0; byte1 ]) 32 ]          (* revsh *)
+  in
+
+  (* condition evaluation for b_cond *)
+  let n = Reg.q flag_n and z = Reg.q flag_z
+  and cf = Reg.q flag_c and v = Reg.q flag_v in
+  let cond_hold =
+    mux cond
+      [ z; ~:z; cf; ~:cf; n; ~:n; v; ~:v;
+        cf &: ~:z; ~:cf |: z; n ==: v; n <>: v;
+        ~:z &: (n ==: v); z |: (n <>: v); vdd c; vdd c ]
+  in
+  let bcond_target = pc_read +: sign_extend (sll_const (zero_extend imm8 9) 1) 32 in
+  let b_target =
+    pc_read +: sign_extend (sll_const (zero_extend (bits hw ~hi:10 ~lo:0) 12) 1) 32
+  in
+  (* BL offset from both halves *)
+  let s_bit = bit wf 10 in
+  let j1 = bit hw 13 and j2 = bit hw 11 in
+  let i1 = ~:(j1 ^: s_bit) and i2 = ~:(j2 ^: s_bit) in
+  let bl_off =
+    sign_extend
+      (concat
+         [ s_bit; i1; i2; bits wf ~hi:9 ~lo:0; bits hw ~hi:10 ~lo:0; zero c 1 ])
+      32
+  in
+  let bl_target = id_pc +: k 32 2 +: bl_off in
+
+  (* ------------------------------------------------------------------ *)
+  (* Exceptions                                                           *)
+  (* ------------------------------------------------------------------ *)
+  let exc16 = valid &: ~:second_half &: ~:first_half
+              &: (illegal16 |: g_udf16 |: g_svc |: g_bkpt) in
+  let exc_wide = second_half &: w_is_udf in
+  let exc = exc16 |: exc_wide in
+
+  (* ------------------------------------------------------------------ *)
+  (* Control flow                                                         *)
+  (* ------------------------------------------------------------------ *)
+  let pop_pc_now = lsm_done &: Reg.q ls_pc_bit &: Reg.q ls_load in
+  let mov_pc = is_mov_hi &: eq_const sd_rd 15 in
+  let add_pc = is_add_hi &: eq_const sd_rd 15 in
+  let exec16 = valid &: ~:second_half &: ~:first_half &: ~:lsm_running
+               &: ~:(mul_start |: mul_iter |: mul_done) in
+  let branch =
+    (exec16
+     &: ((g_bcond_real &: cond_hold) |: g_b |: is_bx |: is_blx |: mov_pc
+         |: add_pc))
+    |: (second_half &: w_is_bl) |: pop_pc_now |: exc
+  in
+  let clr_lsb v32 = concat [ bits v32 ~hi:31 ~lo:1; zero c 1 ] in
+  let branch_target =
+    mux2 exc
+      (one_hot_mux
+         [ (g_bcond_real, bcond_target); (g_b, b_target);
+           (is_bx |: is_blx, clr_lsb rm4_v);
+           (mov_pc |: add_pc, clr_lsb (mux2 add_pc rm4_v sd_add));
+           (second_half &: w_is_bl, bl_target);
+           (pop_pc_now, clr_lsb load_val) ])
+      (k 32 exception_vector)
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Writeback                                                            *)
+  (* ------------------------------------------------------------------ *)
+  let wb_en16 =
+    exec16 &: ~:exc
+    &: (g_shift_imm |: g_addsub
+        |: (g_imm8 &: ~:(eq_const i8op 0b01))
+        |: (g_dp &: ~:dp_no_wb &: ~:is_muls)
+        |: (is_add_hi &: ~:add_pc) |: (is_mov_hi &: ~:mov_pc)
+        |: is_load16 |: g_adr |: g_add_sp |: g_sp_adj |: g_extend |: g_rev
+        |: g_ldr_lit)
+  in
+  let wb_reg16 =
+    one_hot_mux
+      [ (g_shift_imm |: g_addsub, rd3);
+        (g_imm8, zero_extend rd_imm8 4);
+        (g_dp, rd3);
+        (is_add_hi |: is_mov_hi, sd_rd);
+        (g_ls_reg |: g_ls_imm |: g_ls_h, rd3);
+        (g_ls_sp |: g_ldr_lit |: g_adr |: g_add_sp, zero_extend rd_imm8 4);
+        (g_sp_adj, sp_idx);
+        (g_extend |: g_rev, rd3) ]
+  in
+  let wb_val16 =
+    one_hot_mux
+      [ (g_shift_imm, shift_imm_res);
+        (g_addsub, as_sum);
+        (g_imm8, mux2 (eq_const i8op 0b00) i8_sum imm8_32);
+        (g_dp, dp_res);
+        (is_add_hi, sd_add);
+        (is_mov_hi, rm4_v);
+        (is_load16 |: g_ldr_lit, load_val);
+        (g_adr, adr_res);
+        (g_add_sp, add_sp_res);
+        (g_sp_adj, sp_adj_res);
+        (g_extend, ext_res);
+        (g_rev, rev_res) ]
+  in
+  (* LSM transfers write through the same port; BL/BLX write LR;
+     LSM completion writes the base register back *)
+  let lsm_load_wb = lsm_running &: cur_load &: ~:(eq_const transfer_reg 15) in
+  let bl_lr = second_half &: w_is_bl in
+  let blx_lr = exec16 &: is_blx in
+  let exc_lr = exc in
+  let wb_en =
+    wb_en16 |: lsm_load_wb |: bl_lr |: blx_lr |: exc_lr
+    |: (valid &: mul_done &: is_muls)
+  in
+  let ret_addr = id_pc +: k 32 2 in
+  let wb_reg =
+    one_hot_mux
+      [ (wb_en16, wb_reg16);
+        (lsm_load_wb, transfer_reg);
+        (bl_lr |: blx_lr |: exc_lr, lr_idx);
+        (valid &: mul_done &: is_muls, rd3) ]
+  in
+  let wb_val =
+    one_hot_mux
+      [ (wb_en16, wb_val16);
+        (lsm_load_wb, load_val);
+        (bl_lr, ret_addr |: k 32 1);
+        (blx_lr, ret_addr |: k 32 1);
+        (exc_lr, ret_addr |: k 32 1);
+        (valid &: mul_done &: is_muls, Reg.q mul_acc) ]
+  in
+  (* base writeback at LSM completion uses the second port *)
+  Mem.write2 rf ~en0:wb_en ~addr0:wb_reg ~data0:wb_val ~en1:lsm_done
+    ~addr1:(Reg.q ls_wb_reg) ~data1:(Reg.q ls_final);
+
+  (* ------------------------------------------------------------------ *)
+  (* Flags update                                                         *)
+  (* ------------------------------------------------------------------ *)
+  let flag_sources =
+    [ (exec16 &: g_shift_imm, shift_imm_res, shift_imm_c, Reg.q flag_v);
+      (exec16 &: g_addsub, as_sum, as_c, as_v);
+      (exec16 &: g_imm8 &: eq_const i8op 0b00, imm8_32, Reg.q flag_c, Reg.q flag_v);
+      (exec16 &: g_imm8 &: ~:(eq_const i8op 0b00), i8_sum, i8_c, i8_v);
+      (exec16 &: g_dp &: ~:is_muls, dp_flag_val, dp_c, dp_v);
+      (exec16 &: is_cmp_hi, sd_cmp_sum, sd_cmp_c, sd_cmp_v);
+      (valid &: mul_done &: is_muls, Reg.q mul_acc, Reg.q flag_c, Reg.q flag_v) ]
+  in
+  let upd_en =
+    List.fold_left (fun acc (en, _, _, _) -> acc |: en) (gnd c) flag_sources
+  in
+  let sel_val = one_hot_mux (List.map (fun (en, r, _, _) -> (en, r)) flag_sources) in
+  let sel_c =
+    one_hot_mux
+      (List.map (fun (en, _, cf', _) -> (en, cf')) flag_sources)
+  in
+  let sel_v =
+    one_hot_mux (List.map (fun (en, _, _, vf) -> (en, vf)) flag_sources)
+  in
+  Reg.connect_en flag_n ~en:(upd_en &: ~:exc) (msb sel_val);
+  Reg.connect_en flag_z ~en:(upd_en &: ~:exc) (eq_const sel_val 0);
+  Reg.connect_en flag_c ~en:(upd_en &: ~:exc) sel_c;
+  Reg.connect_en flag_v ~en:(upd_en &: ~:exc) sel_v;
+
+  (* ------------------------------------------------------------------ *)
+  (* Fetch advance                                                        *)
+  (* ------------------------------------------------------------------ *)
+  let next_pc =
+    mux2 stall (mux2 branch (Reg.q pc +: k 32 2) branch_target) (Reg.q pc)
+  in
+  Reg.connect pc next_pc;
+  Reg.connect if_id_hw (mux2 stall instr_rdata (Reg.q if_id_hw));
+  Reg.connect if_id_pc (mux2 stall (Reg.q pc) (Reg.q if_id_pc));
+  Reg.connect if_id_valid (mux2 stall (~:branch) valid);
+  Reg.connect wide_pending
+    (mux2 stall (first_half &: ~:branch) (Reg.q wide_pending));
+  Reg.connect_en wide_first ~en:first_half hw;
+
+  let retire =
+    (valid &: ~:stall &: ~:first_half &: ~:exc)
+  in
+
+  Ctx.output c "instr_addr" (Reg.q pc);
+  Ctx.output c "data_addr" mem_addr;
+  Ctx.output c "data_wdata" store_val;
+  Ctx.output c "data_we"
+    ((exec16 &: mem_store &: ~:exc) |: (lsm_running &: mem_store));
+  Ctx.output c "data_be" be;
+  Ctx.output c "data_req"
+    ((exec16 &: (mem_load |: mem_store)) |: lsm_running);
+  Ctx.output c "retire" retire;
+  { design = Ctx.finish c; instr_port = "instr_rdata" }
+
+let resolve_net design nm =
+  let found = ref (-1) in
+  for n = 0 to Netlist.Design.num_nets design - 1 do
+    if !found < 0 && Netlist.Design.net_name design n = nm then found := n
+  done;
+  if !found < 0 then failwith ("Cm0_like: no net named " ^ nm);
+  !found
+
+let resolve_bus design base width =
+  Array.init width (fun i -> resolve_net design (Printf.sprintf "%s[%d]" base i))
+
+let peek_reg_nets t k =
+  if k < 0 || k > 14 then invalid_arg "Cm0_like.peek_reg_nets";
+  resolve_bus t.design (Printf.sprintf "rf_%d" k) 32
+
+let peek_flags_nets t =
+  Array.of_list
+    (List.map (resolve_net t.design) [ "flag_n"; "flag_z"; "flag_c"; "flag_v" ])

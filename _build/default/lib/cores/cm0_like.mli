@@ -1,0 +1,38 @@
+(** The Cortex-M0-class core: an ARMv6-M (Thumb-1) microcontroller
+    core (paper Table II, third row).
+
+    ARMv6-M is not modular — there are no extensions to strip — so the
+    only way to reduce this core is PDAT.  In the paper's evaluation
+    the netlist arrives {e obfuscated}; pass {!build}'s result through
+    {!Netlist.Obfuscate.run} to reproduce that flow (port names
+    survive, internal structure does not, hence port-based constraints
+    only).
+
+    Microarchitecture: halfword fetch port, a fetch/decode/execute
+    organization folded into two hardware stages plus a wide-encoding
+    (BL etc.) second-half fetch state and iterative state machines for
+    the multiplier and the load/store-multiple family (PUSH, POP, STM,
+    LDM).  Exceptions (SVC, BKPT, UDF, illegal encodings) redirect to
+    the fixed vector {!exception_vector} with the return address in LR.
+    16 architectural registers; R15 reads as the current instruction
+    address + 4, writes redirect control flow. *)
+
+type t = {
+  design : Netlist.Design.t;
+  instr_port : string;  (** ["instr_rdata"], 16 bits *)
+}
+
+val build : unit -> t
+
+val exception_vector : int
+
+val peek_reg_nets : t -> int -> Netlist.Design.net array
+(** Architectural register r0..r14 as nets; r15 raises. *)
+
+val peek_flags_nets : t -> Netlist.Design.net array
+(** [| n; z; c; v |]. *)
+
+(* Port contract (same memory semantics as the RISC-V cores):
+   inputs  [instr_rdata[15:0]], [data_rdata[31:0]]
+   outputs [instr_addr], [data_addr], [data_wdata], [data_we],
+           [data_be[3:0]], [data_req], [retire] *)

@@ -1,0 +1,421 @@
+open Hdl.Ops
+module Ctx = Hdl.Ctx
+module Reg = Hdl.Reg
+module Mem = Hdl.Mem
+
+type t = {
+  design : Netlist.Design.t;
+  instr_port : string;
+  cutpoint_bus : string;
+}
+
+(* Machine-mode CSR addresses implemented by the core. *)
+let csr_mstatus = 0x300
+let csr_misa = 0x301
+let csr_mtvec = 0x305
+let csr_mscratch = 0x340
+let csr_mepc = 0x341
+let csr_mcause = 0x342
+let csr_cycle = 0xC00
+let csr_instret = 0xC02
+let csr_mhartid = 0xF14
+
+let build () =
+  let c = Ctx.create "ibex_like" in
+  let instr_rdata = Ctx.input c "instr_rdata" 32 in
+  let data_rdata = Ctx.input c "data_rdata" 32 in
+
+  (* ------------------------------------------------------------------ *)
+  (* Fetch stage state                                                    *)
+  (* ------------------------------------------------------------------ *)
+  let pc = Reg.create c ~init:0 ~width:32 "pc" in
+  let if_id_instr = Reg.create c ~width:32 "if_id_instr" in
+  let if_id_pc = Reg.create c ~width:32 "if_id_pc" in
+  let if_id_valid = Reg.create c ~init:0 ~width:1 "if_id_valid" in
+  let valid = Reg.q if_id_valid in
+  let id_pc = Reg.q if_id_pc in
+
+  (* ------------------------------------------------------------------ *)
+  (* Decode                                                               *)
+  (* ------------------------------------------------------------------ *)
+  let exp = Rv_util.expand_compressed (Reg.q if_id_instr) in
+  let instr = exp.Rv_util.instr32 in
+  let dec = Rv_util.decode instr in
+  let f3 = Rv_util.funct3 instr in
+  let f7_sub = eq_const (Rv_util.funct7 instr) 0b0100000 in
+  let rd_idx = Rv_util.rd instr in
+  let rs1_idx = Rv_util.rs1 instr in
+  let rs2_idx = Rv_util.rs2 instr in
+
+  (* ------------------------------------------------------------------ *)
+  (* Register file (x0 is a never-written word that holds its reset 0)    *)
+  (* ------------------------------------------------------------------ *)
+  let rf = Mem.create c ~words:32 ~width:32 "rf" in
+  let rs1_val = Mem.read rf rs1_idx in
+  let rs2_val = Mem.read rf rs2_idx in
+
+  (* ------------------------------------------------------------------ *)
+  (* Multiply / divide unit: iterative, 32 cycles, operands latched at    *)
+  (* issue so an unused unit freezes to its reset state.                  *)
+  (* ------------------------------------------------------------------ *)
+  let is_muldiv = dec.Rv_util.is_mul |: dec.Rv_util.is_div in
+  let md_busy = Reg.create c ~init:0 ~width:1 "md_busy" in
+  let md_count = Reg.create c ~init:0 ~width:6 "md_count" in
+  let md_start = valid &: is_muldiv &: ~:(Reg.q md_busy) in
+  let md_done = Reg.q md_busy &: eq_const (Reg.q md_count) 0 in
+  Reg.connect md_busy
+    (mux2 md_start (Reg.q md_busy &: ~:md_done) (vdd c));
+  (* 33 busy cycles: counts 32..1 iterate (32 steps), count 0 presents
+     the result and releases the stall *)
+  Reg.connect md_count
+    (mux2 md_start
+       (mux2 (Reg.q md_busy)
+          (Reg.q md_count)
+          (Reg.q md_count -: const c ~width:6 1))
+       (const c ~width:6 32));
+
+  (* operand magnitudes and result signs *)
+  let a_signed =
+    (* mulh, mulhsu take rs1 signed; div/rem signed variants too *)
+    (dec.Rv_util.is_mul &: (eq_const f3 0b001 |: eq_const f3 0b010))
+    |: (dec.Rv_util.is_div &: ~:(bit f3 0))
+  in
+  let b_signed =
+    (dec.Rv_util.is_mul &: eq_const f3 0b001)
+    |: (dec.Rv_util.is_div &: ~:(bit f3 0))
+  in
+  let gate en s = s &: repeat en 32 in
+  let md_a_in = gate md_start rs1_val in
+  let md_b_in = gate md_start rs2_val in
+  let a_neg = a_signed &: msb md_a_in in
+  let b_neg = b_signed &: msb md_b_in in
+  let a_mag = mux2 a_neg md_a_in (negate md_a_in) in
+  let b_mag = mux2 b_neg md_b_in (negate md_b_in) in
+  (* latched control *)
+  let md_sign_diff = Reg.create c ~init:0 ~width:1 "md_sign_diff" in
+  Reg.connect_en md_sign_diff ~en:md_start (a_neg ^: b_neg) ;
+  let md_a_neg = Reg.create c ~init:0 ~width:1 "md_a_neg" in
+  Reg.connect_en md_a_neg ~en:md_start a_neg;
+  (* raw operands latched for the div special cases *)
+  let md_raw_a = Reg.create c ~init:0 ~width:32 "md_raw_a" in
+  Reg.connect_en md_raw_a ~en:md_start md_a_in;
+  let md_raw_b = Reg.create c ~init:0 ~width:32 "md_raw_b" in
+  Reg.connect_en md_raw_b ~en:md_start md_b_in;
+
+  (* per-unit issue/iterate strobes so that removing only MUL (or only
+     DIV) from the ISA freezes exactly that unit's registers *)
+  let md_iterate = Reg.q md_busy &: ~:md_done in
+  let mul_start = md_start &: dec.Rv_util.is_mul in
+  let div_start = md_start &: dec.Rv_util.is_div in
+  let mul_iterate = md_iterate &: dec.Rv_util.is_mul in
+  let div_iterate = md_iterate &: dec.Rv_util.is_div in
+
+  (* multiplier: acc += breg[0] ? areg : 0; areg <<= 1; breg >>= 1 *)
+  let mul_areg = Reg.create c ~init:0 ~width:64 "mul_areg" in
+  let mul_breg = Reg.create c ~init:0 ~width:32 "mul_breg" in
+  let mul_acc = Reg.create c ~init:0 ~width:64 "mul_acc" in
+  let mul_step_acc =
+    Reg.q mul_acc
+    +: (Reg.q mul_areg &: repeat (lsb (Reg.q mul_breg)) 64)
+  in
+  Reg.connect mul_areg
+    (mux2 mul_start
+       (mux2 mul_iterate (Reg.q mul_areg) (sll_const (Reg.q mul_areg) 1))
+       (zero_extend a_mag 64));
+  Reg.connect mul_breg
+    (mux2 mul_start
+       (mux2 mul_iterate (Reg.q mul_breg) (srl_const (Reg.q mul_breg) 1))
+       b_mag);
+  Reg.connect mul_acc
+    (mux2 mul_start
+       (mux2 mul_iterate (Reg.q mul_acc) mul_step_acc)
+       (zero c 64));
+  let mul_product =
+    mux2 (Reg.q md_sign_diff) (Reg.q mul_acc) (negate (Reg.q mul_acc))
+  in
+  let mul_result =
+    mux2 (eq_const f3 0b000)
+      (bits mul_product ~hi:63 ~lo:32)
+      (bits mul_product ~hi:31 ~lo:0)
+  in
+
+  (* divider: restoring division on magnitudes *)
+  let div_rem = Reg.create c ~init:0 ~width:33 "div_rem" in
+  let div_quo = Reg.create c ~init:0 ~width:32 "div_quo" in
+  let div_dvs = Reg.create c ~init:0 ~width:33 "div_dvs" in
+  let div_shifted = concat [ bits (Reg.q div_rem) ~hi:31 ~lo:0; msb (Reg.q div_quo) ] in
+  let div_diff = div_shifted -: Reg.q div_dvs in
+  let div_ge = ~:(msb div_diff) in
+  Reg.connect div_rem
+    (mux2 div_start
+       (mux2 div_iterate (Reg.q div_rem) (mux2 div_ge div_shifted div_diff))
+       (zero c 33));
+  (* div_quo doubles as the dividend shift register *)
+  Reg.connect div_quo
+    (mux2 div_start
+       (mux2 div_iterate (Reg.q div_quo)
+          (concat [ bits (Reg.q div_quo) ~hi:30 ~lo:0; div_ge ]))
+       a_mag);
+  Reg.connect div_dvs
+    (mux2 div_start (Reg.q div_dvs) (zero_extend b_mag 33));
+  let quo_mag = Reg.q div_quo in
+  let rem_mag = bits (Reg.q div_rem) ~hi:31 ~lo:0 in
+  let quo_signed = mux2 (Reg.q md_sign_diff) quo_mag (negate quo_mag) in
+  let rem_signed = mux2 (Reg.q md_a_neg) rem_mag (negate rem_mag) in
+  let div_by_zero = eq_const (Reg.q md_raw_b) 0 in
+  let div_overflow =
+    (Reg.q md_raw_a ==: const c ~width:32 0x80000000)
+    &: (Reg.q md_raw_b ==: const c ~width:32 0xFFFFFFFF)
+    &: ~:(bit f3 0)
+  in
+  let div_result =
+    (* f3: 100 div, 101 divu, 110 rem, 111 remu *)
+    mux2 (bit f3 1)
+      (* quotient *)
+      (mux2 div_by_zero
+         (mux2 div_overflow quo_signed (const c ~width:32 0x80000000))
+         (ones c 32))
+      (* remainder *)
+      (mux2 div_by_zero
+         (mux2 div_overflow rem_signed (zero c 32))
+         (Reg.q md_raw_a))
+  in
+  let md_result = mux2 dec.Rv_util.is_div mul_result div_result in
+  let stall = md_start |: md_iterate in
+
+  (* ------------------------------------------------------------------ *)
+  (* ALU (operand-gated)                                                  *)
+  (* ------------------------------------------------------------------ *)
+  let is_alu = dec.Rv_util.is_alu_imm |: dec.Rv_util.is_alu_reg in
+  let alu_en = valid &: is_alu in
+  let op_a = gate alu_en rs1_val in
+  let op_b =
+    gate alu_en (mux2 dec.Rv_util.is_alu_reg (Rv_util.imm_i instr) rs2_val)
+  in
+  let shamt = bits op_b ~hi:4 ~lo:0 in
+  let alu_sub = dec.Rv_util.is_alu_reg &: f7_sub in
+  let sum = mux2 alu_sub (op_a +: op_b) (op_a -: op_b) in
+  let shift_en = alu_en &: (eq_const f3 0b001 |: eq_const f3 0b101) in
+  let sh_in = gate shift_en rs1_val in
+  let sll_res = sll sh_in shamt in
+  let sr_res = mux2 f7_sub (srl sh_in shamt) (sra sh_in shamt) in
+  let slt_res = zero_extend (slt op_a op_b) 32 in
+  let sltu_res = zero_extend (op_a <: op_b) 32 in
+  let alu_out =
+    mux f3
+      [ sum; sll_res; slt_res; sltu_res; op_a ^: op_b; sr_res; op_a |: op_b;
+        op_a &: op_b ]
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Branches and jumps                                                   *)
+  (* ------------------------------------------------------------------ *)
+  let br_en = valid &: dec.Rv_util.is_branch in
+  let br_a = gate br_en rs1_val in
+  let br_b = gate br_en rs2_val in
+  let br_eq = br_a ==: br_b in
+  let br_lt = slt br_a br_b in
+  let br_ltu = br_a <: br_b in
+  let br_take =
+    br_en
+    &: mux f3
+         [ br_eq; ~:br_eq; br_eq (* unused 010 *); br_eq (* unused 011 *);
+           br_lt; ~:br_lt; br_ltu; ~:br_ltu ]
+  in
+  let br_target = id_pc +: Rv_util.imm_b instr in
+  let jal_target = id_pc +: Rv_util.imm_j instr in
+
+  (* ------------------------------------------------------------------ *)
+  (* Load/store unit (and JALR target, sharing the address adder)         *)
+  (* ------------------------------------------------------------------ *)
+  let is_mem = dec.Rv_util.is_load |: dec.Rv_util.is_store in
+  let agen_en = valid &: (is_mem |: dec.Rv_util.is_jalr) in
+  let agen_base = gate agen_en rs1_val in
+  let agen_off =
+    gate agen_en
+      (mux2 dec.Rv_util.is_store (Rv_util.imm_i instr) (Rv_util.imm_s instr))
+  in
+  let agen = agen_base +: agen_off in
+  let jalr_target = concat [ bits agen ~hi:31 ~lo:1; zero c 1 ] in
+  let addr_lo = bits agen ~hi:1 ~lo:0 in
+  let byte_shift = mux addr_lo [ const c ~width:5 0; const c ~width:5 8;
+                                 const c ~width:5 16; const c ~width:5 24 ] in
+  let load_shifted = srl data_rdata byte_shift in
+  let load_data =
+    mux f3
+      [ sign_extend (bits load_shifted ~hi:7 ~lo:0) 32;       (* lb *)
+        sign_extend (bits load_shifted ~hi:15 ~lo:0) 32;      (* lh *)
+        load_shifted;                                         (* lw *)
+        load_shifted;                                         (* 011: n/a *)
+        zero_extend (bits load_shifted ~hi:7 ~lo:0) 32;       (* lbu *)
+        zero_extend (bits load_shifted ~hi:15 ~lo:0) 32 ]     (* lhu *)
+  in
+  let store_data = sll (gate (valid &: dec.Rv_util.is_store) rs2_val) byte_shift in
+  let be_base =
+    mux (bits f3 ~hi:1 ~lo:0)
+      [ const c ~width:4 0b0001; const c ~width:4 0b0011; const c ~width:4 0b1111 ]
+  in
+  let be = sll (zero_extend be_base 4) (zero_extend addr_lo 2) in
+
+  (* ------------------------------------------------------------------ *)
+  (* CSR file                                                             *)
+  (* ------------------------------------------------------------------ *)
+  let csr_en = valid &: dec.Rv_util.is_csr in
+  let csr_addr = bits instr ~hi:31 ~lo:20 in
+  let is_csr_addr a = eq_const csr_addr a in
+  let mstatus = Reg.create c ~init:0x1800 ~width:32 "csr_mstatus" in
+  let mtvec = Reg.create c ~init:0 ~width:32 "csr_mtvec" in
+  let mscratch = Reg.create c ~init:0 ~width:32 "csr_mscratch" in
+  let mepc = Reg.create c ~init:0 ~width:32 "csr_mepc" in
+  let mcause = Reg.create c ~init:0 ~width:32 "csr_mcause" in
+  let mcycle = Reg.create c ~init:0 ~width:32 "csr_mcycle" in
+  let minstret = Reg.create c ~init:0 ~width:32 "csr_minstret" in
+  let known_rw =
+    is_csr_addr csr_mstatus |: is_csr_addr csr_mtvec |: is_csr_addr csr_mscratch
+    |: is_csr_addr csr_mepc |: is_csr_addr csr_mcause
+  in
+  let known_ro =
+    is_csr_addr csr_cycle |: is_csr_addr csr_instret |: is_csr_addr csr_mhartid
+    |: is_csr_addr csr_misa
+  in
+  let csr_rdata =
+    one_hot_mux
+      [ (is_csr_addr csr_mstatus, Reg.q mstatus);
+        (is_csr_addr csr_mtvec, Reg.q mtvec);
+        (is_csr_addr csr_mscratch, Reg.q mscratch);
+        (is_csr_addr csr_mepc, Reg.q mepc);
+        (is_csr_addr csr_mcause, Reg.q mcause);
+        (is_csr_addr csr_cycle, Reg.q mcycle);
+        (is_csr_addr csr_instret, Reg.q minstret);
+        (is_csr_addr csr_misa, const c ~width:32 0x40001104);
+        (is_csr_addr csr_mhartid, zero c 32) ]
+  in
+  let csr_operand =
+    gate csr_en (mux2 (bit f3 2) rs1_val (zero_extend rs1_idx 32))
+  in
+  let csr_op = bits f3 ~hi:1 ~lo:0 in
+  let csr_wants_write = eq_const csr_op 0b01 |: (rs1_idx <>: const c ~width:5 0) in
+  let csr_illegal =
+    dec.Rv_util.is_csr
+    &: (~:(known_rw |: known_ro) |: (known_ro &: csr_wants_write))
+  in
+  let csr_wdata =
+    mux csr_op
+      [ csr_operand;                        (* 00: unused *)
+        csr_operand;                        (* 01: csrrw *)
+        csr_rdata |: csr_operand;           (* 10: csrrs *)
+        csr_rdata &: ~:csr_operand ]        (* 11: csrrc *)
+  in
+  let csr_we = csr_en &: csr_wants_write &: known_rw &: ~:csr_illegal in
+
+  (* ------------------------------------------------------------------ *)
+  (* Exceptions                                                           *)
+  (* ------------------------------------------------------------------ *)
+  let illegal_any =
+    dec.Rv_util.illegal |: exp.Rv_util.c_illegal |: csr_illegal
+  in
+  let exc = valid &: (illegal_any |: dec.Rv_util.is_ecall |: dec.Rv_util.is_ebreak) in
+  let exc_cause =
+    (* 2 illegal, 3 breakpoint, 11 ecall from M *)
+    mux2 illegal_any
+      (mux2 dec.Rv_util.is_ebreak (const c ~width:32 11) (const c ~width:32 3))
+      (const c ~width:32 2)
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Control flow and retirement                                          *)
+  (* ------------------------------------------------------------------ *)
+  let jump =
+    valid &: (dec.Rv_util.is_jal |: dec.Rv_util.is_jalr) in
+  let cf = (jump |: br_take |: exc) &: ~:stall in
+  let cf_target =
+    mux2 exc
+      (one_hot_mux
+         [ (dec.Rv_util.is_jal, jal_target);
+           (dec.Rv_util.is_jalr, jalr_target);
+           (br_take, br_target) ])
+      (Reg.q mtvec)
+  in
+  let instr_len = mux2 exp.Rv_util.was_compressed (const c ~width:32 4) (const c ~width:32 2) in
+  let fetch_word = instr_rdata in
+  let fetch_compressed = ~:(eq_const (bits fetch_word ~hi:1 ~lo:0) 0b11) in
+  let fetch_len = mux2 fetch_compressed (const c ~width:32 4) (const c ~width:32 2) in
+  let next_pc =
+    mux2 stall (mux2 cf (Reg.q pc +: fetch_len) cf_target) (Reg.q pc)
+  in
+  Reg.connect pc next_pc;
+  let if_id_instr_next =
+    name "if_id_instr_next" (mux2 stall fetch_word (Reg.q if_id_instr))
+  in
+  Reg.connect if_id_instr if_id_instr_next;
+  Reg.connect if_id_pc (mux2 stall (Reg.q pc) (Reg.q if_id_pc));
+  Reg.connect if_id_valid (mux2 stall (~:cf) valid);
+
+  let retire = valid &: ~:exc &: ~:stall in
+
+  (* register file write *)
+  let rf_we =
+    valid &: ~:exc &: (rd_idx <>: const c ~width:5 0)
+    &: (dec.Rv_util.is_lui |: dec.Rv_util.is_auipc |: dec.Rv_util.is_jal
+        |: dec.Rv_util.is_jalr |: dec.Rv_util.is_load |: is_alu
+        |: (dec.Rv_util.is_csr &: ~:csr_illegal)
+        |: (is_muldiv &: md_done))
+  in
+  let link = id_pc +: instr_len in
+  let rf_wdata =
+    one_hot_mux
+      [ (dec.Rv_util.is_lui, Rv_util.imm_u instr);
+        (dec.Rv_util.is_auipc, id_pc +: Rv_util.imm_u instr);
+        (dec.Rv_util.is_jal |: dec.Rv_util.is_jalr, link);
+        (dec.Rv_util.is_load, load_data);
+        (is_alu, alu_out);
+        (dec.Rv_util.is_csr, csr_rdata);
+        (is_muldiv, md_result) ]
+  in
+  Mem.write rf ~en:rf_we ~addr:rd_idx ~data:rf_wdata;
+
+  (* CSR state updates: explicit writes, exception side effects,
+     free-running counters *)
+  let wr a = csr_we &: is_csr_addr a in
+  Reg.connect_en mstatus ~en:(wr csr_mstatus) csr_wdata;
+  Reg.connect_en mtvec ~en:(wr csr_mtvec) csr_wdata;
+  Reg.connect_en mscratch ~en:(wr csr_mscratch) csr_wdata;
+  Reg.connect mepc
+    (mux2 exc (mux2 (wr csr_mepc) (Reg.q mepc) csr_wdata) id_pc);
+  Reg.connect mcause
+    (mux2 exc (mux2 (wr csr_mcause) (Reg.q mcause) csr_wdata) exc_cause);
+  Reg.connect mcycle (Reg.q mcycle +: const c ~width:32 1);
+  Reg.connect minstret
+    (Reg.q minstret +: zero_extend retire 32);
+
+  (* ------------------------------------------------------------------ *)
+  (* Ports                                                                *)
+  (* ------------------------------------------------------------------ *)
+  Ctx.output c "instr_addr" (Reg.q pc);
+  Ctx.output c "data_addr" agen;
+  Ctx.output c "data_wdata" store_data;
+  Ctx.output c "data_we" (valid &: dec.Rv_util.is_store &: ~:exc);
+  Ctx.output c "data_be" be;
+  Ctx.output c "data_req" (valid &: is_mem &: ~:exc);
+  Ctx.output c "retire" retire;
+  {
+    design = Ctx.finish c;
+    instr_port = "instr_rdata";
+    cutpoint_bus = "if_id_instr_next";
+  }
+
+let resolve_bus design base width =
+  Array.init width (fun i ->
+      let nm = Printf.sprintf "%s[%d]" base i in
+      let found = ref (-1) in
+      for n = 0 to Netlist.Design.num_nets design - 1 do
+        if !found < 0 && Netlist.Design.net_name design n = nm then found := n
+      done;
+      if !found < 0 then failwith ("Ibex_like: no net named " ^ nm);
+      !found)
+
+let cutpoint_nets t = resolve_bus t.design t.cutpoint_bus 32
+
+let peek_reg_nets t k =
+  if k = 0 then Array.make 32 Netlist.Design.net_false
+  else resolve_bus t.design (Printf.sprintf "rf_%d" k) 32

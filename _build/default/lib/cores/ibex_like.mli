@@ -1,0 +1,40 @@
+(** The Ibex-class core: a 2-stage, in-order, scalar RV32IMC core with
+    the Zicsr/Zifencei extensions (paper Table II, first row).
+
+    Deliberately faithful to what makes Ibex interesting for PDAT:
+
+    - the extensions are {e not} modular in the implementation — the
+      compressed expander, multiplier/divider FSM and CSR file share
+      decode, stall and writeback logic with the base ISA, so no
+      elaboration parameter can strip, say, division alone;
+    - illegal encodings raise an exception through mtvec/mepc/mcause,
+      logic that only a full-ISA environment restriction can prove
+      unreachable (the paper's "Ibex ISA" effect);
+    - datapath operands are enable-gated, so a unit whose enable is
+      proved constant-0 freezes and folds away in resynthesis.
+
+    Memory interfaces are ideal (combinational) single-cycle ports; the
+    testbench or the PDAT environment plays the memory. *)
+
+type t = {
+  design : Netlist.Design.t;
+  instr_port : string;
+      (** input bus: the 32-bit fetch word at [instr_addr] *)
+  cutpoint_bus : string;
+      (** internal bus (named nets): next value of the IF/ID
+          instruction register — the paper's Figure-4 cutpoint *)
+}
+
+val build : unit -> t
+
+val cutpoint_nets : t -> Netlist.Design.net array
+(** Resolves {!cutpoint_bus} to nets by their debug names. *)
+
+(* Port names, also part of the public contract:
+   inputs  [instr_rdata[31:0]], [data_rdata[31:0]]
+   outputs [instr_addr], [data_addr], [data_wdata], [data_we],
+           [data_be[3:0]], [data_req], [retire] *)
+
+val peek_reg_nets : t -> int -> Netlist.Design.net array
+(** Architectural register file word [1..31] as nets (for testbench
+    inspection; x0 returns the constant-0 rail replicated). *)

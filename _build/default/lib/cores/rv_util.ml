@@ -1,0 +1,281 @@
+open Hdl.Ops
+
+type signal = Hdl.Ctx.signal
+
+let ctx (s : signal) = s.Hdl.Ctx.ctx
+
+let opcode i = bits i ~hi:6 ~lo:0
+let rd i = bits i ~hi:11 ~lo:7
+let funct3 i = bits i ~hi:14 ~lo:12
+let rs1 i = bits i ~hi:19 ~lo:15
+let rs2 i = bits i ~hi:24 ~lo:20
+let funct7 i = bits i ~hi:31 ~lo:25
+
+let imm_i i = sign_extend (bits i ~hi:31 ~lo:20) 32
+let imm_s i = sign_extend (concat [ bits i ~hi:31 ~lo:25; bits i ~hi:11 ~lo:7 ]) 32
+
+let imm_b i =
+  sign_extend
+    (concat
+       [ bit i 31; bit i 7; bits i ~hi:30 ~lo:25; bits i ~hi:11 ~lo:8;
+         zero (ctx i) 1 ])
+    32
+
+let imm_u i = concat [ bits i ~hi:31 ~lo:12; zero (ctx i) 12 ]
+
+let imm_j i =
+  sign_extend
+    (concat
+       [ bit i 31; bits i ~hi:19 ~lo:12; bit i 20; bits i ~hi:30 ~lo:21;
+         zero (ctx i) 1 ])
+    32
+
+type decoded = {
+  is_lui : signal;
+  is_auipc : signal;
+  is_jal : signal;
+  is_jalr : signal;
+  is_branch : signal;
+  is_load : signal;
+  is_store : signal;
+  is_alu_imm : signal;
+  is_alu_reg : signal;
+  is_mul : signal;
+  is_div : signal;
+  is_fence : signal;
+  is_ecall : signal;
+  is_ebreak : signal;
+  is_csr : signal;
+  illegal : signal;
+}
+
+let decode i =
+  let c = ctx i in
+  let op v = eq_const (opcode i) v in
+  let f3 = funct3 i in
+  let f7 = funct7 i in
+  let f7_zero = eq_const f7 0 in
+  let f7_sub = eq_const f7 0b0100000 in
+  let f7_muldiv = eq_const f7 0b0000001 in
+  let is_lui = op 0b0110111 in
+  let is_auipc = op 0b0010111 in
+  let is_jal = op 0b1101111 in
+  let is_jalr = op 0b1100111 &: eq_const f3 0 in
+  let branch_f3_ok =
+    ~:(eq_const f3 0b010) &: ~:(eq_const f3 0b011)
+  in
+  let is_branch = op 0b1100011 &: branch_f3_ok in
+  let load_f3_ok =
+    eq_const f3 0b000 |: eq_const f3 0b001 |: eq_const f3 0b010
+    |: eq_const f3 0b100 |: eq_const f3 0b101
+  in
+  let is_load = op 0b0000011 &: load_f3_ok in
+  let store_f3_ok = eq_const f3 0b000 |: eq_const f3 0b001 |: eq_const f3 0b010 in
+  let is_store = op 0b0100011 &: store_f3_ok in
+  let shift_f3 = eq_const f3 0b001 |: eq_const f3 0b101 in
+  let alu_imm_shift_ok =
+    (* slli needs f7=0; srli f7=0; srai f7=0100000 *)
+    mux2 shift_f3
+      (vdd c)
+      (mux2 (eq_const f3 0b001) (f7_zero |: (eq_const f3 0b101 &: f7_sub)) f7_zero)
+  in
+  let is_alu_imm = op 0b0010011 &: alu_imm_shift_ok in
+  let alu_reg_f7_ok =
+    f7_zero |: (f7_sub &: (eq_const f3 0b000 |: eq_const f3 0b101))
+  in
+  let is_alu_reg = op 0b0110011 &: alu_reg_f7_ok in
+  let is_mul = op 0b0110011 &: f7_muldiv &: ~:(bit f3 2) in
+  let is_div = op 0b0110011 &: f7_muldiv &: bit f3 2 in
+  let fence_f3_ok = eq_const f3 0b000 |: eq_const f3 0b001 in
+  let is_fence = op 0b0001111 &: fence_f3_ok in
+  let sys = op 0b1110011 in
+  let sys_f3_zero = eq_const f3 0b000 in
+  let upper25_zero = eq_const (bits i ~hi:31 ~lo:7) 0 in
+  let is_ecall = sys &: sys_f3_zero &: upper25_zero in
+  let is_ebreak =
+    sys &: sys_f3_zero
+    &: (bits i ~hi:31 ~lo:7 ==: const c ~width:25 (1 lsl 13))
+  in
+  let csr_f3_ok = ~:sys_f3_zero &: ~:(eq_const f3 0b100) in
+  let is_csr = sys &: csr_f3_ok in
+  let any_valid =
+    is_lui |: is_auipc |: is_jal |: is_jalr |: is_branch |: is_load |: is_store
+    |: is_alu_imm |: is_alu_reg |: is_mul |: is_div |: is_fence |: is_ecall
+    |: is_ebreak |: is_csr
+  in
+  {
+    is_lui; is_auipc; is_jal; is_jalr; is_branch; is_load; is_store;
+    is_alu_imm; is_alu_reg; is_mul; is_div; is_fence; is_ecall; is_ebreak;
+    is_csr; illegal = ~:any_valid;
+  }
+
+type expanded = {
+  instr32 : signal;
+  c_illegal : signal;
+  was_compressed : signal;
+}
+
+(* RVC expander.  Each case builds the canonical 32-bit form; the
+   priority order mirrors Isa.Rv32.decode16. *)
+let expand_compressed w =
+  let c = ctx w in
+  let cw = bits w ~hi:15 ~lo:0 in
+  let k width v = const c ~width v in
+  let quadrant = bits cw ~hi:1 ~lo:0 in
+  let f3 = bits cw ~hi:15 ~lo:13 in
+  let bit12 = bit cw 12 in
+  let rd_full = bits cw ~hi:11 ~lo:7 in
+  let rs2_full = bits cw ~hi:6 ~lo:2 in
+  let rdp = concat [ k 2 0b01; bits cw ~hi:4 ~lo:2 ] in   (* rd'/rs2' *)
+  let rs1p = concat [ k 2 0b01; bits cw ~hi:9 ~lo:7 ] in  (* rs1'/rd' *)
+  let imm6 = concat [ bit12; bits cw ~hi:6 ~lo:2 ] in     (* CI imm *)
+  let x0 = k 5 0 in
+  let x1 = k 5 1 in
+  let x2 = k 5 2 in
+  let op_imm = k 7 0b0010011 in
+  let op_lui = k 7 0b0110111 in
+  let op_load = k 7 0b0000011 in
+  let op_store = k 7 0b0100011 in
+  let op_reg = k 7 0b0110011 in
+  let op_jal = k 7 0b1101111 in
+  let op_jalr = k 7 0b1100111 in
+  let op_branch = k 7 0b1100011 in
+  let addi ~rd ~rs1 ~imm12 = concat [ imm12; rs1; k 3 0; rd; op_imm ] in
+  (* Q0 *)
+  let addi4spn_imm =
+    (* nzuimm[9:2] = {cw[10:7], cw[12:11], cw[5], cw[6]} *)
+    concat
+      [ k 2 0; bits cw ~hi:10 ~lo:7; bits cw ~hi:12 ~lo:11; bit cw 5; bit cw 6;
+        k 2 0 ]
+  in
+  let e_addi4spn = addi ~rd:rdp ~rs1:x2 ~imm12:addi4spn_imm in
+  let lw_off =
+    (* offset[6|5:3|2] = cw[5] cw[12:10] cw[6] *)
+    concat [ k 5 0; bit cw 5; bits cw ~hi:12 ~lo:10; bit cw 6; k 2 0 ]
+  in
+  let e_clw = concat [ lw_off; rs1p; k 3 0b010; rdp; op_load ] in
+  let e_csw =
+    concat
+      [ bits lw_off ~hi:11 ~lo:5; rdp; rs1p; k 3 0b010; bits lw_off ~hi:4 ~lo:0;
+        op_store ]
+  in
+  (* Q1 *)
+  let imm6_sext = sign_extend imm6 12 in
+  let e_caddi = addi ~rd:rd_full ~rs1:rd_full ~imm12:imm6_sext in
+  let cj_off =
+    (* offset[11|10|9:8|7|6|5|4|3:1] = cw[12|8|10:9|6|7|2|11|5:3] *)
+    concat
+      [ bit cw 12; bit cw 8; bits cw ~hi:10 ~lo:9; bit cw 6; bit cw 7; bit cw 2;
+        bit cw 11; bits cw ~hi:5 ~lo:3; zero c 1 ]
+  in
+  let jal_imm_fields rd target_off =
+    (* imm[20|10:1|11|19:12] from a sign-extended 21-bit offset *)
+    let t = sign_extend target_off 21 in
+    concat
+      [ bit t 20; bits t ~hi:10 ~lo:1; bit t 11; bits t ~hi:19 ~lo:12; rd; op_jal ]
+  in
+  let e_cjal = jal_imm_fields x1 cj_off in
+  let e_cj = jal_imm_fields x0 cj_off in
+  let e_cli = addi ~rd:rd_full ~rs1:x0 ~imm12:imm6_sext in
+  let addi16sp_imm =
+    (* imm[9|8:7|6|5|4] = cw[12|4:3|5|2|6], scaled by 16 *)
+    sign_extend
+      (concat [ bit cw 12; bits cw ~hi:4 ~lo:3; bit cw 5; bit cw 2; bit cw 6; k 4 0 ])
+      12
+  in
+  let e_caddi16sp = addi ~rd:x2 ~rs1:x2 ~imm12:addi16sp_imm in
+  let e_clui = concat [ sign_extend imm6 20; rd_full; op_lui ] in
+  let shamt = rs2_full in
+  let e_csrli = concat [ k 7 0; shamt; rs1p; k 3 0b101; rs1p; op_imm ] in
+  let e_csrai = concat [ k 7 0b0100000; shamt; rs1p; k 3 0b101; rs1p; op_imm ] in
+  let e_candi = concat [ imm6_sext; rs1p; k 3 0b111; rs1p; op_imm ] in
+  let ca_op funct7 f3v = concat [ k 7 funct7; rdp; rs1p; k 3 f3v; rs1p; op_reg ] in
+  let e_csub = ca_op 0b0100000 0b000 in
+  let e_cxor = ca_op 0 0b100 in
+  let e_cor = ca_op 0 0b110 in
+  let e_cand = ca_op 0 0b111 in
+  let cb_off =
+    (* offset[8|7:6|5|4:3|2:1] = cw[12|6:5|2|11:10|4:3] *)
+    sign_extend
+      (concat
+         [ bit cw 12; bits cw ~hi:6 ~lo:5; bit cw 2; bits cw ~hi:11 ~lo:10;
+           bits cw ~hi:4 ~lo:3; zero c 1 ])
+      13
+  in
+  let branch f3v =
+    concat
+      [ bit cb_off 12; bits cb_off ~hi:10 ~lo:5; x0; rs1p; k 3 f3v;
+        bits cb_off ~hi:4 ~lo:1; bit cb_off 11; op_branch ]
+  in
+  let e_cbeqz = branch 0b000 in
+  let e_cbnez = branch 0b001 in
+  (* Q2 *)
+  let e_cslli = concat [ k 7 0; shamt; rd_full; k 3 0b001; rd_full; op_imm ] in
+  let lwsp_off =
+    (* offset[7:6|5|4:2] = cw[3:2|12|6:4] *)
+    concat [ k 4 0; bits cw ~hi:3 ~lo:2; bit12; bits cw ~hi:6 ~lo:4; k 2 0 ]
+  in
+  let e_clwsp = concat [ lwsp_off; x2; k 3 0b010; rd_full; op_load ] in
+  let e_cjr = concat [ k 12 0; rd_full; k 3 0; x0; op_jalr ] in
+  let e_cjalr = concat [ k 12 0; rd_full; k 3 0; x1; op_jalr ] in
+  let e_cmv = concat [ k 7 0; rs2_full; x0; k 3 0; rd_full; op_reg ] in
+  let e_cadd = concat [ k 7 0; rs2_full; rd_full; k 3 0; rd_full; op_reg ] in
+  let e_cebreak = const c ~width:32 0x00100073 in
+  let swsp_off =
+    (* offset[7:6|5:2] = cw[8:7|12:9] *)
+    concat [ k 4 0; bits cw ~hi:8 ~lo:7; bits cw ~hi:12 ~lo:9; k 2 0 ]
+  in
+  let e_cswsp =
+    concat
+      [ bits swsp_off ~hi:11 ~lo:5; rs2_full; x2; k 3 0b010;
+        bits swsp_off ~hi:4 ~lo:0; op_store ]
+  in
+  (* case selection *)
+  let q0 = eq_const quadrant 0b00 in
+  let q1 = eq_const quadrant 0b01 in
+  let q2 = eq_const quadrant 0b10 in
+  let f3_is v = eq_const f3 v in
+  let rd_nz = rd_full <>: x0 in
+  let rs2_nz = rs2_full <>: x0 in
+  let cases =
+    [
+      (q0 &: f3_is 0b000 &: (bits cw ~hi:12 ~lo:5 <>: k 8 0), e_addi4spn);
+      (q0 &: f3_is 0b010, e_clw);
+      (q0 &: f3_is 0b110, e_csw);
+      (q1 &: f3_is 0b000, e_caddi);
+      (q1 &: f3_is 0b001, e_cjal);
+      (q1 &: f3_is 0b010, e_cli);
+      (q1 &: f3_is 0b011 &: eq_const rd_full 2, e_caddi16sp);
+      (q1 &: f3_is 0b011 &: ~:(eq_const rd_full 2), e_clui);
+      (q1 &: f3_is 0b100 &: ~:bit12 &: eq_const (bits cw ~hi:11 ~lo:10) 0b00, e_csrli);
+      (q1 &: f3_is 0b100 &: ~:bit12 &: eq_const (bits cw ~hi:11 ~lo:10) 0b01, e_csrai);
+      (q1 &: f3_is 0b100 &: eq_const (bits cw ~hi:11 ~lo:10) 0b10, e_candi);
+      (q1 &: f3_is 0b100 &: ~:bit12 &: eq_const (bits cw ~hi:11 ~lo:10) 0b11
+       &: eq_const (bits cw ~hi:6 ~lo:5) 0b00, e_csub);
+      (q1 &: f3_is 0b100 &: ~:bit12 &: eq_const (bits cw ~hi:11 ~lo:10) 0b11
+       &: eq_const (bits cw ~hi:6 ~lo:5) 0b01, e_cxor);
+      (q1 &: f3_is 0b100 &: ~:bit12 &: eq_const (bits cw ~hi:11 ~lo:10) 0b11
+       &: eq_const (bits cw ~hi:6 ~lo:5) 0b10, e_cor);
+      (q1 &: f3_is 0b100 &: ~:bit12 &: eq_const (bits cw ~hi:11 ~lo:10) 0b11
+       &: eq_const (bits cw ~hi:6 ~lo:5) 0b11, e_cand);
+      (q1 &: f3_is 0b101, e_cj);
+      (q1 &: f3_is 0b110, e_cbeqz);
+      (q1 &: f3_is 0b111, e_cbnez);
+      (q2 &: f3_is 0b000 &: ~:bit12, e_cslli);
+      (q2 &: f3_is 0b010 &: rd_nz, e_clwsp);
+      (q2 &: f3_is 0b100 &: ~:bit12 &: ~:rs2_nz &: rd_nz, e_cjr);
+      (q2 &: f3_is 0b100 &: ~:bit12 &: rs2_nz, e_cmv);
+      (q2 &: f3_is 0b100 &: bit12 &: ~:rs2_nz &: ~:rd_nz, e_cebreak);
+      (q2 &: f3_is 0b100 &: bit12 &: ~:rs2_nz &: rd_nz, e_cjalr);
+      (q2 &: f3_is 0b100 &: bit12 &: rs2_nz, e_cadd);
+      (q2 &: f3_is 0b110, e_cswsp);
+    ]
+  in
+  let was_compressed = ~:(eq_const quadrant 0b11) in
+  let any_case = List.fold_left (fun acc (g, _) -> acc |: g) (gnd c) cases in
+  let expanded = priority_select cases ~default:(zero c 32) in
+  {
+    instr32 = mux2 was_compressed w expanded;
+    c_illegal = was_compressed &: ~:any_case;
+    was_compressed;
+  }

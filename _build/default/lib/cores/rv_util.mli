@@ -1,0 +1,59 @@
+(** Shared RISC-V decode hardware: instruction field extraction,
+    immediate formation, the RVC (compressed) expander and the RV32IMC
+    legality decoder.  Used by both the Ibex-like and RIDECORE-like
+    cores. *)
+
+type signal = Hdl.Ctx.signal
+
+(* field extraction from a 32-bit instruction *)
+
+val opcode : signal -> signal  (* 7 bits *)
+val rd : signal -> signal      (* 5 bits *)
+val funct3 : signal -> signal  (* 3 bits *)
+val rs1 : signal -> signal
+val rs2 : signal -> signal
+val funct7 : signal -> signal
+
+(* immediates, all sign-extended to 32 bits *)
+
+val imm_i : signal -> signal
+val imm_s : signal -> signal
+val imm_b : signal -> signal
+val imm_u : signal -> signal
+val imm_j : signal -> signal
+
+type decoded = {
+  is_lui : signal;
+  is_auipc : signal;
+  is_jal : signal;
+  is_jalr : signal;
+  is_branch : signal;
+  is_load : signal;
+  is_store : signal;
+  is_alu_imm : signal;
+  is_alu_reg : signal;  (** RV32I register-register, not M *)
+  is_mul : signal;      (** mul/mulh/mulhsu/mulhu *)
+  is_div : signal;      (** div/divu/rem/remu *)
+  is_fence : signal;    (** fence and fence.i *)
+  is_ecall : signal;
+  is_ebreak : signal;
+  is_csr : signal;
+  illegal : signal;     (** no legal RV32IM(+Zicsr/Zifencei) decoding *)
+}
+
+val decode : signal -> decoded
+(** Full legality decode of an (expanded) 32-bit instruction, including
+    funct3/funct7 validity — anything outside the implemented set
+    raises [illegal], which is what feeds the exception logic that the
+    full-ISA environment restriction later proves unreachable. *)
+
+type expanded = {
+  instr32 : signal;       (** the expanded 32-bit instruction *)
+  c_illegal : signal;     (** 16-bit word with no RVC decoding *)
+  was_compressed : signal;(** low 2 bits of the fetch word /= 11 *)
+}
+
+val expand_compressed : signal -> expanded
+(** [expand_compressed fetch_word] implements the RVC expander over the
+    32-bit fetch word: when the word is compressed the low 16 bits are
+    expanded, otherwise the word passes through. *)

@@ -1,0 +1,1 @@
+lib/engine/candidate.ml: Bool Format Int64 Netlist Stdlib

@@ -1,0 +1,1 @@
+lib/engine/candidate.mli: Format Netlist

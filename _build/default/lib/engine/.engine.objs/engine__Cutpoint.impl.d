@@ -1,0 +1,1 @@
+lib/engine/cutpoint.ml: Array Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/engine/equiv.ml: Hashtbl List Netlist Sat Unroll

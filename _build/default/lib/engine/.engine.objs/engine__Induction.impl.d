@@ -1,0 +1,1 @@
+lib/engine/induction.ml: Array Candidate Format Int64 List Netlist Random Sat Stimulus Unroll

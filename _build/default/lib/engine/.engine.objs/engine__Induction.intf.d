@@ -1,0 +1,1 @@
+lib/engine/induction.mli: Candidate Format Netlist Stimulus

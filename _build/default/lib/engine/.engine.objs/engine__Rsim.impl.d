@@ -1,0 +1,1 @@
+lib/engine/rsim.ml: Array Candidate Int64 List Netlist Random Stimulus

@@ -1,0 +1,1 @@
+lib/engine/rsim.mli: Candidate Netlist Stimulus

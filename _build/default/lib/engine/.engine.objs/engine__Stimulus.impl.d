@@ -1,0 +1,1 @@
+lib/engine/stimulus.ml: Array Int64 Netlist Random

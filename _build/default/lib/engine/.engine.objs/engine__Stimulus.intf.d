@@ -1,0 +1,1 @@
+lib/engine/stimulus.mli: Netlist Random

@@ -1,0 +1,1 @@
+lib/engine/ternary.ml: Array Bool Candidate List Netlist

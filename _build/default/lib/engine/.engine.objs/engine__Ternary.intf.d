@@ -1,0 +1,1 @@
+lib/engine/ternary.mli: Candidate Netlist

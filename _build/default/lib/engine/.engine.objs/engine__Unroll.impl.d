@@ -1,0 +1,1 @@
+lib/engine/unroll.ml: Array List Netlist Sat

@@ -1,0 +1,1 @@
+lib/engine/unroll.mli: Netlist Sat

@@ -1,0 +1,18 @@
+type t =
+  | Const of Netlist.Design.net * bool
+  | Implies of { cell : int; a : Netlist.Design.net; b : Netlist.Design.net }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let holds_in_values value = function
+  | Const (n, true) -> value n = -1L
+  | Const (n, false) -> value n = 0L
+  | Implies { a; b; _ } -> Int64.logand (value a) (Int64.lognot (value b)) = 0L
+
+let pp d fmt = function
+  | Const (n, b) ->
+      Format.fprintf fmt "%s == %d" (Netlist.Design.net_name d n) (Bool.to_int b)
+  | Implies { a; b; cell } ->
+      Format.fprintf fmt "%s -> %s (cell %d)" (Netlist.Design.net_name d a)
+        (Netlist.Design.net_name d b) cell

@@ -1,0 +1,24 @@
+(** Candidate gate invariants — the Property Library instances of the
+    paper, section IV.1.
+
+    A candidate is an invariant over one net or one gate's pins that
+    has survived constrained random simulation and awaits proof:
+
+    - [Const (n, b)]: net [n] always carries [b] (the paper's
+      [and_out_ZN_0] / [and_out_ZN_1] properties, generalized to any
+      net).
+    - [Implies (a, b)]: whenever [a] is 1 so is [b]
+      (the paper's [and_in_A2_A1] property); attached to a specific
+      cell so the rewiring stage knows which gate collapses. *)
+
+type t =
+  | Const of Netlist.Design.net * bool
+  | Implies of { cell : int; a : Netlist.Design.net; b : Netlist.Design.net }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val holds_in_values : (Netlist.Design.net -> int64) -> t -> bool
+(** Does the candidate hold on all 64 lanes of a simulation snapshot? *)
+
+val pp : Netlist.Design.t -> Format.formatter -> t -> unit

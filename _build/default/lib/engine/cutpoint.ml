@@ -1,0 +1,23 @@
+module D = Netlist.Design
+
+let apply d ~name nets =
+  let inputs = List.map snd (D.inputs d) in
+  Array.iter
+    (fun n ->
+      if List.mem n inputs then
+        invalid_arg "Cutpoint.apply: net is already a primary input")
+    nets;
+  let d = D.copy d in
+  let fresh =
+    Array.mapi
+      (fun i _ ->
+        D.add_input d
+          (if Array.length nets = 1 then name else Printf.sprintf "%s[%d]" name i))
+      nets
+  in
+  let subst =
+    let map = Hashtbl.create 16 in
+    Array.iteri (fun i n -> Hashtbl.replace map n fresh.(i)) nets;
+    fun n -> match Hashtbl.find_opt map n with Some n' -> n' | None -> n
+  in
+  (D.substitute d subst, fresh)

@@ -1,0 +1,18 @@
+(** Cutpoint insertion (paper section V, Figure 4).
+
+    A cutpoint detaches a net from its driver and hands control of its
+    value to the property checker, by turning it into a fresh primary
+    input.  PDAT uses cutpoints to constrain *decoded* instructions on
+    cores where the fetch path may deliver unaligned or partial words
+    (Ibex with the C extension), placing the environment restriction on
+    an internal pipeline register instead of the instruction port. *)
+
+val apply :
+  Netlist.Design.t ->
+  name:string ->
+  Netlist.Design.net array ->
+  Netlist.Design.t * Netlist.Design.net array
+(** [apply d ~name nets] returns a new design in which every reader of
+    [nets.(i)] reads the fresh primary input [name[i]] instead, plus
+    the new input nets.  The old drivers become dead logic.
+    @raise Invalid_argument if a net is already a primary input. *)

@@ -1,0 +1,31 @@
+(** Bounded sequential equivalence checking by SAT miter.
+
+    Both designs are unrolled from reset into one solver with shared
+    primary inputs (matched by port name), optionally under a per-frame
+    assumption on the first design (PDAT's environment monitor).  The
+    check asserts that some output (matched by name) differs in some
+    frame; UNSAT proves the designs produce identical outputs for
+    [frames] cycles on every allowed stimulus.
+
+    This is how the repository *formally* validates PDAT reductions,
+    complementing the simulation-based equivalence tests: the reduced
+    netlist must be indistinguishable from the original for every
+    input sequence the environment admits. *)
+
+type result =
+  | Equivalent
+  | Counterexample of { frame : int; output : string }
+  | Unknown  (** conflict budget exhausted *)
+
+val bounded :
+  ?assume:Netlist.Design.net ->
+  ?conflict_budget:int ->
+  frames:int ->
+  Netlist.Design.t ->
+  Netlist.Design.t ->
+  result
+(** [bounded ?assume ~frames d1 d2].  [assume] is a net of [d1], forced
+    to 1 in every frame.  Inputs of [d2] must be a subset of [d1]'s
+    (matched by name); outputs are compared on the intersection of the
+    two output name sets.
+    @raise Invalid_argument if the designs share no outputs. *)

@@ -1,0 +1,314 @@
+module D = Netlist.Design
+module S = Sat.Solver
+module L = Sat.Lit
+
+type options = {
+  k : int;
+  call_conflict_budget : int;
+  total_conflict_budget : int;
+}
+
+let default_options =
+  { k = 1; call_conflict_budget = 200_000; total_conflict_budget = -1 }
+
+type stats = {
+  n_candidates : int;
+  n_proved : int;
+  sat_calls : int;
+  conflicts : int;
+  rounds : int;
+  budget_exhausted : bool;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "candidates=%d proved=%d sat_calls=%d conflicts=%d rounds=%d%s"
+    s.n_candidates s.n_proved s.sat_calls s.conflicts s.rounds
+    (if s.budget_exhausted then " (budget exhausted)" else "")
+
+(* A candidate's claim at a given frame, as (clause to assert it under a
+   guard) and (literal implying its violation). *)
+let claim_clause u ~frame ~guard = function
+  | Candidate.Const (n, b) ->
+      let l = Unroll.lit u ~frame n in
+      [ L.negate guard; (if b then l else L.negate l) ]
+  | Candidate.Implies { a; b; _ } ->
+      [ L.negate guard;
+        L.negate (Unroll.lit u ~frame a);
+        Unroll.lit u ~frame b ]
+
+(* violation literal: true in a model ⇒ the candidate fails at [frame] *)
+let violation_lit u ~frame = function
+  | Candidate.Const (n, b) ->
+      let l = Unroll.lit u ~frame n in
+      if b then L.negate l else l
+  | Candidate.Implies { a; b; _ } ->
+      let s = Unroll.solver u in
+      let v = L.pos (S.new_var s) in
+      S.add_clause s [ L.negate v; Unroll.lit u ~frame a ];
+      S.add_clause s [ L.negate v; L.negate (Unroll.lit u ~frame b) ];
+      v
+
+(* does the candidate hold at [frame] in the current model? *)
+let holds_in_model u ~frame = function
+  | Candidate.Const (n, b) -> S.lit_value (Unroll.solver u) (Unroll.lit u ~frame n) = b
+  | Candidate.Implies { a; b; _ } ->
+      (not (S.lit_value (Unroll.solver u) (Unroll.lit u ~frame a)))
+      || S.lit_value (Unroll.solver u) (Unroll.lit u ~frame b)
+
+type side = {
+  u : Unroll.t;
+  viol : L.t array;          (* aggregated violation literal per candidate *)
+  check_frames : int list;   (* frames where claims are checked *)
+  hyp_actives : L.t array option;  (* step side only: hypothesis guards *)
+}
+
+let or_lits u lits =
+  match lits with
+  | [ l ] -> l
+  | _ ->
+      let s = Unroll.solver u in
+      let v = L.pos (S.new_var s) in
+      (* v -> (l1 | l2 | ...): enough for the "model implies violation"
+         direction that the kill loop relies on *)
+      S.add_clause s (L.negate v :: lits);
+      v
+
+let build_side d ~assume ~init ~n_frames ~check_frames ~with_hypothesis candidates =
+  let solver = S.create () in
+  let u = Unroll.create solver d ~init in
+  for _ = 1 to n_frames do
+    Unroll.add_frame u
+  done;
+  for f = 0 to n_frames - 1 do
+    S.add_clause solver [ Unroll.lit u ~frame:f assume ]
+  done;
+  let hyp_actives =
+    if not with_hypothesis then None
+    else begin
+      let guards =
+        Array.map
+          (fun cand ->
+            let g = L.pos (S.new_var solver) in
+            for f = 0 to n_frames - 2 do
+              S.add_clause solver (claim_clause u ~frame:f ~guard:g cand)
+            done;
+            g)
+          candidates
+      in
+      Some guards
+    end
+  in
+  let viol =
+    Array.map
+      (fun cand ->
+        or_lits u (List.map (fun f -> violation_lit u ~frame:f cand) check_frames))
+      candidates
+  in
+  { u; viol; check_frames; hyp_actives }
+
+exception Out_of_budget
+
+(* One pass over a side: eliminate alive candidates violated on this
+   side until UNSAT (all alive jointly hold).  Returns true if any
+   candidate was killed. *)
+let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~on_kill =
+  let solver = Unroll.solver side.u in
+  let killed_any = ref false in
+  let alive_indices () =
+    let acc = ref [] in
+    Array.iteri (fun i a -> if a then acc := i :: !acc) alive;
+    !acc
+  in
+  let assumptions_base () =
+    match side.hyp_actives with
+    | None -> []
+    | Some guards -> List.map (fun i -> guards.(i)) (alive_indices ())
+  in
+  let kill_from_model () =
+    let n_killed = ref 0 in
+    Array.iteri
+      (fun i a ->
+        if a then
+          let ok =
+            List.for_all
+              (fun f -> holds_in_model side.u ~frame:f candidates.(i))
+              side.check_frames
+          in
+          if not ok then begin
+            alive.(i) <- false;
+            incr n_killed
+          end)
+      alive;
+    !n_killed
+  in
+  let budgeted_solve assumptions =
+    incr sat_calls;
+    let before = S.num_conflicts solver in
+    let budget =
+      let b = opts.call_conflict_budget in
+      match !budget_left with
+      | None -> b
+      | Some total -> if b < 0 then total else min b total
+    in
+    let r = S.solve ~assumptions ~conflict_budget:budget solver in
+    let spent = S.num_conflicts solver - before in
+    (match !budget_left with
+    | None -> ()
+    | Some total ->
+        let remaining = total - spent in
+        if remaining <= 0 then raise Out_of_budget;
+        budget_left := Some remaining);
+    r
+  in
+  let rec aggregate_loop () =
+    match alive_indices () with
+    | [] -> ()
+    | idxs ->
+        let r_var = L.pos (S.new_var solver) in
+        S.add_clause solver
+          (L.negate r_var :: List.map (fun i -> side.viol.(i)) idxs);
+        (match budgeted_solve (r_var :: assumptions_base ()) with
+        | S.Sat ->
+            let n = kill_from_model () in
+            killed_any := true;
+            if n > 0 then on_kill ();
+            if n = 0 then
+              (* the model satisfied only spurious violation literals of
+                 implication candidates; fall back to individual checks *)
+              individual_loop idxs
+            else aggregate_loop ()
+        | S.Unsat -> ()
+        | S.Unknown -> individual_loop idxs)
+  and individual_loop idxs =
+    List.iter
+      (fun i ->
+        if alive.(i) then
+          match budgeted_solve (side.viol.(i) :: assumptions_base ()) with
+          | S.Sat ->
+              ignore (kill_from_model ());
+              alive.(i) <- false;
+              killed_any := true;
+              on_kill ()
+          | S.Unsat -> ()
+          | S.Unknown ->
+              (* inconclusive: conservatively drop *)
+              alive.(i) <- false;
+              killed_any := true)
+      idxs
+  in
+  aggregate_loop ();
+  !killed_any
+
+let prove ?(options = default_options) ?cex ~assume d candidate_list =
+  let candidates = Array.of_list candidate_list in
+  let n = Array.length candidates in
+  let alive = Array.make n true in
+  let sat_calls = ref 0 in
+  (* counterexample propagation: replay each CEX state forward in the
+     bit-parallel simulator to mass-kill non-inductive candidates that
+     would otherwise each cost their own SAT query *)
+  let cex_sim =
+    match cex with
+    | None -> None
+    | Some _ -> Some (Netlist.Sim64.create d, Random.State.make [| 0xCE11 |])
+  in
+  let cex_propagate side () =
+    match cex, cex_sim with
+    | Some (stimulus, cycles), Some (sim, rng) ->
+        let u = side.u in
+        let solver = Unroll.solver u in
+        let frame = List.fold_left max 0 side.check_frames in
+        Netlist.Sim64.load_state sim (fun nnet ->
+            if S.lit_value solver (Unroll.lit u ~frame nnet) then -1L else 0L);
+        let inputs = D.inputs d in
+        let random_word () =
+          Int64.logor
+            (Int64.of_int (Random.State.bits rng))
+            (Int64.logor
+               (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
+               (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 60))
+        in
+        for _ = 1 to cycles do
+          let driven = stimulus.Stimulus.drive rng in
+          let driven_nets = List.map fst driven in
+          List.iter
+            (fun (_, nnet) ->
+              if not (List.mem nnet driven_nets) then
+                Netlist.Sim64.set_input sim nnet (random_word ()))
+            inputs;
+          List.iter (fun (nnet, v) -> Netlist.Sim64.set_input sim nnet v) driven;
+          Netlist.Sim64.eval sim;
+          let mask = Netlist.Sim64.read sim assume in
+          if mask <> 0L then
+            Array.iteri
+              (fun i cand ->
+                if alive.(i) then
+                  let viol =
+                    match cand with
+                    | Candidate.Const (nnet, true) ->
+                        Int64.logand mask
+                          (Int64.lognot (Netlist.Sim64.read sim nnet))
+                    | Candidate.Const (nnet, false) ->
+                        Int64.logand mask (Netlist.Sim64.read sim nnet)
+                    | Candidate.Implies { a; b; _ } ->
+                        Int64.logand mask
+                          (Int64.logand (Netlist.Sim64.read sim a)
+                             (Int64.lognot (Netlist.Sim64.read sim b)))
+                  in
+                  if viol <> 0L then alive.(i) <- false)
+              candidates;
+          Netlist.Sim64.step sim
+        done
+    | _ -> ()
+  in
+  let budget_left =
+    ref
+      (if options.total_conflict_budget < 0 then None
+       else Some options.total_conflict_budget)
+  in
+  let k = max 1 options.k in
+  let base =
+    build_side d ~assume ~init:`Reset ~n_frames:k
+      ~check_frames:(List.init k (fun i -> i))
+      ~with_hypothesis:false candidates
+  in
+  let step =
+    build_side d ~assume ~init:`Free ~n_frames:(k + 1) ~check_frames:[ k ]
+      ~with_hypothesis:true candidates
+  in
+  let rounds = ref 0 in
+  let exhausted = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       incr rounds;
+       let kb =
+         run_pass base ~alive ~candidates ~opts:options ~sat_calls ~budget_left
+           ~on_kill:(cex_propagate base)
+       in
+       let ks =
+         run_pass step ~alive ~candidates ~opts:options ~sat_calls ~budget_left
+           ~on_kill:(cex_propagate step)
+       in
+       continue := kb || ks
+     done
+   with Out_of_budget ->
+     exhausted := true;
+     Array.fill alive 0 n false);
+  let proved = ref [] in
+  for i = n - 1 downto 0 do
+    if alive.(i) then proved := candidates.(i) :: !proved
+  done;
+  let conflicts =
+    S.num_conflicts (Unroll.solver base.u) + S.num_conflicts (Unroll.solver step.u)
+  in
+  ( !proved,
+    {
+      n_candidates = n;
+      n_proved = List.length !proved;
+      sat_calls = !sat_calls;
+      conflicts;
+      rounds = !rounds;
+      budget_exhausted = !exhausted;
+    } )

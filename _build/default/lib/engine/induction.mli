@@ -1,0 +1,50 @@
+(** Mutual k-induction over the candidate set — the Property Checking
+    Stage of PDAT.
+
+    The candidates are proved *simultaneously*: the inductive step may
+    assume every still-alive candidate in frames [0..k-1] when proving
+    frame [k].  Counterexample models evict violated candidates and the
+    fixpoint re-runs; the survivors of a round that ends in UNSAT for
+    both the base and the step are genuine invariants of the design
+    under the environment assumption.
+
+    Conflict budgets make the prover incomplete, never unsound: an
+    inconclusive SAT call only drops candidates (paper section VII-C —
+    an inconclusive analysis just means a less optimized netlist). *)
+
+type options = {
+  k : int;                    (** induction depth, >= 1 *)
+  call_conflict_budget : int; (** per aggregate SAT call; -1 = unlimited *)
+  total_conflict_budget : int;(** across the whole proof; -1 = unlimited *)
+}
+
+val default_options : options
+
+type stats = {
+  n_candidates : int;
+  n_proved : int;
+  sat_calls : int;
+  conflicts : int;
+  rounds : int;
+  budget_exhausted : bool;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val prove :
+  ?options:options ->
+  ?cex:Stimulus.t * int ->
+  assume:Netlist.Design.net ->
+  Netlist.Design.t ->
+  Candidate.t list ->
+  Candidate.t list * stats
+(** Returns the proved subset of the candidates.  [assume] is the
+    environment-ok net, forced to 1 in every time frame (use
+    {!Netlist.Design.net_true} for an unconstrained environment).
+
+    [cex] = [(stimulus, cycles)] enables counterexample propagation:
+    after each SAT kill, the model's state is replayed forward in the
+    64-lane simulator for [cycles] cycles under the stimulus, evicting
+    further candidates without SAT queries.  Conservative only — an
+    eviction never makes the result unsound, it only skips an
+    optimization. *)

@@ -1,0 +1,161 @@
+module D = Netlist.Design
+
+type config = {
+  cycles : int;
+  runs : int;
+  seed : int;
+}
+
+let default = { cycles = 512; runs = 4; seed = 0xC0FFEE }
+
+(* Per-net accumulators: bits ever seen 1 / ever seen 0.  Per-eligible-
+   cell accumulators: violation masks for a->b and b->a. *)
+let mine ?(config = default) ?(assume = D.net_true) d stimulus =
+  let sim = Netlist.Sim64.create d in
+  let n_nets = D.num_nets d in
+  let seen1 = Array.make n_nets 0L in
+  let seen0 = Array.make n_nets 0L in
+  let eligible =
+    let acc = ref [] in
+    D.iter_cells d (fun ci c ->
+        match c.D.kind with
+        | Netlist.Cell.And2 | Netlist.Cell.Nand2 | Netlist.Cell.Or2
+        | Netlist.Cell.Nor2 ->
+            if c.D.ins.(0) <> c.D.ins.(1) then acc := (ci, c.D.ins.(0), c.D.ins.(1)) :: !acc
+        | Netlist.Cell.Const0 | Netlist.Cell.Const1 | Netlist.Cell.Buf
+        | Netlist.Cell.Inv | Netlist.Cell.Xor2 | Netlist.Cell.Xnor2
+        | Netlist.Cell.And3 | Netlist.Cell.Or3 | Netlist.Cell.Nand3
+        | Netlist.Cell.Nor3 | Netlist.Cell.And4 | Netlist.Cell.Or4
+        | Netlist.Cell.Mux2 | Netlist.Cell.Aoi21 | Netlist.Cell.Oai21
+        | Netlist.Cell.Dff ->
+            ());
+    Array.of_list !acc
+  in
+  let viol_ab = Array.make (Array.length eligible) 0L in
+  let viol_ba = Array.make (Array.length eligible) 0L in
+  let rng = Random.State.make [| config.seed |] in
+  let inputs = D.inputs d in
+  let random_word () =
+    Int64.logor
+      (Int64.of_int (Random.State.bits rng))
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
+         (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 60))
+  in
+  (* Lanes where the environment assumption does not hold are masked
+     out of observation: they neither create nor kill candidates.
+     (They may still steer the state; that only widens behaviour, which
+     is conservative for candidate mining.) *)
+  let observed_lanes = ref 0 in
+  let observe mask =
+    if mask <> 0L then begin
+      for n = 0 to n_nets - 1 do
+        let v = Netlist.Sim64.read sim n in
+        seen1.(n) <- Int64.logor seen1.(n) (Int64.logand v mask);
+        seen0.(n) <- Int64.logor seen0.(n) (Int64.logand (Int64.lognot v) mask)
+      done;
+      Array.iteri
+        (fun i (_, a, b) ->
+          let va = Netlist.Sim64.read sim a and vb = Netlist.Sim64.read sim b in
+          viol_ab.(i) <-
+            Int64.logor viol_ab.(i)
+              (Int64.logand mask (Int64.logand va (Int64.lognot vb)));
+          viol_ba.(i) <-
+            Int64.logor viol_ba.(i)
+              (Int64.logand mask (Int64.logand vb (Int64.lognot va))))
+        eligible;
+      incr observed_lanes
+    end
+  in
+  for _run = 1 to config.runs do
+    Netlist.Sim64.reset sim;
+    for _cycle = 1 to config.cycles do
+      let driven = stimulus.Stimulus.drive rng in
+      let driven_nets = List.map fst driven in
+      List.iter
+        (fun (_, n) ->
+          if not (List.mem n driven_nets) then Netlist.Sim64.set_input sim n (random_word ()))
+        inputs;
+      List.iter (fun (n, v) -> Netlist.Sim64.set_input sim n v) driven;
+      Netlist.Sim64.eval sim;
+      observe (Netlist.Sim64.read sim assume);
+      Netlist.Sim64.step sim
+    done
+  done;
+  if !observed_lanes = 0 then
+    failwith "Rsim.mine: the environment assumption never held in simulation";
+  (* Primary inputs and rails are not rewiring targets. *)
+  let is_input = Array.make n_nets false in
+  List.iter (fun (_, n) -> is_input.(n) <- true) inputs;
+  let consts = ref [] in
+  for n = n_nets - 1 downto 2 do
+    if not is_input.(n) then
+      if seen1.(n) = 0L then consts := Candidate.Const (n, false) :: !consts
+      else if seen0.(n) = 0L then consts := Candidate.Const (n, true) :: !consts
+  done;
+  let implications = ref [] in
+  Array.iteri
+    (fun i (cell, a, b) ->
+      (* skip implications already subsumed by a constant candidate *)
+      let a_const = seen1.(a) = 0L || seen0.(a) = 0L in
+      let b_const = seen1.(b) = 0L || seen0.(b) = 0L in
+      if not (a_const || b_const) then begin
+        if viol_ab.(i) = 0L then
+          implications := Candidate.Implies { cell; a; b } :: !implications;
+        if viol_ba.(i) = 0L then
+          implications := Candidate.Implies { cell; a = b; b = a } :: !implications
+      end)
+    eligible;
+  !consts @ !implications
+
+let refine ?(config = default) ?(assume = D.net_true) d stimulus cands =
+  let sim = Netlist.Sim64.create d in
+  let rng = Random.State.make [| config.seed lxor 0x5EED |] in
+  let inputs = D.inputs d in
+  let cands = Array.of_list cands in
+  let alive = Array.make (Array.length cands) true in
+  let random_word () =
+    Int64.logor
+      (Int64.of_int (Random.State.bits rng))
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
+         (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 60))
+  in
+  for _run = 1 to config.runs do
+    Netlist.Sim64.reset sim;
+    for _cycle = 1 to config.cycles do
+      let driven = stimulus.Stimulus.drive rng in
+      let driven_nets = List.map fst driven in
+      List.iter
+        (fun (_, n) ->
+          if not (List.mem n driven_nets) then
+            Netlist.Sim64.set_input sim n (random_word ()))
+        inputs;
+      List.iter (fun (n, v) -> Netlist.Sim64.set_input sim n v) driven;
+      Netlist.Sim64.eval sim;
+      let mask = Netlist.Sim64.read sim assume in
+      if mask <> 0L then
+        Array.iteri
+          (fun i cand ->
+            if alive.(i) then
+              let viol =
+                match cand with
+                | Candidate.Const (n, true) ->
+                    Int64.logand mask (Int64.lognot (Netlist.Sim64.read sim n))
+                | Candidate.Const (n, false) ->
+                    Int64.logand mask (Netlist.Sim64.read sim n)
+                | Candidate.Implies { a; b; _ } ->
+                    Int64.logand mask
+                      (Int64.logand (Netlist.Sim64.read sim a)
+                         (Int64.lognot (Netlist.Sim64.read sim b)))
+              in
+              if viol <> 0L then alive.(i) <- false)
+          cands;
+      Netlist.Sim64.step sim
+    done
+  done;
+  let out = ref [] in
+  for i = Array.length cands - 1 downto 0 do
+    if alive.(i) then out := cands.(i) :: !out
+  done;
+  !out

@@ -1,0 +1,40 @@
+(** Candidate mining by constrained random simulation.
+
+    Runs the design from reset for a number of cycles across several
+    runs, 64 lanes at a time, with inputs drawn from the stimulus.
+    Whatever invariant is never violated becomes a candidate for the
+    proof stage: constant nets, and per-gate input implications on
+    AND/NAND/OR/NOR cells (the rewiring stage knows how to exploit
+    exactly those). *)
+
+type config = {
+  cycles : int;   (** cycles per run *)
+  runs : int;     (** independent runs from reset *)
+  seed : int;
+}
+
+val default : config
+
+val mine :
+  ?config:config ->
+  ?assume:Netlist.Design.net ->
+  Netlist.Design.t ->
+  Stimulus.t ->
+  Candidate.t list
+(** [assume] is the environment-ok net: lanes/cycles where it is 0 are
+    masked out of observation (data-dependent restrictions cannot
+    always be generated constructively).  Raises [Failure] only if the
+    assumption never held at all.  Candidates never mention the
+    constant rails or primary inputs. *)
+
+val refine :
+  ?config:config ->
+  ?assume:Netlist.Design.net ->
+  Netlist.Design.t ->
+  Stimulus.t ->
+  Candidate.t list ->
+  Candidate.t list
+(** Much cheaper per cycle than {!mine} (it only watches the candidate
+    nets), so it can run an order of magnitude more cycles to weed out
+    false candidates before the SAT stage — every candidate killed here
+    saves a counterexample query. *)

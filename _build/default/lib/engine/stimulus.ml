@@ -1,0 +1,19 @@
+type t = {
+  drive : Random.State.t -> (Netlist.Design.net * int64) list;
+}
+
+let unconstrained = { drive = (fun _ -> []) }
+
+let pack_lanes gen ~width =
+  let words = Array.init 64 gen in
+  Array.init width (fun i ->
+      let acc = ref 0L in
+      for lane = 0 to 63 do
+        if (words.(lane) lsr i) land 1 = 1 then
+          acc := Int64.logor !acc (Int64.shift_left 1L lane)
+      done;
+      !acc)
+
+let bus_driver nets gen rng =
+  let lanes = pack_lanes (fun _ -> gen rng) ~width:(Array.length nets) in
+  Array.to_list (Array.mapi (fun i n -> (n, lanes.(i))) nets)

@@ -1,0 +1,25 @@
+(** Constrained stimulus for the simulation stage.
+
+    A stimulus produces, each cycle, 64 lanes of values for the primary
+    inputs such that the environment restriction holds on every lane —
+    the simulation counterpart of the [assume property] in the paper's
+    Listing 3.  PDAT builds these constructively (sample an instruction
+    from the subset, randomize its free fields). *)
+
+type t = {
+  drive : Random.State.t -> (Netlist.Design.net * int64) list;
+      (** Values per cycle; inputs not mentioned get fresh random lanes. *)
+}
+
+val unconstrained : t
+(** Every input fully random. *)
+
+val pack_lanes : (int -> int) -> width:int -> int64 array
+(** [pack_lanes gen ~width] builds per-bit lane words from 64 sampled
+    values: bit position [lane] of result word [i] is bit [i] of
+    [gen lane]. *)
+
+val bus_driver :
+  Netlist.Design.net array -> (Random.State.t -> int) -> Random.State.t ->
+  (Netlist.Design.net * int64) list
+(** Drives a bus from a per-lane word generator. *)

@@ -1,0 +1,26 @@
+(** Three-valued (0/1/X) reachability analysis — a cheap, complete-in-
+    minutes alternative to SAT induction for *constant* invariants.
+
+    Every primary input is classified as stuck-at-0, stuck-at-1 or free
+    (X); flip-flops start at their reset values and the state lattice is
+    iterated to a fixpoint, joining each flop's next value into its
+    current one.  Any net still carrying a definite value at the
+    fixpoint is constant on {e all} executions consistent with the
+    input classes — a sound overapproximation (no candidate list, no
+    counterexamples, but it misses everything that depends on input
+    correlations, e.g. "these 32 bits always form a LUI or an ADD").
+
+    PDAT uses it two ways: as a fast first screen before the inductive
+    prover, and as the engine-comparison ablation. *)
+
+type input_class = Zero | One | Free
+
+val constants :
+  ?max_iterations:int ->
+  Netlist.Design.t ->
+  classify:(Netlist.Design.net -> input_class) ->
+  Candidate.t list
+(** Proved constant nets (excluding rails and primary inputs).
+    [classify] is consulted for each primary input bit.
+    @raise Failure if the fixpoint does not converge (cannot happen
+    within [2 * flops + 2] iterations; the default bound is generous). *)

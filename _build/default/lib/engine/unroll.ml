@@ -1,0 +1,135 @@
+module D = Netlist.Design
+module C = Netlist.Cell
+module S = Sat.Solver
+module L = Sat.Lit
+module T = Sat.Tseitin
+
+type t = {
+  solver : S.t;
+  d : D.t;
+  sched : Netlist.Topo.schedule;
+  init : [ `Reset | `Free ];
+  pi_lit : (frame:int -> string -> L.t option) option;
+  mutable frames_rev : L.t array list;
+  mutable n_frames : int;
+  lit_true : L.t;
+}
+
+let create ?pi_lit solver d ~init =
+  let v = S.new_var solver in
+  let lit_true = L.pos v in
+  S.add_clause solver [ lit_true ];
+  {
+    solver;
+    d;
+    sched = Netlist.Topo.schedule d;
+    init;
+    pi_lit;
+    frames_rev = [];
+    n_frames = 0;
+    lit_true;
+  }
+
+let fresh t = L.pos (S.new_var t.solver)
+
+let encode_cell t lits (c : D.cell) =
+  let l n = lits.(n) in
+  let out v = lits.(c.D.out) <- v in
+  let s = t.solver in
+  let i k = l c.D.ins.(k) in
+  let new_and a b =
+    let v = fresh t in
+    T.and2 s ~out:v a b;
+    v
+  in
+  let new_or a b =
+    let v = fresh t in
+    T.or2 s ~out:v a b;
+    v
+  in
+  match c.D.kind with
+  | C.Const0 | C.Const1 -> ()  (* rails pre-seeded *)
+  | C.Buf -> out (i 0)
+  | C.Inv -> out (L.negate (i 0))
+  | C.And2 -> out (new_and (i 0) (i 1))
+  | C.Nand2 -> out (L.negate (new_and (i 0) (i 1)))
+  | C.Or2 -> out (new_or (i 0) (i 1))
+  | C.Nor2 -> out (L.negate (new_or (i 0) (i 1)))
+  | C.Xor2 ->
+      let v = fresh t in
+      T.xor2 s ~out:v (i 0) (i 1);
+      out v
+  | C.Xnor2 ->
+      let v = fresh t in
+      T.xor2 s ~out:v (i 0) (i 1);
+      out (L.negate v)
+  | C.And3 ->
+      let v = fresh t in
+      T.andn s ~out:v [ i 0; i 1; i 2 ];
+      out v
+  | C.Nand3 ->
+      let v = fresh t in
+      T.andn s ~out:v [ i 0; i 1; i 2 ];
+      out (L.negate v)
+  | C.Or3 ->
+      let v = fresh t in
+      T.orn s ~out:v [ i 0; i 1; i 2 ];
+      out v
+  | C.Nor3 ->
+      let v = fresh t in
+      T.orn s ~out:v [ i 0; i 1; i 2 ];
+      out (L.negate v)
+  | C.And4 ->
+      let v = fresh t in
+      T.andn s ~out:v [ i 0; i 1; i 2; i 3 ];
+      out v
+  | C.Or4 ->
+      let v = fresh t in
+      T.orn s ~out:v [ i 0; i 1; i 2; i 3 ];
+      out v
+  | C.Mux2 ->
+      let v = fresh t in
+      T.mux s ~out:v ~sel:(i 0) ~a:(i 1) ~b:(i 2);
+      out v
+  | C.Aoi21 -> out (L.negate (new_or (new_and (i 0) (i 1)) (i 2)))
+  | C.Oai21 -> out (L.negate (new_and (new_or (i 0) (i 1)) (i 2)))
+  | C.Dff -> ()  (* handled by frame linking *)
+
+let add_frame t =
+  let n_nets = D.num_nets t.d in
+  let lits = Array.make n_nets t.lit_true in
+  lits.(D.net_false) <- L.negate t.lit_true;
+  lits.(D.net_true) <- t.lit_true;
+  List.iter
+    (fun (nm, n) ->
+      lits.(n) <-
+        (match t.pi_lit with
+        | Some f -> (
+            match f ~frame:t.n_frames nm with Some l -> l | None -> fresh t)
+        | None -> fresh t))
+    (D.inputs t.d);
+  let prev = match t.frames_rev with [] -> None | f :: _ -> Some f in
+  Array.iter
+    (fun ci ->
+      let c = D.cell t.d ci in
+      lits.(c.D.out) <-
+        (match prev with
+        | Some prev_lits -> prev_lits.(c.D.ins.(0))
+        | None -> (
+            match t.init with
+            | `Reset -> if c.D.init then t.lit_true else L.negate t.lit_true
+            | `Free -> fresh t)))
+    t.sched.Netlist.Topo.flops;
+  Array.iter (fun ci -> encode_cell t lits (D.cell t.d ci)) t.sched.Netlist.Topo.order;
+  t.frames_rev <- lits :: t.frames_rev;
+  t.n_frames <- t.n_frames + 1
+
+let frames t = t.n_frames
+
+let lit t ~frame n =
+  if frame < 0 || frame >= t.n_frames then invalid_arg "Unroll.lit: no such frame";
+  let lits = List.nth t.frames_rev (t.n_frames - 1 - frame) in
+  lits.(n)
+
+let lit_true t = t.lit_true
+let solver t = t.solver

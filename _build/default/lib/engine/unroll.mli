@@ -1,0 +1,30 @@
+(** Time-frame expansion of a synchronous design into CNF.
+
+    Each frame maps every net to a literal.  Frame 0 flip-flop outputs
+    are either the reset constants ([`Reset]) or fresh variables
+    ([`Free], for induction steps); in later frames each flip-flop
+    output aliases the previous frame's literal of its D net.  Buffers
+    and inverters alias literals, so only real gates cost variables. *)
+
+type t
+
+val create :
+  ?pi_lit:(frame:int -> string -> Sat.Lit.t option) ->
+  Sat.Solver.t -> Netlist.Design.t -> init:[ `Reset | `Free ] -> t
+(** [pi_lit] lets the caller supply the literal for a primary input by
+    name — how two designs unrolled into one solver share their
+    stimulus (miter construction). *)
+
+val add_frame : t -> unit
+(** Appends one frame (frame 0 on the first call). *)
+
+val frames : t -> int
+
+val lit : t -> frame:int -> Netlist.Design.net -> Sat.Lit.t
+(** Literal of a net in a frame.  @raise Invalid_argument on an
+    unknown frame. *)
+
+val lit_true : t -> Sat.Lit.t
+(** The always-true literal of this instance. *)
+
+val solver : t -> Sat.Solver.t

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Cores Engine Format Hashtbl Lazy List Netlist Pdat Printf Unix Variants

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Cores Format Isa List Netlist Pdat

@@ -1,0 +1,1 @@
+lib/experiments/variants.ml: Isa List Netlist Pdat

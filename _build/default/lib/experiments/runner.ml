@@ -1,0 +1,146 @@
+type row = {
+  variant : Variants.t;
+  area : float;
+  gates : int;
+  baseline_area : float;
+  baseline_gates : int;
+  proved : int;
+  seconds : float;
+}
+
+let area_delta r = Netlist.Stats.delta_pct ~baseline:r.baseline_area r.area
+
+let gate_delta r =
+  Netlist.Stats.delta_pct
+    ~baseline:(float_of_int r.baseline_gates)
+    (float_of_int r.gates)
+
+(* ------------- shared core instances -------------------------------- *)
+
+let ibex = lazy (Cores.Ibex_like.build ())
+
+let cm0_obfuscated =
+  lazy
+    (let t = Cores.Cm0_like.build () in
+     Netlist.Obfuscate.run t.Cores.Cm0_like.design)
+
+let ridecore_full = lazy (Cores.Ridecore_like.build ())
+
+let ridecore_fast =
+  lazy
+    (Cores.Ridecore_like.build
+       ~config:
+         { Cores.Ridecore_like.rob_entries = 16; phys_regs = 48;
+           iq_entries = 8; pht_entries = 64; btb_entries = 8 }
+       ())
+
+let design_of ?(fast = false) (v : Variants.t) =
+  match v.Variants.core with
+  | Variants.Ibex -> (Lazy.force ibex).Cores.Ibex_like.design
+  | Variants.Cm0 -> Lazy.force cm0_obfuscated
+  | Variants.Ridecore ->
+      (Lazy.force (if fast then ridecore_fast else ridecore_full))
+        .Cores.Ridecore_like.design
+
+let cut_nets_of (v : Variants.t) =
+  match v.Variants.core with
+  | Variants.Ibex -> Some (Cores.Ibex_like.cutpoint_nets (Lazy.force ibex))
+  | Variants.Cm0 | Variants.Ridecore -> None
+
+let rsim_config ?(fast = false) (v : Variants.t) =
+  let base = Engine.Rsim.default in
+  match v.Variants.core with
+  | Variants.Ibex | Variants.Cm0 ->
+      { base with Engine.Rsim.cycles = 400; runs = 2 }
+  | Variants.Ridecore ->
+      { base with Engine.Rsim.cycles = (if fast then 256 else 384); runs = 2 }
+
+let induction_options ?(fast = false) (v : Variants.t) =
+  (* per-call caps keep single SAT queries from monopolizing the run
+     (an inconclusive query only drops its candidates); total caps
+     bound each variant's worst case *)
+  match v.Variants.core with
+  | Variants.Ibex | Variants.Cm0 ->
+      { Engine.Induction.k = 1; call_conflict_budget = 30_000;
+        total_conflict_budget = 2_000_000 }
+  | Variants.Ridecore ->
+      { Engine.Induction.k = 1;
+        call_conflict_budget = (if fast then 30_000 else 60_000);
+        total_conflict_budget = (if fast then 1_000_000 else 4_000_000) }
+
+(* cached per-design baselines: synthesizing RIDECORE repeatedly would
+   dominate the run time *)
+let baselines : (string, Netlist.Stats.t) Hashtbl.t = Hashtbl.create 8
+
+let baseline_stats design =
+  let key =
+    Printf.sprintf "%s-%d" (Netlist.Design.name design)
+      (Netlist.Design.num_cells design)
+  in
+  match Hashtbl.find_opt baselines key with
+  | Some st -> st
+  | None ->
+      let _, st = Pdat.Pipeline.baseline design in
+      Hashtbl.replace baselines key st;
+      st
+
+let finish_env (v : Variants.t) design env =
+  (* the Aligned variant additionally pins the data-address low bits *)
+  if v.Variants.id = "ibex-aligned" then
+    Pdat.Environment.constrain_low_bits env
+      (Netlist.Design.output_bus design "data_addr")
+      ~bits:2
+  else env
+
+let run_full ?(fast = false) (v : Variants.t) =
+  let t0 = Unix.gettimeofday () in
+  let design = design_of ~fast v in
+  let base = baseline_stats design in
+  match v.Variants.make_env design ~cut_nets:(cut_nets_of v) with
+  | None ->
+      ( {
+          variant = v;
+          area = base.Netlist.Stats.area;
+          gates = Netlist.Stats.gate_count base;
+          baseline_area = base.Netlist.Stats.area;
+          baseline_gates = Netlist.Stats.gate_count base;
+          proved = 0;
+          seconds = Unix.gettimeofday () -. t0;
+        },
+        None )
+  | Some env ->
+      let env = finish_env v design env in
+      let result =
+        Pdat.Pipeline.run ~rsim:(rsim_config ~fast v)
+          ~induction:(induction_options ~fast v) ~design ~env ()
+      in
+      let r = result.Pdat.Pipeline.report in
+      ( {
+          variant = v;
+          area = r.Pdat.Pipeline.after.Netlist.Stats.area;
+          gates = Netlist.Stats.gate_count r.Pdat.Pipeline.after;
+          baseline_area = base.Netlist.Stats.area;
+          baseline_gates = Netlist.Stats.gate_count base;
+          proved = r.Pdat.Pipeline.proved;
+          seconds = Unix.gettimeofday () -. t0;
+        },
+        Some result )
+
+let run ?fast v = fst (run_full ?fast v)
+
+let reduced_design ?fast v =
+  match run_full ?fast v with
+  | _, Some result -> result.Pdat.Pipeline.reduced
+  | _, None -> fst (Pdat.Pipeline.baseline (design_of ?fast v))
+
+let run_figure ?fast figure = List.map (run ?fast) (Variants.by_figure figure)
+
+let pp_row fmt r =
+  Format.fprintf fmt "%-22s %9.1f um^2 (%+6.1f%%)  %6d gates (%+6.1f%%)  [proved %5d, %5.1fs]"
+    r.variant.Variants.label r.area (-.area_delta r) r.gates (-.gate_delta r)
+    r.proved r.seconds
+
+let pp_rows ~title fmt rows =
+  Format.fprintf fmt "@[<v>== %s ==@," title;
+  List.iter (fun r -> Format.fprintf fmt "%a@," pp_row r) rows;
+  Format.fprintf fmt "@]"

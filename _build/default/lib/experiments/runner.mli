@@ -1,0 +1,35 @@
+(** Executes catalog variants through the PDAT pipeline and formats
+    paper-style result rows.
+
+    Core netlists are built once and shared across the variants that
+    use them; the Cortex-M0 is obfuscated before it enters any flow,
+    matching the paper's firm-IP setting.  [fast] shrinks the RIDECORE
+    configuration and the simulation budget — used by the test suite;
+    benches run full size. *)
+
+type row = {
+  variant : Variants.t;
+  area : float;
+  gates : int;
+  baseline_area : float;  (** the figure's "Full" variant, synthesized *)
+  baseline_gates : int;
+  proved : int;           (** 0 for the baseline row *)
+  seconds : float;
+}
+
+val area_delta : row -> float
+(** Percent area reduction versus the baseline row. *)
+
+val gate_delta : row -> float
+
+val run : ?fast:bool -> Variants.t -> row
+
+val run_figure : ?fast:bool -> string -> row list
+
+val pp_row : Format.formatter -> row -> unit
+
+val pp_rows : title:string -> Format.formatter -> row list -> unit
+
+val reduced_design : ?fast:bool -> Variants.t -> Netlist.Design.t
+(** The transformed netlist itself (for equivalence checks and
+    export). *)

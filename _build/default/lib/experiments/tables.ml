@@ -1,0 +1,46 @@
+let pp_table1 fmt () =
+  Format.fprintf fmt "@[<v>== Table I: instructions used by MiBench groups ==@,";
+  Format.fprintf fmt "%-18s %11s %9s %11s %6s@," "Ibex (RV32IMC+Z)" "Networking"
+    "Security" "Automotive" "All";
+  let supported ext = List.length (Isa.Rv32.by_ext ext) in
+  let exts = [ Isa.Rv32.I; Isa.Rv32.M; Isa.Rv32.C; Isa.Rv32.Zicsr ] in
+  List.iter2
+    (fun (name, n1, n2, n3, n4) ext ->
+      Format.fprintf fmt "%-15s %2d %11d %9d %11d %6d@," name (supported ext)
+        n1 n2 n3 n4)
+    Isa.Workloads.table1_riscv exts;
+  let total g = Isa.Subset.size (Isa.Workloads.riscv g) in
+  Format.fprintf fmt "%-15s %2d %11d %9d %11d %6d@," "Total"
+    (List.length Isa.Rv32.all)
+    (total Isa.Workloads.Networking)
+    (total Isa.Workloads.Security)
+    (total Isa.Workloads.Automotive)
+    (Isa.Subset.size Isa.Workloads.riscv_all);
+  let an, asec, aauto, atot = Isa.Workloads.table1_arm in
+  Format.fprintf fmt "%-15s %2d %11d %9d %11d %6d@," "ARMv6-M"
+    (List.length Isa.Armv6m.all) an asec aauto atot;
+  Format.fprintf fmt "@]"
+
+let pp_table2 fmt () =
+  let ibex = Cores.Ibex_like.build () in
+  let ride = Cores.Ridecore_like.build () in
+  let cm0 = Cores.Cm0_like.build () in
+  (* gate counts after synthesis, as Design Compiler would report them *)
+  let gates d = Netlist.Stats.gate_count (snd (Pdat.Pipeline.baseline d)) in
+  Format.fprintf fmt "@[<v>== Table II: core features ==@,";
+  Format.fprintf fmt
+    "%-10s %-10s %-7s %-3s %-5s %-8s %-5s %-9s %-10s@," "Core" "ISA" "Stages"
+    "IW" "ROB" "BP" "BTB" "PhysRegs" "GateCount";
+  Format.fprintf fmt "%-10s %-10s %-7s %-3s %-5s %-8s %-5s %-9s %-10d@,"
+    "Ibex" "RV32imcz" "2" "1" "N/A" "SNT" "N/A" "32"
+    (gates ibex.Cores.Ibex_like.design);
+  Format.fprintf fmt "%-10s %-10s %-7s %-3s %-5d %-8s %-5d %-9d %-10d@,"
+    "RIDECORE" "RV32im" "6" "2"
+    ride.Cores.Ridecore_like.config.Cores.Ridecore_like.rob_entries "G-Share"
+    ride.Cores.Ridecore_like.config.Cores.Ridecore_like.btb_entries
+    ride.Cores.Ridecore_like.config.Cores.Ridecore_like.phys_regs
+    (gates ride.Cores.Ridecore_like.design);
+  Format.fprintf fmt "%-10s %-10s %-7s %-3s %-5s %-8s %-5s %-9s %-10d@,"
+    "Cortex M0" "ARMv6-m" "3" "1" "N/A" "SNT" "N/A" "16"
+    (gates cm0.Cores.Cm0_like.design);
+  Format.fprintf fmt "@]"

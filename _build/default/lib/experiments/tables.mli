@@ -1,0 +1,7 @@
+(** Paper Table I and Table II reproductions. *)
+
+val pp_table1 : Format.formatter -> unit -> unit
+(** Instructions used per MiBench group (Ibex and Cortex-M0 halves). *)
+
+val pp_table2 : Format.formatter -> unit -> unit
+(** Core features and gate counts.  Builds all three cores. *)

@@ -1,0 +1,29 @@
+(** The experiment catalog: every core variant evaluated in the paper's
+    Figures 5, 6 and 7, expressed as (core, environment) pairs ready to
+    feed {!Pdat.Pipeline.run}.
+
+    Variant ids are stable strings used by the CLI, the benches and
+    EXPERIMENTS.md. *)
+
+type core_kind = Ibex | Cm0 | Ridecore
+
+type constraint_style = Port | Cut
+
+type t = {
+  id : string;
+  figure : string;       (** "fig5-isa" / "fig5-mibench" / "fig5-special"
+                             / "fig6" / "fig7" *)
+  label : string;        (** as printed in the paper's figure *)
+  core : core_kind;
+  style : constraint_style;
+  make_env : Netlist.Design.t -> cut_nets:Netlist.Design.net array option ->
+             Pdat.Environment.t option;
+      (** [None] marks the no-PDAT baseline ("Full") variant. *)
+}
+
+val all : t list
+val by_figure : string -> t list
+val find : string -> t
+(** @raise Not_found *)
+
+val figures : string list

@@ -1,0 +1,1 @@
+lib/hdl/ctx.ml: Array List Netlist Printf String

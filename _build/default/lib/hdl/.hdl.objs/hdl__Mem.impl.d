@@ -1,0 +1,1 @@
+lib/hdl/mem.ml: Array Ctx Ops Printf Reg

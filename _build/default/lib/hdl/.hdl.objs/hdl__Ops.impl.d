@@ -1,0 +1,1 @@
+lib/hdl/ops.ml: Array Ctx List Netlist Printf

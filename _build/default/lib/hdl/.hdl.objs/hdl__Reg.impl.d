@@ -1,0 +1,1 @@
+lib/hdl/reg.ml: Array Ctx Netlist Ops Printf

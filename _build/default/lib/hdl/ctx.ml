@@ -1,0 +1,60 @@
+type t = {
+  d : Netlist.Design.t;
+  mutable pending : (string * (unit -> bool)) list;
+}
+
+type signal = {
+  ctx : t;
+  nets : Netlist.Design.net array;
+}
+
+let create name = { d = Netlist.Design.create name; pending = [] }
+let wrap d = { d; pending = [] }
+let design c = c.d
+
+let signal c nets =
+  if Array.length nets = 0 then invalid_arg "Ctx.signal: empty vector";
+  { ctx = c; nets }
+
+let width s = Array.length s.nets
+
+let same_ctx a b =
+  if a.ctx != b.ctx then
+    invalid_arg "Hdl: combining signals from different contexts";
+  a.ctx
+
+let input c name w =
+  if w <= 0 then invalid_arg "Ctx.input: width must be positive";
+  let nets =
+    if w = 1 then [| Netlist.Design.add_input c.d name |]
+    else
+      Array.init w (fun i ->
+          Netlist.Design.add_input c.d (Printf.sprintf "%s[%d]" name i))
+  in
+  { ctx = c; nets }
+
+let output c name s =
+  if s.ctx != c then invalid_arg "Ctx.output: signal from another context";
+  if width s = 1 then Netlist.Design.add_output c.d name s.nets.(0)
+  else
+    Array.iteri
+      (fun i n -> Netlist.Design.add_output c.d (Printf.sprintf "%s[%d]" name i) n)
+      s.nets
+
+let register_pending c label chk = c.pending <- (label, chk) :: c.pending
+
+let unconnected_registers c =
+  List.filter_map (fun (label, chk) -> if chk () then None else Some label) c.pending
+
+let finish c =
+  (match unconnected_registers c with
+  | [] -> ()
+  | missing ->
+      failwith
+        (Printf.sprintf "Hdl.finish %s: unconnected registers: %s"
+           (Netlist.Design.name c.d)
+           (String.concat ", " missing)));
+  (match Netlist.Design.validate c.d with
+  | Ok () -> ()
+  | Error msg -> failwith ("Hdl.finish: invalid netlist: " ^ msg));
+  c.d

@@ -1,0 +1,52 @@
+(** Elaboration context of the hardware-construction DSL.
+
+    A context wraps a {!Netlist.Design.t} under construction plus the
+    bookkeeping needed for register feedback: registers allocate their
+    Q nets immediately (so logic can read them) and connect their D
+    inputs later; {!finish} verifies nothing was left dangling.
+
+    A signal is a little-endian vector of nets tagged with its context,
+    so operators can build gates without threading the context
+    explicitly and mixing two designs is a checked error. *)
+
+type t
+
+type signal = {
+  ctx : t;
+  nets : Netlist.Design.net array;  (** LSB first, never empty *)
+}
+
+val create : string -> t
+
+val wrap : Netlist.Design.t -> t
+(** Continue building logic onto an existing design — how PDAT grafts
+    environment monitors onto an elaborated (or imported) netlist. *)
+
+val design : t -> Netlist.Design.t
+(** The underlying design; useful for advanced surgery.  Most code
+    should stay within the DSL. *)
+
+val finish : t -> Netlist.Design.t
+(** Validates (all registers driven, netlist well-formed) and returns
+    the design.  @raise Failure with a diagnostic otherwise. *)
+
+val signal : t -> Netlist.Design.net array -> signal
+(** Wraps raw nets; the nets must belong to this context's design. *)
+
+val width : signal -> int
+
+val same_ctx : signal -> signal -> t
+(** @raise Invalid_argument when the two signals belong to different
+    contexts. *)
+
+val input : t -> string -> int -> signal
+(** [input c name w] declares a [w]-bit primary input; bit [i] is the
+    port ["name[i]"] (or just ["name"] when [w = 1]). *)
+
+val output : t -> string -> signal -> unit
+
+val unconnected_registers : t -> string list
+
+val register_pending : t -> string -> (unit -> bool) -> unit
+(** Internal hook used by {!Reg}: registers a completion check under a
+    diagnostic label. *)

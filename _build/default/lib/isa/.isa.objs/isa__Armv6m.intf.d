@@ -1,0 +1,1 @@
+lib/isa/armv6m.mli: Encoding

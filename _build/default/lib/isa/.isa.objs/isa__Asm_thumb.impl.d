@@ -1,0 +1,1 @@
+lib/isa/asm_thumb.ml: Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array List Printf Rv32

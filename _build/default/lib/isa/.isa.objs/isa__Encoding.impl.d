@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Format List Printf Random String

@@ -1,0 +1,1 @@
+lib/isa/subset.ml: Armv6m List Printf Rv32

@@ -1,0 +1,1 @@
+lib/isa/workloads.ml: List Rv32 Subset

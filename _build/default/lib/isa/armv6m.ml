@@ -1,0 +1,129 @@
+type t = {
+  name : string;
+  enc : Encoding.t;
+}
+
+let def name pat = { name; enc = Encoding.of_pattern pat }
+
+(* 16-bit Thumb encodings, MSB-first.  Order matters for decode16:
+   specialized encodings (movs_reg within lsls_imm, udf/svc within the
+   conditional-branch space) come before the general ones. *)
+let narrow =
+  [
+    (* shift (immediate), add, subtract, move, compare *)
+    def "movs_reg"   "00000_00000_zzz_zzz";
+    def "lsls_imm"   "00000_zzzzz_zzz_zzz";
+    def "lsrs_imm"   "00001_zzzzz_zzz_zzz";
+    def "asrs_imm"   "00010_zzzzz_zzz_zzz";
+    def "adds_reg"   "0001100_zzz_zzz_zzz";
+    def "subs_reg"   "0001101_zzz_zzz_zzz";
+    def "adds_imm3"  "0001110_zzz_zzz_zzz";
+    def "subs_imm3"  "0001111_zzz_zzz_zzz";
+    def "movs_imm"   "00100_zzz_zzzzzzzz";
+    def "cmp_imm"    "00101_zzz_zzzzzzzz";
+    def "adds_imm8"  "00110_zzz_zzzzzzzz";
+    def "subs_imm8"  "00111_zzz_zzzzzzzz";
+    (* data processing, register *)
+    def "ands"       "0100000000_zzz_zzz";
+    def "eors"       "0100000001_zzz_zzz";
+    def "lsls_reg"   "0100000010_zzz_zzz";
+    def "lsrs_reg"   "0100000011_zzz_zzz";
+    def "asrs_reg"   "0100000100_zzz_zzz";
+    def "adcs"       "0100000101_zzz_zzz";
+    def "sbcs"       "0100000110_zzz_zzz";
+    def "rors"       "0100000111_zzz_zzz";
+    def "tst"        "0100001000_zzz_zzz";
+    def "rsbs"       "0100001001_zzz_zzz";
+    def "cmp_reg"    "0100001010_zzz_zzz";
+    def "cmn"        "0100001011_zzz_zzz";
+    def "orrs"       "0100001100_zzz_zzz";
+    def "muls"       "0100001101_zzz_zzz";
+    def "bics"       "0100001110_zzz_zzz";
+    def "mvns"       "0100001111_zzz_zzz";
+    (* special data, branch and exchange *)
+    def "add_hi"     "01000100_z_zzzz_zzz";
+    def "cmp_hi"     "01000101_z_zzzz_zzz";
+    def "mov_hi"     "01000110_z_zzzz_zzz";
+    def "bx"         "010001110_zzzz_000";
+    def "blx_reg"    "010001111_zzzz_000";
+    (* load/store *)
+    def "ldr_lit"    "01001_zzz_zzzzzzzz";
+    def "str_reg"    "0101000_zzz_zzz_zzz";
+    def "strh_reg"   "0101001_zzz_zzz_zzz";
+    def "strb_reg"   "0101010_zzz_zzz_zzz";
+    def "ldrsb_reg"  "0101011_zzz_zzz_zzz";
+    def "ldr_reg"    "0101100_zzz_zzz_zzz";
+    def "ldrh_reg"   "0101101_zzz_zzz_zzz";
+    def "ldrb_reg"   "0101110_zzz_zzz_zzz";
+    def "ldrsh_reg"  "0101111_zzz_zzz_zzz";
+    def "str_imm"    "01100_zzzzz_zzz_zzz";
+    def "ldr_imm"    "01101_zzzzz_zzz_zzz";
+    def "strb_imm"   "01110_zzzzz_zzz_zzz";
+    def "ldrb_imm"   "01111_zzzzz_zzz_zzz";
+    def "strh_imm"   "10000_zzzzz_zzz_zzz";
+    def "ldrh_imm"   "10001_zzzzz_zzz_zzz";
+    def "str_sp"     "10010_zzz_zzzzzzzz";
+    def "ldr_sp"     "10011_zzz_zzzzzzzz";
+    (* pc/sp relative address generation *)
+    def "adr"        "10100_zzz_zzzzzzzz";
+    def "add_sp_imm8" "10101_zzz_zzzzzzzz";
+    (* miscellaneous *)
+    def "add_sp_imm7" "101100000_zzzzzzz";
+    def "sub_sp_imm7" "101100001_zzzzzzz";
+    def "sxth"       "1011001000_zzz_zzz";
+    def "sxtb"       "1011001001_zzz_zzz";
+    def "uxth"       "1011001010_zzz_zzz";
+    def "uxtb"       "1011001011_zzz_zzz";
+    def "push"       "1011010_z_zzzzzzzz";
+    def "cps"        "10110110011_z_0010";
+    def "rev"        "1011101000_zzz_zzz";
+    def "rev16"      "1011101001_zzz_zzz";
+    def "revsh"      "1011101011_zzz_zzz";
+    def "pop"        "1011110_z_zzzzzzzz";
+    def "bkpt"       "10111110_zzzzzzzz";
+    def "nop"        "1011111100000000";
+    def "yield"      "1011111100010000";
+    def "wfe"        "1011111100100000";
+    def "wfi"        "1011111100110000";
+    def "sev"        "1011111101000000";
+    (* load/store multiple *)
+    def "stm"        "11000_zzz_zzzzzzzz";
+    def "ldm"        "11001_zzz_zzzzzzzz";
+    (* conditional branch space; UDF and SVC occupy cond=1110/1111 *)
+    def "udf"        "11011110_zzzzzzzz";
+    def "svc"        "11011111_zzzzzzzz";
+    def "b_cond"     "1101_zzzz_zzzzzzzz";
+    def "b"          "11100_zzzzzzzzzzz";
+  ]
+
+(* 32-bit encodings as (first halfword << 16) | second halfword. *)
+let wide_instrs =
+  [
+    def "bl"     "11110_zzzzzzzzzzz_11_z_1_z_zzzzzzzzzzz";
+    def "msr"    "111100111000_zzzz_10001000_zzzzzzzz";
+    def "mrs"    "1111001111101111_1000_zzzz_zzzzzzzz";
+    def "dsb"    "1111001110111111_100011110100_zzzz";
+    def "dmb"    "1111001110111111_100011110101_zzzz";
+    def "isb"    "1111001110111111_100011110110_zzzz";
+    def "udf_w"  "111101111111_zzzz_1010_zzzzzzzzzzzz";
+  ]
+
+let all = narrow @ wide_instrs
+
+let find name = List.find (fun i -> i.name = name) all
+let names l = List.map (fun i -> i.name) l
+
+let decode16 word =
+  List.find_opt (fun i -> Encoding.matches i.enc word) narrow
+
+let is_wide halfword =
+  let top5 = (halfword lsr 11) land 0x1F in
+  top5 = 0b11101 || top5 = 0b11110 || top5 = 0b11111
+
+let wide = names wide_instrs
+
+let interesting_subset =
+  let removed =
+    wide @ [ "muls"; "sev"; "wfe"; "wfi"; "yield" ]
+  in
+  List.filter (fun i -> not (List.mem i.name removed)) all |> names

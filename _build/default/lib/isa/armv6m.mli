@@ -1,0 +1,40 @@
+(** The ARMv6-M (Cortex-M0 class) instruction set: 83 instructions,
+    mostly 16-bit Thumb encodings plus the seven 32-bit encodings
+    (BL, MSR, MRS, DSB, DMB, ISB, UDF.W).
+
+    32-bit encodings are represented as [(first_halfword << 16) lor
+    second_halfword].  ARMv6-M is {e not} modular — there is no
+    extension structure to strip — which is exactly why the paper needs
+    PDAT to reduce this core. *)
+
+type t = {
+  name : string;
+  enc : Encoding.t;
+}
+
+val all : t list
+(** All 83 instructions. *)
+
+val find : string -> t
+(** @raise Not_found for unknown names. *)
+
+val names : t list -> string list
+
+val decode16 : int -> t option
+(** First matching 16-bit instruction (priority order resolves
+    overlaps such as UDF/SVC within the B-conditional space). *)
+
+val is_wide : int -> bool
+(** Is this halfword the first half of a 32-bit encoding
+    (0b11101 / 0b11110 / 0b11111 prefixes; in ARMv6-M only 0b11110 and
+    0b11111 occur)? *)
+
+val wide : string list
+(** The seven 32-bit (four-byte) instructions. *)
+
+val interesting_subset : string list
+(** The paper's Fig. 6 "interesting subset": ARMv6-M minus memory
+    ordering, inter-core signalling and hint instructions, the
+    multiply, and all four-byte instructions; every remaining
+    instruction is two bytes, so all branch targets stay inside the
+    subset. *)

@@ -1,0 +1,261 @@
+type item = {
+  size : int;  (* bytes: 2 or 4 *)
+  emit : pc:int -> resolve:(string -> int) -> int;
+}
+
+type t = {
+  base : int;
+  mutable items : item list;  (* reversed *)
+  mutable pc : int;
+  labels : (string, int) Hashtbl.t;
+}
+
+let create ?(base = 0) () = { base; items = []; pc = base; labels = Hashtbl.create 16 }
+
+let label t name =
+  if Hashtbl.mem t.labels name then failwith ("Asm.label: duplicate " ^ name);
+  Hashtbl.replace t.labels name t.pc
+
+let here t = t.pc
+
+let push t size emit =
+  t.items <- { size; emit } :: t.items;
+  t.pc <- t.pc + size
+
+let check_range ~what ~bits ~signed v =
+  let lo, hi =
+    if signed then (-(1 lsl (bits - 1)), (1 lsl (bits - 1)) - 1)
+    else (0, (1 lsl bits) - 1)
+  in
+  if v < lo || v > hi then
+    failwith (Printf.sprintf "Asm: %s immediate %d out of %d-bit range" what v bits)
+
+let mask bits v = v land ((1 lsl bits) - 1)
+
+let reg what r =
+  if r < 0 || r > 31 then failwith (Printf.sprintf "Asm: bad register x%d in %s" r what)
+
+(* --- fixed 32-bit format builders ------------------------------------- *)
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  reg "r-type" rs2;
+  reg "r-type" rs1;
+  reg "r-type" rd;
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  reg "i-type" rs1;
+  reg "i-type" rd;
+  check_range ~what:"i-type" ~bits:12 ~signed:true imm;
+  (mask 12 imm lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor opcode
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  reg "s-type" rs2;
+  reg "s-type" rs1;
+  check_range ~what:"s-type" ~bits:12 ~signed:true imm;
+  let imm = mask 12 imm in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor ((imm land 0x1F) lsl 7) lor opcode
+
+let b_imm ~offset =
+  check_range ~what:"branch" ~bits:13 ~signed:true offset;
+  if offset land 1 <> 0 then failwith "Asm: odd branch offset";
+  let imm = mask 13 offset in
+  (((imm lsr 12) land 1) lsl 31)
+  lor (((imm lsr 5) land 0x3F) lsl 25)
+  lor (((imm lsr 1) land 0xF) lsl 8)
+  lor (((imm lsr 11) land 1) lsl 7)
+
+let j_imm ~offset =
+  check_range ~what:"jal" ~bits:21 ~signed:true offset;
+  if offset land 1 <> 0 then failwith "Asm: odd jump offset";
+  let imm = mask 21 offset in
+  (((imm lsr 20) land 1) lsl 31)
+  lor (((imm lsr 1) land 0x3FF) lsl 21)
+  lor (((imm lsr 11) land 1) lsl 20)
+  lor (((imm lsr 12) land 0xFF) lsl 12)
+
+let fixed32 t word = push t 4 (fun ~pc:_ ~resolve:_ -> word)
+let raw32 = fixed32
+let raw16 t word = push t 2 (fun ~pc:_ ~resolve:_ -> word land 0xFFFF)
+
+(* --- RV32I -------------------------------------------------------------- *)
+
+let lui t ~rd imm =
+  reg "lui" rd;
+  check_range ~what:"lui" ~bits:20 ~signed:false (imm land 0xFFFFF);
+  fixed32 t ((mask 20 imm lsl 12) lor (rd lsl 7) lor 0b0110111)
+
+let auipc t ~rd imm =
+  reg "auipc" rd;
+  fixed32 t ((mask 20 imm lsl 12) lor (rd lsl 7) lor 0b0010111)
+
+let jal t ~rd target =
+  reg "jal" rd;
+  push t 4 (fun ~pc ~resolve ->
+      j_imm ~offset:(resolve target - pc) lor (rd lsl 7) lor 0b1101111)
+
+let jalr t ~rd ~rs1 imm = fixed32 t (i_type ~imm ~rs1 ~funct3:0 ~rd ~opcode:0b1100111)
+
+let branch funct3 t ~rs1 ~rs2 target =
+  push t 4 (fun ~pc ~resolve ->
+      b_imm ~offset:(resolve target - pc)
+      lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor 0b1100011)
+
+let beq = branch 0b000
+let bne = branch 0b001
+let blt = branch 0b100
+let bge = branch 0b101
+let bltu = branch 0b110
+let bgeu = branch 0b111
+
+let load funct3 t ~rd ~rs1 imm = fixed32 t (i_type ~imm ~rs1 ~funct3 ~rd ~opcode:0b0000011)
+let lb = load 0b000
+let lh = load 0b001
+let lw = load 0b010
+let lbu = load 0b100
+let lhu = load 0b101
+
+let store funct3 t ~rs2 ~rs1 imm = fixed32 t (s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode:0b0100011)
+let sb = store 0b000
+let sh = store 0b001
+let sw = store 0b010
+
+let op_imm funct3 t ~rd ~rs1 imm = fixed32 t (i_type ~imm ~rs1 ~funct3 ~rd ~opcode:0b0010011)
+let addi = op_imm 0b000
+let slti = op_imm 0b010
+let sltiu = op_imm 0b011
+let xori = op_imm 0b100
+let ori = op_imm 0b110
+let andi = op_imm 0b111
+
+let shift_imm ~funct7 ~funct3 t ~rd ~rs1 shamt =
+  check_range ~what:"shamt" ~bits:5 ~signed:false shamt;
+  fixed32 t (r_type ~funct7 ~rs2:shamt ~rs1 ~funct3 ~rd ~opcode:0b0010011)
+
+let slli = shift_imm ~funct7:0 ~funct3:0b001
+let srli = shift_imm ~funct7:0 ~funct3:0b101
+let srai = shift_imm ~funct7:0b0100000 ~funct3:0b101
+
+let op ~funct7 ~funct3 t ~rd ~rs1 ~rs2 =
+  fixed32 t (r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode:0b0110011)
+
+let add = op ~funct7:0 ~funct3:0b000
+let sub = op ~funct7:0b0100000 ~funct3:0b000
+let sll = op ~funct7:0 ~funct3:0b001
+let slt = op ~funct7:0 ~funct3:0b010
+let sltu = op ~funct7:0 ~funct3:0b011
+let xor = op ~funct7:0 ~funct3:0b100
+let srl = op ~funct7:0 ~funct3:0b101
+let sra = op ~funct7:0b0100000 ~funct3:0b101
+let or_ = op ~funct7:0 ~funct3:0b110
+let and_ = op ~funct7:0 ~funct3:0b111
+
+let fence t = fixed32 t 0x0ff0000f
+let ecall t = fixed32 t 0x00000073
+let ebreak t = fixed32 t 0x00100073
+
+let mul = op ~funct7:1 ~funct3:0b000
+let mulh = op ~funct7:1 ~funct3:0b001
+let mulhsu = op ~funct7:1 ~funct3:0b010
+let mulhu = op ~funct7:1 ~funct3:0b011
+let div = op ~funct7:1 ~funct3:0b100
+let divu = op ~funct7:1 ~funct3:0b101
+let rem = op ~funct7:1 ~funct3:0b110
+let remu = op ~funct7:1 ~funct3:0b111
+
+let csr funct3 t ~rd ~rs1 ~csr =
+  check_range ~what:"csr" ~bits:12 ~signed:false csr;
+  fixed32 t ((csr lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor 0b1110011)
+
+let csrrw = csr 0b001
+let csrrs = csr 0b010
+
+(* --- C extension --------------------------------------------------------- *)
+
+let c_addi t ~rd imm =
+  reg "c.addi" rd;
+  check_range ~what:"c.addi" ~bits:6 ~signed:true imm;
+  let imm = mask 6 imm in
+  raw16 t
+    ((0b000 lsl 13) lor (((imm lsr 5) land 1) lsl 12) lor (rd lsl 7)
+    lor ((imm land 0x1F) lsl 2) lor 0b01)
+
+let c_li t ~rd imm =
+  reg "c.li" rd;
+  check_range ~what:"c.li" ~bits:6 ~signed:true imm;
+  let imm = mask 6 imm in
+  raw16 t
+    ((0b010 lsl 13) lor (((imm lsr 5) land 1) lsl 12) lor (rd lsl 7)
+    lor ((imm land 0x1F) lsl 2) lor 0b01)
+
+let c_mv t ~rd ~rs2 =
+  if rs2 = 0 then failwith "Asm.c_mv: rs2 must not be x0";
+  raw16 t ((0b1000 lsl 12) lor (rd lsl 7) lor (rs2 lsl 2) lor 0b10)
+
+let c_add t ~rd ~rs2 =
+  if rs2 = 0 then failwith "Asm.c_add: rs2 must not be x0";
+  raw16 t ((0b1001 lsl 12) lor (rd lsl 7) lor (rs2 lsl 2) lor 0b10)
+
+let cj_imm offset =
+  check_range ~what:"c.j" ~bits:12 ~signed:true offset;
+  if offset land 1 <> 0 then failwith "Asm: odd c.j offset";
+  let u = mask 12 offset in
+  let b i = (u lsr i) land 1 in
+  (b 11 lsl 12) lor (b 4 lsl 11) lor (b 9 lsl 10) lor (b 8 lsl 9)
+  lor (b 10 lsl 8) lor (b 6 lsl 7) lor (b 7 lsl 6) lor (b 3 lsl 5)
+  lor (b 2 lsl 4) lor (b 1 lsl 3) lor (b 5 lsl 2)
+
+let c_j t target =
+  push t 2 (fun ~pc ~resolve ->
+      (0b101 lsl 13) lor cj_imm (resolve target - pc) lor 0b01)
+
+let c_nop t = raw16 t 0x0001
+
+(* --- pseudo ---------------------------------------------------------------- *)
+
+let nop t = addi t ~rd:0 ~rs1:0 0
+let j t target = jal t ~rd:0 target
+
+let li t ~rd v =
+  let v = v land 0xFFFFFFFF in
+  let v = if v land 0x80000000 <> 0 then v - 0x100000000 else v in
+  let lo12 = v land 0xFFF in
+  let lo12 = if lo12 >= 0x800 then lo12 - 0x1000 else lo12 in
+  let hi20 = (v - lo12) asr 12 land 0xFFFFF in
+  if hi20 = 0 then addi t ~rd ~rs1:0 lo12
+  else begin
+    lui t ~rd hi20;
+    if lo12 <> 0 then addi t ~rd ~rs1:rd lo12
+  end
+
+(* --- assembly --------------------------------------------------------------- *)
+
+let assemble t =
+  let resolve name =
+    match Hashtbl.find_opt t.labels name with
+    | Some a -> a
+    | None -> failwith ("Asm: undefined label " ^ name)
+  in
+  let items = List.rev t.items in
+  let total_bytes = t.pc - t.base in
+  let halfwords = Array.make ((total_bytes + 1) / 2) 0 in
+  let pc = ref t.base in
+  List.iter
+    (fun item ->
+      let word = item.emit ~pc:!pc ~resolve in
+      let idx = (!pc - t.base) / 2 in
+      halfwords.(idx) <- word land 0xFFFF;
+      if item.size = 4 then halfwords.(idx + 1) <- (word lsr 16) land 0xFFFF;
+      pc := !pc + item.size)
+    items;
+  halfwords
+
+let words t =
+  let hw = assemble t in
+  let n = (Array.length hw + 1) / 2 in
+  Array.init n (fun i ->
+      let lo = hw.(2 * i) in
+      let hi = if (2 * i) + 1 < Array.length hw then hw.((2 * i) + 1) else 0 in
+      lo lor (hi lsl 16))

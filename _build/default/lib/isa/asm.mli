@@ -1,0 +1,104 @@
+(** A small two-pass RV32IMC assembler, used to build the test programs
+    and synthetic workload kernels that run on the core models.
+
+    Programs are built imperatively; branch/jump targets are labels
+    resolved at {!assemble} time.  The output is an array of 16-bit
+    halfwords starting at the base address, so mixed 16/32-bit
+    instruction streams are represented exactly. *)
+
+type t
+
+val create : ?base:int -> unit -> t
+(** [base] is the byte address of the first instruction (default 0). *)
+
+val label : t -> string -> unit
+val here : t -> int
+(** Current byte address. *)
+
+(* RV32I *)
+
+val lui : t -> rd:int -> int -> unit
+(** Immediate is the raw 20-bit field. *)
+
+val auipc : t -> rd:int -> int -> unit
+val jal : t -> rd:int -> string -> unit
+val jalr : t -> rd:int -> rs1:int -> int -> unit
+val beq : t -> rs1:int -> rs2:int -> string -> unit
+val bne : t -> rs1:int -> rs2:int -> string -> unit
+val blt : t -> rs1:int -> rs2:int -> string -> unit
+val bge : t -> rs1:int -> rs2:int -> string -> unit
+val bltu : t -> rs1:int -> rs2:int -> string -> unit
+val bgeu : t -> rs1:int -> rs2:int -> string -> unit
+val lb : t -> rd:int -> rs1:int -> int -> unit
+val lh : t -> rd:int -> rs1:int -> int -> unit
+val lw : t -> rd:int -> rs1:int -> int -> unit
+val lbu : t -> rd:int -> rs1:int -> int -> unit
+val lhu : t -> rd:int -> rs1:int -> int -> unit
+val sb : t -> rs2:int -> rs1:int -> int -> unit
+val sh : t -> rs2:int -> rs1:int -> int -> unit
+val sw : t -> rs2:int -> rs1:int -> int -> unit
+val addi : t -> rd:int -> rs1:int -> int -> unit
+val slti : t -> rd:int -> rs1:int -> int -> unit
+val sltiu : t -> rd:int -> rs1:int -> int -> unit
+val xori : t -> rd:int -> rs1:int -> int -> unit
+val ori : t -> rd:int -> rs1:int -> int -> unit
+val andi : t -> rd:int -> rs1:int -> int -> unit
+val slli : t -> rd:int -> rs1:int -> int -> unit
+val srli : t -> rd:int -> rs1:int -> int -> unit
+val srai : t -> rd:int -> rs1:int -> int -> unit
+val add : t -> rd:int -> rs1:int -> rs2:int -> unit
+val sub : t -> rd:int -> rs1:int -> rs2:int -> unit
+val sll : t -> rd:int -> rs1:int -> rs2:int -> unit
+val slt : t -> rd:int -> rs1:int -> rs2:int -> unit
+val sltu : t -> rd:int -> rs1:int -> rs2:int -> unit
+val xor : t -> rd:int -> rs1:int -> rs2:int -> unit
+val srl : t -> rd:int -> rs1:int -> rs2:int -> unit
+val sra : t -> rd:int -> rs1:int -> rs2:int -> unit
+val or_ : t -> rd:int -> rs1:int -> rs2:int -> unit
+val and_ : t -> rd:int -> rs1:int -> rs2:int -> unit
+val fence : t -> unit
+val ecall : t -> unit
+val ebreak : t -> unit
+
+(* M extension *)
+
+val mul : t -> rd:int -> rs1:int -> rs2:int -> unit
+val mulh : t -> rd:int -> rs1:int -> rs2:int -> unit
+val mulhsu : t -> rd:int -> rs1:int -> rs2:int -> unit
+val mulhu : t -> rd:int -> rs1:int -> rs2:int -> unit
+val div : t -> rd:int -> rs1:int -> rs2:int -> unit
+val divu : t -> rd:int -> rs1:int -> rs2:int -> unit
+val rem : t -> rd:int -> rs1:int -> rs2:int -> unit
+val remu : t -> rd:int -> rs1:int -> rs2:int -> unit
+
+(* Zicsr *)
+
+val csrrw : t -> rd:int -> rs1:int -> csr:int -> unit
+val csrrs : t -> rd:int -> rs1:int -> csr:int -> unit
+
+(* C extension (selected encodings, for mixed-width streams) *)
+
+val c_addi : t -> rd:int -> int -> unit
+val c_li : t -> rd:int -> int -> unit
+val c_mv : t -> rd:int -> rs2:int -> unit
+val c_add : t -> rd:int -> rs2:int -> unit
+val c_j : t -> string -> unit
+val c_nop : t -> unit
+
+(* pseudo *)
+
+val li : t -> rd:int -> int -> unit
+(** Expands to lui+addi as needed; full 32-bit range. *)
+
+val nop : t -> unit
+val j : t -> string -> unit
+val raw32 : t -> int -> unit
+val raw16 : t -> int -> unit
+
+val assemble : t -> int array
+(** Halfwords from the base address.  @raise Failure on undefined
+    labels or out-of-range immediates. *)
+
+val words : t -> int array
+(** Convenience: the program as 32-bit little-endian words (padded
+    with a trailing zero halfword if odd). *)

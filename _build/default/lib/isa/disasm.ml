@@ -1,0 +1,107 @@
+let sext width v =
+  if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let reg i = Printf.sprintf "x%d" i
+
+let instr32 w =
+  let rd = (w lsr 7) land 0x1F in
+  let rs1 = (w lsr 15) land 0x1F in
+  let rs2 = (w lsr 20) land 0x1F in
+  let imm_i = sext 12 ((w lsr 20) land 0xFFF) in
+  let imm_s = sext 12 (((w lsr 25) lsl 5) lor rd) in
+  let imm_b =
+    sext 13
+      ((((w lsr 31) land 1) lsl 12)
+      lor (((w lsr 7) land 1) lsl 11)
+      lor (((w lsr 25) land 0x3F) lsl 5)
+      lor (((w lsr 8) land 0xF) lsl 1))
+  in
+  let imm_u = (w lsr 12) land 0xFFFFF in
+  let imm_j =
+    sext 21
+      ((((w lsr 31) land 1) lsl 20)
+      lor (((w lsr 12) land 0xFF) lsl 12)
+      lor (((w lsr 20) land 1) lsl 11)
+      lor (((w lsr 21) land 0x3FF) lsl 1))
+  in
+  match Rv32.decode32 w with
+  | None -> Printf.sprintf ".word 0x%08x" w
+  | Some i -> (
+      let n = i.Rv32.name in
+      match n with
+      | "lui" | "auipc" -> Printf.sprintf "%s %s, 0x%x" n (reg rd) imm_u
+      | "jal" -> Printf.sprintf "jal %s, %d" (reg rd) imm_j
+      | "jalr" -> Printf.sprintf "jalr %s, %d(%s)" (reg rd) imm_i (reg rs1)
+      | "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" ->
+          Printf.sprintf "%s %s, %s, %d" n (reg rs1) (reg rs2) imm_b
+      | "lb" | "lh" | "lw" | "lbu" | "lhu" ->
+          Printf.sprintf "%s %s, %d(%s)" n (reg rd) imm_i (reg rs1)
+      | "sb" | "sh" | "sw" ->
+          Printf.sprintf "%s %s, %d(%s)" n (reg rs2) imm_s (reg rs1)
+      | "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" ->
+          Printf.sprintf "%s %s, %s, %d" n (reg rd) (reg rs1) imm_i
+      | "slli" | "srli" | "srai" ->
+          Printf.sprintf "%s %s, %s, %d" n (reg rd) (reg rs1) rs2
+      | "fence" -> "fence"
+      | "fence.i" -> "fence.i"
+      | "ecall" -> "ecall"
+      | "ebreak" -> "ebreak"
+      | "csrrw" | "csrrs" | "csrrc" ->
+          Printf.sprintf "%s %s, 0x%x, %s" n (reg rd) ((w lsr 20) land 0xFFF) (reg rs1)
+      | "csrrwi" | "csrrsi" | "csrrci" ->
+          Printf.sprintf "%s %s, 0x%x, %d" n (reg rd) ((w lsr 20) land 0xFFF) rs1
+      | _ ->
+          (* R-type (base and M extension) *)
+          Printf.sprintf "%s %s, %s, %s" n (reg rd) (reg rs1) (reg rs2))
+
+let instr16 hw =
+  let rdp = 8 + ((hw lsr 2) land 0x7) in
+  let rs1p = 8 + ((hw lsr 7) land 0x7) in
+  let rd_full = (hw lsr 7) land 0x1F in
+  let rs2_full = (hw lsr 2) land 0x1F in
+  let imm6 = sext 6 ((((hw lsr 12) land 1) lsl 5) lor ((hw lsr 2) land 0x1F)) in
+  match Rv32.decode16 hw with
+  | None -> Printf.sprintf ".half 0x%04x" hw
+  | Some i -> (
+      match i.Rv32.name with
+      | "c.addi" -> Printf.sprintf "c.addi %s, %d" (reg rd_full) imm6
+      | "c.li" -> Printf.sprintf "c.li %s, %d" (reg rd_full) imm6
+      | "c.lui" -> Printf.sprintf "c.lui %s, %d" (reg rd_full) imm6
+      | "c.addi16sp" -> "c.addi16sp"
+      | "c.addi4spn" -> Printf.sprintf "c.addi4spn %s" (reg rdp)
+      | "c.lw" -> Printf.sprintf "c.lw %s, (%s)" (reg rdp) (reg rs1p)
+      | "c.sw" -> Printf.sprintf "c.sw %s, (%s)" (reg rdp) (reg rs1p)
+      | "c.mv" -> Printf.sprintf "c.mv %s, %s" (reg rd_full) (reg rs2_full)
+      | "c.add" -> Printf.sprintf "c.add %s, %s" (reg rd_full) (reg rs2_full)
+      | "c.jr" -> Printf.sprintf "c.jr %s" (reg rd_full)
+      | "c.jalr" -> Printf.sprintf "c.jalr %s" (reg rd_full)
+      | "c.slli" -> Printf.sprintf "c.slli %s, %d" (reg rd_full) rs2_full
+      | "c.srli" -> Printf.sprintf "c.srli %s, %d" (reg rs1p) rs2_full
+      | "c.srai" -> Printf.sprintf "c.srai %s, %d" (reg rs1p) rs2_full
+      | "c.andi" -> Printf.sprintf "c.andi %s, %d" (reg rs1p) imm6
+      | "c.sub" | "c.xor" | "c.or" | "c.and" ->
+          Printf.sprintf "%s %s, %s" i.Rv32.name (reg rs1p) (reg rdp)
+      | "c.beqz" | "c.bnez" -> Printf.sprintf "%s %s" i.Rv32.name (reg rs1p)
+      | "c.lwsp" -> Printf.sprintf "c.lwsp %s" (reg rd_full)
+      | "c.swsp" -> Printf.sprintf "c.swsp %s" (reg rs2_full)
+      | nm -> nm)
+
+let word w = if Rv32.is_compressed w then instr16 (w land 0xFFFF) else instr32 w
+
+let program halfwords =
+  let rows = ref [] in
+  let i = ref 0 in
+  let n = Array.length halfwords in
+  while !i < n do
+    let hw = halfwords.(!i) in
+    if Rv32.is_compressed hw then begin
+      rows := (2 * !i, instr16 hw) :: !rows;
+      incr i
+    end
+    else begin
+      let w = hw lor (if !i + 1 < n then halfwords.(!i + 1) lsl 16 else 0) in
+      rows := (2 * !i, instr32 w) :: !rows;
+      i := !i + 2
+    end
+  done;
+  List.rev !rows

@@ -1,0 +1,18 @@
+(** RV32IMC disassembler, used by reports, examples and debugging.
+
+    Produces GNU-style mnemonics: ["addi x5, x3, -12"],
+    ["c.mv x8, x9"], ["lw x1, 8(x2)"].  Unknown words render as
+    [".word 0x..."] / [".half 0x..."]. *)
+
+val instr32 : int -> string
+(** Disassemble a 32-bit instruction word. *)
+
+val instr16 : int -> string
+(** Disassemble a compressed halfword. *)
+
+val word : int -> string
+(** Dispatch on the low two bits: compressed or full-width. *)
+
+val program : int array -> (int * string) list
+(** Disassemble an {!Asm.assemble} halfword stream into
+    [(byte_offset, text)] rows. *)

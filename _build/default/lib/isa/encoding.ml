@@ -1,0 +1,55 @@
+type t = {
+  mask : int;
+  value : int;
+  width : int;
+}
+
+let make ~width ~mask ~value =
+  if width <> 16 && width <> 32 then invalid_arg "Encoding.make: width must be 16 or 32";
+  if value land lnot mask <> 0 then
+    invalid_arg "Encoding.make: value bits outside mask";
+  let full = (1 lsl width) - 1 in
+  if mask land lnot full <> 0 then invalid_arg "Encoding.make: mask exceeds width";
+  { mask; value; width }
+
+let matches t word = word land t.mask = t.value
+
+let overlap a b =
+  a.width = b.width && a.value land b.mask = b.value land a.mask
+
+let random_instance rng t =
+  let free = lnot t.mask land ((1 lsl t.width) - 1) in
+  let r = Random.State.bits rng lor (Random.State.bits rng lsl 30) in
+  t.value lor (r land free)
+
+let of_pattern s =
+  let bits = ref [] in
+  String.iter
+    (fun ch -> match ch with
+      | '_' | ' ' -> ()
+      | c -> bits := c :: !bits)
+    s;
+  (* !bits is now LSB first *)
+  let width = List.length !bits in
+  if width <> 16 && width <> 32 then
+    invalid_arg (Printf.sprintf "Encoding.of_pattern: %d bits in %S" width s);
+  let mask = ref 0 and value = ref 0 in
+  List.iteri
+    (fun i c ->
+      match c with
+      | '0' -> mask := !mask lor (1 lsl i)
+      | '1' ->
+          mask := !mask lor (1 lsl i);
+          value := !value lor (1 lsl i)
+      | 'a' .. 'z' | 'A' .. 'Z' | '?' -> ()
+      | c -> invalid_arg (Printf.sprintf "Encoding.of_pattern: bad char %C" c))
+    !bits;
+  make ~width ~mask:!mask ~value:!value
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>";
+  for i = t.width - 1 downto 0 do
+    if t.mask land (1 lsl i) = 0 then Format.pp_print_char fmt 'z'
+    else Format.pp_print_char fmt (if t.value land (1 lsl i) <> 0 then '1' else '0')
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,32 @@
+(** Mask/match instruction encodings.
+
+    An encoding fixes some bits of an instruction word and leaves the
+    rest (register and immediate fields) free — exactly the shape of
+    the SVA properties in the paper's Listing 2, where an instruction
+    class is [instr & mask = value]. *)
+
+type t = {
+  mask : int;   (** fixed-bit positions *)
+  value : int;  (** required values at the fixed positions *)
+  width : int;  (** 16 or 32 *)
+}
+
+val make : width:int -> mask:int -> value:int -> t
+(** @raise Invalid_argument if [value] has bits outside [mask] or the
+    width is not 16 or 32. *)
+
+val matches : t -> int -> bool
+(** Does a concrete instruction word match? *)
+
+val overlap : t -> t -> bool
+(** Can some word match both encodings (same width)? *)
+
+val random_instance : Random.State.t -> t -> int
+(** A concrete word matching the encoding, free bits randomized. *)
+
+val of_pattern : string -> t
+(** Parses a bit-pattern string like ["0100000_zzzzz_zzzzz_000_zzzzz_0110011"]:
+    ['0']/['1'] are fixed bits (MSB first), any other letter is free,
+    ['_'] is ignored.  Width is the number of bit characters. *)
+
+val pp : Format.formatter -> t -> unit

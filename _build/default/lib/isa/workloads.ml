@@ -1,0 +1,130 @@
+type group = Networking | Security | Automotive
+
+let group_name = function
+  | Networking -> "networking"
+  | Security -> "security"
+  | Automotive -> "automotive"
+
+let groups = [ Networking; Security; Automotive ]
+
+(* Base-ISA usage.  Cardinalities match Table I: 18 / 24 / 28, union 29. *)
+let net_base =
+  [ "lui"; "jal"; "jalr"; "beq"; "bne"; "blt"; "lw"; "lbu"; "sb"; "sw";
+    "addi"; "andi"; "add"; "sub"; "sll"; "srl"; "and"; "or" ]
+
+let sec_base =
+  [ "lui"; "jal"; "jalr"; "beq"; "bne"; "bltu"; "bgeu"; "lb"; "lw"; "lbu";
+    "lhu"; "sb"; "sh"; "sw"; "addi"; "xori"; "ori"; "andi"; "add"; "sub";
+    "sll"; "srl"; "and"; "or" ]
+
+let auto_base =
+  [ "lui"; "auipc"; "jal"; "jalr"; "beq"; "bne"; "blt"; "bge"; "bltu";
+    "bgeu"; "lb"; "lh"; "lw"; "lbu"; "lhu"; "sb"; "sh"; "sw"; "addi";
+    "slti"; "xori"; "ori"; "andi"; "add"; "sub"; "sll"; "srl"; "and" ]
+
+(* M-extension usage: 2 / 0 / 3, union 4. *)
+let net_m = [ "mul"; "mulhu" ]
+let sec_m = []
+let auto_m = [ "mul"; "div"; "rem" ]
+
+(* C-extension usage: 13 / 18 / 19, union 20. *)
+let net_c =
+  [ "c.addi4spn"; "c.lw"; "c.sw"; "c.addi"; "c.li"; "c.j"; "c.beqz";
+    "c.bnez"; "c.slli"; "c.lwsp"; "c.swsp"; "c.mv"; "c.and" ]
+
+let sec_c =
+  [ "c.addi4spn"; "c.lw"; "c.sw"; "c.addi"; "c.jal"; "c.li"; "c.lui";
+    "c.srli"; "c.andi"; "c.j"; "c.beqz"; "c.bnez"; "c.slli"; "c.lwsp";
+    "c.swsp"; "c.jr"; "c.mv"; "c.add" ]
+
+let auto_c =
+  [ "c.addi4spn"; "c.lw"; "c.sw"; "c.addi"; "c.jal"; "c.li"; "c.lui";
+    "c.srli"; "c.andi"; "c.sub"; "c.j"; "c.beqz"; "c.bnez"; "c.slli";
+    "c.lwsp"; "c.swsp"; "c.jr"; "c.mv"; "c.add" ]
+
+let riscv g =
+  let base, m, c =
+    match g with
+    | Networking -> (net_base, net_m, net_c)
+    | Security -> (sec_base, sec_m, sec_c)
+    | Automotive -> (auto_base, auto_m, auto_c)
+  in
+  Subset.make Subset.Riscv ("mibench-" ^ group_name g) (base @ m @ c)
+
+let riscv_all =
+  List.fold_left
+    (fun acc g -> Subset.union "mibench-all" acc (riscv g))
+    (riscv Networking) groups
+
+(* ARMv6-M usage: 33 / 40 / 48, union 50 (Table I, Cortex-M0 half). *)
+let auto_arm =
+  [ "movs_reg"; "lsls_imm"; "lsrs_imm"; "asrs_imm"; "adds_reg"; "subs_reg";
+    "adds_imm3"; "subs_imm3"; "movs_imm"; "cmp_imm"; "adds_imm8";
+    "subs_imm8"; "ands"; "eors"; "lsls_reg"; "lsrs_reg"; "asrs_reg";
+    "adcs"; "sbcs"; "orrs"; "muls"; "bics"; "mvns"; "tst"; "rsbs";
+    "cmp_reg"; "add_hi"; "mov_hi"; "bx"; "blx_reg"; "ldr_lit"; "str_reg";
+    "ldr_reg"; "ldrb_reg"; "strb_reg"; "str_imm"; "ldr_imm"; "strb_imm";
+    "ldrb_imm"; "strh_imm"; "ldrh_imm"; "str_sp"; "ldr_sp"; "push"; "pop";
+    "b_cond"; "b"; "bl" ]
+
+let sec_arm =
+  List.filter
+    (fun i ->
+      not
+        (List.mem i
+           [ "muls"; "adcs"; "sbcs"; "rsbs"; "blx_reg"; "strh_imm";
+             "ldrh_imm"; "mvns" ]))
+    auto_arm
+
+let net_arm =
+  [ "movs_reg"; "lsls_imm"; "lsrs_imm"; "adds_reg"; "subs_reg";
+    "adds_imm3"; "movs_imm"; "cmp_imm"; "adds_imm8"; "subs_imm8"; "ands";
+    "eors"; "lsls_reg"; "lsrs_reg"; "cmp_reg"; "mov_hi"; "bx"; "ldr_lit";
+    "str_reg"; "ldr_reg"; "ldrb_reg"; "strb_reg"; "str_imm"; "ldr_imm";
+    "strb_imm"; "ldrb_imm"; "push"; "pop"; "b_cond"; "b"; "bl";
+    "uxtb"; "uxth" ]
+
+let arm g =
+  let l =
+    match g with
+    | Networking -> net_arm
+    | Security -> sec_arm
+    | Automotive -> auto_arm
+  in
+  Subset.make Subset.Arm ("mibench-" ^ group_name g) l
+
+let arm_all =
+  List.fold_left
+    (fun acc g -> Subset.union "mibench-all" acc (arm g))
+    (arm Networking) groups
+
+let count_ext subset ext =
+  List.length
+    (List.filter
+       (fun nm -> (Rv32.find nm).Rv32.ext = ext)
+       (Subset.instructions subset))
+
+let table1_riscv =
+  let row name ext =
+    ( name,
+      count_ext (riscv Networking) ext,
+      count_ext (riscv Security) ext,
+      count_ext (riscv Automotive) ext,
+      count_ext riscv_all ext )
+  in
+  [
+    row "RV32i base" Rv32.I;
+    row "M-Extension" Rv32.M;
+    row "C-Extension" Rv32.C;
+    ( "Zicsr-Extension",
+      count_ext (riscv Networking) Rv32.Zicsr,
+      count_ext (riscv Security) Rv32.Zicsr,
+      count_ext (riscv Automotive) Rv32.Zicsr,
+      count_ext riscv_all Rv32.Zicsr );
+  ]
+
+let table1_arm =
+  ( Subset.size (arm Networking),
+    Subset.size (arm Security),
+    Subset.size (arm Automotive),
+    Subset.size arm_all )

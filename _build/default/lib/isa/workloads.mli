@@ -1,0 +1,29 @@
+(** MiBench benchmark-group instruction profiles (the paper's Table I).
+
+    The paper compiled MiBench with gcc 9.2 and recorded which
+    instructions each benchmark group uses.  We do not have those
+    binaries; what the downstream experiments consume is only the
+    *set of used instructions* per group, so each profile here is a
+    concrete instruction set whose per-extension cardinalities
+    reproduce Table I exactly (see the [table1] test). *)
+
+type group = Networking | Security | Automotive
+
+val group_name : group -> string
+val groups : group list
+
+val riscv : group -> Subset.t
+(** Instructions used by the group on the Ibex-class RV32IMC core. *)
+
+val riscv_all : Subset.t
+(** Union across groups ("MiBench All"). *)
+
+val arm : group -> Subset.t
+val arm_all : Subset.t
+
+val table1_riscv : (string * int * int * int * int) list
+(** Rows of Table I (Ibex half): extension name, then instruction
+    counts for networking / security / automotive / all. *)
+
+val table1_arm : int * int * int * int
+(** ARMv6-M instruction counts for networking / security / automotive / all. *)

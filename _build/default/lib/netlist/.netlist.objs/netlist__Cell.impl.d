@@ -1,0 +1,1 @@
+lib/netlist/cell.ml: Array Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Cell Hashtbl List Printf String Vec

@@ -1,0 +1,1 @@
+lib/netlist/generate.ml: Array Cell Design Printf Random Vec

@@ -1,0 +1,1 @@
+lib/netlist/generate.mli: Design

@@ -1,0 +1,1 @@
+lib/netlist/obfuscate.ml: Array Cell Design Hashtbl List Printf Random

@@ -1,0 +1,1 @@
+lib/netlist/obfuscate.mli: Design

@@ -1,0 +1,1 @@
+lib/netlist/sim64.ml: Array Cell Design Int64 List Printf Topo

@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Cell Design Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/netlist/topo.ml: Array Cell Design List Vec

@@ -1,0 +1,1 @@
+lib/netlist/vcd.ml: Array Char Design List Printf Sim64 String

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Cell Design Fun Hashtbl List Option Printf String

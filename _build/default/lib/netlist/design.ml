@@ -1,0 +1,265 @@
+type net = int
+
+type cell = {
+  kind : Cell.kind;
+  ins : net array;
+  out : net;
+  init : bool;
+}
+
+type t = {
+  name : string;
+  cells : cell Vec.t;
+  mutable n_nets : int;
+  drivers : int Vec.t;
+  pis : (string * net) Vec.t;
+  pos : (string * net) Vec.t;
+  names : (net, string) Hashtbl.t;
+  pi_index : (string, net) Hashtbl.t;
+}
+
+let net_false = 0
+let net_true = 1
+
+let dummy_cell = { kind = Cell.Const0; ins = [||]; out = 0; init = false }
+
+let create name =
+  let d =
+    {
+      name;
+      cells = Vec.create ~dummy:dummy_cell ();
+      n_nets = 0;
+      drivers = Vec.create ~dummy:(-1) ();
+      pis = Vec.create ~dummy:("", -1) ();
+      pos = Vec.create ~dummy:("", -1) ();
+      names = Hashtbl.create 64;
+      pi_index = Hashtbl.create 16;
+    }
+  in
+  (* Nets 0 and 1 are the constant rails, driven by cells 0 and 1. *)
+  d.n_nets <- 2;
+  Vec.push d.drivers 0;
+  Vec.push d.drivers 1;
+  Vec.push d.cells { kind = Cell.Const0; ins = [||]; out = net_false; init = false };
+  Vec.push d.cells { kind = Cell.Const1; ins = [||]; out = net_true; init = false };
+  d
+
+let name d = d.name
+
+let new_net d =
+  let n = d.n_nets in
+  d.n_nets <- n + 1;
+  Vec.push d.drivers (-1);
+  n
+
+let num_nets d = d.n_nets
+let num_cells d = Vec.length d.cells
+
+let check_ins d kind ins =
+  if Array.length ins <> Cell.arity kind then
+    invalid_arg
+      (Printf.sprintf "Design.add_cell %s: arity %d, got %d inputs"
+         (Cell.name kind) (Cell.arity kind) (Array.length ins));
+  Array.iter
+    (fun n ->
+      if n < 0 || n >= d.n_nets then
+        invalid_arg
+          (Printf.sprintf "Design.add_cell %s: input net %d out of range"
+             (Cell.name kind) n))
+    ins
+
+let add_cell_out d ?(init = false) kind ins ~out =
+  check_ins d kind ins;
+  if out < 0 || out >= d.n_nets then
+    invalid_arg "Design.add_cell_out: output net out of range";
+  if Vec.get d.drivers out <> -1 then
+    invalid_arg
+      (Printf.sprintf "Design.add_cell_out: net %d already driven" out);
+  Vec.set d.drivers out (Vec.length d.cells);
+  Vec.push d.cells { kind; ins = Array.copy ins; out; init }
+
+let add_cell d kind ins =
+  let out = new_net d in
+  add_cell_out d kind ins ~out;
+  out
+
+let add_dff d ?(init = false) ~d:data () =
+  let out = new_net d in
+  add_cell_out d ~init Cell.Dff [| data |] ~out;
+  out
+
+let cell d i = Vec.get d.cells i
+let iter_cells d f = Vec.iteri f d.cells
+let fold_cells d f acc = snd (Vec.fold (fun (i, acc) c -> (i + 1, f acc i c)) (0, acc) d.cells)
+
+let driver d n =
+  if n < 0 || n >= d.n_nets then None
+  else
+    match Vec.get d.drivers n with
+    | -1 | -2 -> None
+    | i -> Some i
+
+let add_input d nm =
+  let n = new_net d in
+  Vec.push d.pis (nm, n);
+  Hashtbl.replace d.pi_index nm n;
+  Hashtbl.replace d.names n nm;
+  (* Mark as externally driven so validation treats it as a source. *)
+  Vec.set d.drivers n (-2);
+  n
+
+let add_output d nm n =
+  if n < 0 || n >= d.n_nets then invalid_arg "Design.add_output: net out of range";
+  Vec.push d.pos (nm, n)
+
+let inputs d = Vec.to_list d.pis
+let outputs d = Vec.to_list d.pos
+let find_input d nm = Hashtbl.find_opt d.pi_index nm
+
+let find_output d nm =
+  Vec.fold (fun acc (nm', n) -> if nm = nm' then Some n else acc) None d.pos
+
+let bus_of_ports ports base =
+  let matches (nm, n) =
+    if nm = base then Some (0, n)
+    else
+      let prefix = base ^ "[" in
+      let lp = String.length prefix in
+      if String.length nm > lp + 1
+         && String.sub nm 0 lp = prefix
+         && nm.[String.length nm - 1] = ']'
+      then
+        match int_of_string_opt (String.sub nm lp (String.length nm - lp - 1)) with
+        | Some i -> Some (i, n)
+        | None -> None
+      else None
+  in
+  let found = List.filter_map matches ports in
+  if found = [] then raise Not_found;
+  let found = List.sort (fun (i, _) (j, _) -> compare i j) found in
+  Array.of_list (List.map snd found)
+
+let input_bus d base = bus_of_ports (Vec.to_list d.pis) base
+let output_bus d base = bus_of_ports (Vec.to_list d.pos) base
+
+let set_net_name d n nm = Hashtbl.replace d.names n nm
+
+let net_name d n =
+  match Hashtbl.find_opt d.names n with
+  | Some nm -> nm
+  | None -> Printf.sprintf "n%d" n
+
+(* Rebuild with every *read* occurrence of a net redirected through [f].
+   Drivers stay put, so untouched analysis data (net ids, cell ids)
+   remains valid on the result. *)
+let substitute d f =
+  let d' =
+    {
+      name = d.name;
+      cells = Vec.create ~capacity:(num_cells d) ~dummy:dummy_cell ();
+      n_nets = d.n_nets;
+      drivers = Vec.copy d.drivers;
+      pis = Vec.copy d.pis;
+      pos = Vec.create ~capacity:(Vec.length d.pos) ~dummy:("", -1) ();
+      names = Hashtbl.copy d.names;
+      pi_index = Hashtbl.copy d.pi_index;
+    }
+  in
+  Vec.iter
+    (fun c -> Vec.push d'.cells { c with ins = Array.map f c.ins })
+    d.cells;
+  Vec.iter (fun (nm, n) -> Vec.push d'.pos (nm, f n)) d.pos;
+  d'
+
+let copy d = substitute d (fun n -> n)
+
+let compact d =
+  let keep_cell = Array.make (num_cells d) false in
+  let seen_net = Array.make d.n_nets false in
+  let stack = ref [] in
+  let visit n =
+    if not seen_net.(n) then begin
+      seen_net.(n) <- true;
+      stack := n :: !stack
+    end
+  in
+  visit net_false;
+  visit net_true;
+  List.iter (fun (_, n) -> visit n) (outputs d);
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+        stack := rest;
+        (match driver d n with
+        | Some ci when not keep_cell.(ci) ->
+            keep_cell.(ci) <- true;
+            Array.iter visit (cell d ci).ins
+        | Some _ | None -> ());
+        drain ()
+  in
+  drain ();
+  let d' = create d.name in
+  let map = Array.make d.n_nets (-1) in
+  map.(net_false) <- net_false;
+  map.(net_true) <- net_true;
+  (* Inputs are part of the interface: keep them all, in order. *)
+  List.iter (fun (nm, n) -> map.(n) <- add_input d' nm) (inputs d);
+  let mapped n =
+    if map.(n) >= 0 then map.(n)
+    else begin
+      let n' = new_net d' in
+      map.(n) <- n';
+      n'
+    end
+  in
+  iter_cells d (fun ci c ->
+      (* The fresh design owns its tie cells already. *)
+      let is_tie = c.kind = Cell.Const0 || c.kind = Cell.Const1 in
+      if keep_cell.(ci) && not (is_tie && mapped c.out <= net_true) then begin
+        let ins = Array.map mapped c.ins in
+        let out = mapped c.out in
+        add_cell_out d' ~init:c.init c.kind ins ~out
+      end);
+  List.iter (fun (nm, n) -> add_output d' nm (mapped n)) (outputs d);
+  Hashtbl.iter
+    (fun n nm -> if n < d.n_nets && map.(n) >= 0 then set_net_name d' map.(n) nm)
+    d.names;
+  d'
+
+let validate d =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_cell i c =
+    if Array.length c.ins <> Cell.arity c.kind then
+      Some
+        (Printf.sprintf "cell %d (%s): bad arity %d" i (Cell.name c.kind)
+           (Array.length c.ins))
+    else
+      Array.fold_left
+        (fun acc n ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if n < 0 || n >= d.n_nets then
+                Some (Printf.sprintf "cell %d: input net %d out of range" i n)
+              else if Vec.get d.drivers n = -1 then
+                Some
+                  (Printf.sprintf "cell %d (%s): input net %d (%s) undriven" i
+                     (Cell.name c.kind) n (net_name d n))
+              else None)
+        None c.ins
+  in
+  let problem =
+    fold_cells d
+      (fun acc i c -> match acc with Some _ -> acc | None -> check_cell i c)
+      None
+  in
+  match problem with
+  | Some msg -> err "%s: %s" d.name msg
+  | None ->
+      let bad_po =
+        List.find_opt (fun (_, n) -> Vec.get d.drivers n = -1) (outputs d)
+      in
+      (match bad_po with
+      | Some (nm, n) -> err "%s: output %s (net %d) undriven" d.name nm n
+      | None -> Ok ())

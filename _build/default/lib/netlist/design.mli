@@ -1,0 +1,102 @@
+(** The gate-level netlist store.
+
+    A design is a single-clock-domain synchronous circuit: a set of
+    nets (dense integer ids), cells driving nets, named primary inputs
+    and outputs.  Nets {!net_false} and {!net_true} are always present
+    and driven by tie cells.
+
+    The store is a builder: cells and nets are appended, and analysis
+    passes ({!Topo}, {!Stats}, simulation, SAT encoding) treat it as
+    read-only.  Transformations produce new designs via {!substitute}
+    and {!compact}. *)
+
+type net = int
+
+type cell = {
+  kind : Cell.kind;
+  ins : net array;
+  out : net;
+  init : bool;  (** reset value; meaningful only for [Dff] *)
+}
+
+type t
+
+val net_false : net
+(** The always-0 net (id 0). *)
+
+val net_true : net
+(** The always-1 net (id 1). *)
+
+val create : string -> t
+val name : t -> string
+
+val new_net : t -> net
+val num_nets : t -> int
+val num_cells : t -> int
+
+val add_cell : t -> Cell.kind -> net array -> net
+(** [add_cell d kind ins] allocates a fresh output net, appends the
+    cell and returns the output net.
+    @raise Invalid_argument on arity mismatch or undriven semantics
+    violations (an input net id out of range). *)
+
+val add_cell_out : t -> ?init:bool -> Cell.kind -> net array -> out:net -> unit
+(** Like {!add_cell} but drives a pre-allocated net, used to close
+    register feedback loops.  @raise Invalid_argument if [out] already
+    has a driver. *)
+
+val add_dff : t -> ?init:bool -> d:net -> unit -> net
+(** Flip-flop convenience wrapper around {!add_cell_out}. *)
+
+val cell : t -> int -> cell
+(** Cell by dense id, [0 <= id < num_cells]. *)
+
+val iter_cells : t -> (int -> cell -> unit) -> unit
+val fold_cells : t -> ('a -> int -> cell -> 'a) -> 'a -> 'a
+
+val driver : t -> net -> int option
+(** Cell id driving the net; [None] for primary inputs and dangling nets. *)
+
+val add_input : t -> string -> net
+(** Declares a single-bit primary input and returns its fresh net. *)
+
+val add_output : t -> string -> net -> unit
+(** Declares a single-bit primary output fed by an existing net. *)
+
+val inputs : t -> (string * net) list
+(** In declaration order. *)
+
+val outputs : t -> (string * net) list
+
+val find_input : t -> string -> net option
+val find_output : t -> string -> net option
+
+val input_bus : t -> string -> net array
+(** All inputs named [base[i]] in index order; [base] alone is a
+    1-bit bus.  @raise Not_found if no input matches. *)
+
+val output_bus : t -> string -> net array
+
+val set_net_name : t -> net -> string -> unit
+(** Attaches a debug name; later names win. *)
+
+val net_name : t -> net -> string
+(** Debug or synthesized name (["n42"]). *)
+
+val substitute : t -> (net -> net) -> t
+(** [substitute d f] rewrites every cell input and primary output net
+    [n] to [f n].  Cell outputs and input declarations are unchanged;
+    cells whose outputs become unread turn into dead logic for
+    {!Synthkit} to remove.  [f] need not be the identity outside used
+    nets. *)
+
+val compact : t -> t
+(** Garbage-collects: keeps exactly the cells (and nets) reachable
+    backwards from primary outputs and keeps all primary inputs.
+    Dff cells reachable from outputs keep their full fanin cone. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: every cell input driven or a primary input,
+    single driver per net, arities correct. *)
+
+val copy : t -> t

@@ -1,0 +1,46 @@
+type config = {
+  n_inputs : int;
+  n_gates : int;
+  n_flops : int;
+  n_outputs : int;
+}
+
+let default = { n_inputs = 8; n_gates = 60; n_flops = 6; n_outputs = 4 }
+
+let comb_kinds =
+  [| Cell.Buf; Cell.Inv; Cell.And2; Cell.Or2; Cell.Nand2; Cell.Nor2;
+     Cell.Xor2; Cell.Xnor2; Cell.And3; Cell.Or3; Cell.Nand3; Cell.Nor3;
+     Cell.And4; Cell.Or4; Cell.Mux2; Cell.Aoi21; Cell.Oai21 |]
+
+let random ?(seed = 42) ?(config = default) () =
+  let rng = Random.State.make [| seed |] in
+  let d = Design.create (Printf.sprintf "rand%d" seed) in
+  let pool = Vec.create ~dummy:(-1) () in
+  Vec.push pool Design.net_false;
+  Vec.push pool Design.net_true;
+  for i = 0 to config.n_inputs - 1 do
+    Vec.push pool (Design.add_input d (Printf.sprintf "in[%d]" i))
+  done;
+  (* Flop outputs join the pool up front so combinational logic can read
+     state; their D pins are connected at the end. *)
+  let flop_outs =
+    Array.init config.n_flops (fun _ ->
+        let q = Design.new_net d in
+        Vec.push pool q;
+        q)
+  in
+  let pick () = Vec.get pool (Random.State.int rng (Vec.length pool)) in
+  for _ = 1 to config.n_gates do
+    let kind = comb_kinds.(Random.State.int rng (Array.length comb_kinds)) in
+    let ins = Array.init (Cell.arity kind) (fun _ -> pick ()) in
+    Vec.push pool (Design.add_cell d kind ins)
+  done;
+  Array.iter
+    (fun q ->
+      Design.add_cell_out d ~init:(Random.State.bool rng) Cell.Dff
+        [| pick () |] ~out:q)
+    flop_outs;
+  for i = 0 to config.n_outputs - 1 do
+    Design.add_output d (Printf.sprintf "out[%d]" i) (pick ())
+  done;
+  d

@@ -1,0 +1,17 @@
+(** Seeded random netlist generation for tests and fuzzing.
+
+    Produces valid, acyclic, single-clock designs: a layer of primary
+    inputs, a random DAG of combinational cells, a configurable number
+    of flip-flops (whose D pins close feedback through the DAG), and a
+    sample of nets exported as outputs. *)
+
+type config = {
+  n_inputs : int;
+  n_gates : int;
+  n_flops : int;
+  n_outputs : int;
+}
+
+val default : config
+
+val random : ?seed:int -> ?config:config -> unit -> Design.t

@@ -1,0 +1,72 @@
+(* NAND/INV decompositions of each library cell.  Correctness of each
+   recipe is covered by an exhaustive equivalence test per cell kind. *)
+
+let nand_remap d =
+  let d' = Design.create (Design.name d) in
+  let map = Array.make (Design.num_nets d) (-1) in
+  map.(Design.net_false) <- Design.net_false;
+  map.(Design.net_true) <- Design.net_true;
+  List.iter (fun (nm, n) -> map.(n) <- Design.add_input d' nm) (Design.inputs d);
+  (* Flip-flop outputs are feedback points: allocate them up front. *)
+  Design.iter_cells d (fun _ c ->
+      if c.kind = Cell.Dff && map.(c.out) < 0 then map.(c.out) <- Design.new_net d');
+  let mapped n =
+    if map.(n) >= 0 then map.(n)
+    else begin
+      let n' = Design.new_net d' in
+      map.(n) <- n';
+      n'
+    end
+  in
+  let nand a b = Design.add_cell d' Cell.Nand2 [| a; b |] in
+  let inv a = Design.add_cell d' Cell.Inv [| a |] in
+  let and_ a b = inv (nand a b) in
+  let or_ a b = nand (inv a) (inv b) in
+  let drive out n = Design.add_cell_out d' Cell.Buf [| n |] ~out in
+  Design.iter_cells d (fun _ c ->
+      let out () = mapped c.out in
+      let i k = mapped c.ins.(k) in
+      match c.kind with
+      | Cell.Const0 | Cell.Const1 -> ()
+      | Cell.Dff ->
+          Design.add_cell_out d' ~init:c.init Cell.Dff [| i 0 |] ~out:(out ())
+      | Cell.Buf -> drive (out ()) (i 0)
+      | Cell.Inv -> Design.add_cell_out d' Cell.Inv [| i 0 |] ~out:(out ())
+      | Cell.And2 -> drive (out ()) (and_ (i 0) (i 1))
+      | Cell.Or2 -> drive (out ()) (or_ (i 0) (i 1))
+      | Cell.Nand2 -> Design.add_cell_out d' Cell.Nand2 [| i 0; i 1 |] ~out:(out ())
+      | Cell.Nor2 -> drive (out ()) (inv (or_ (i 0) (i 1)))
+      | Cell.Xor2 ->
+          let a = i 0 and b = i 1 in
+          let m = nand a b in
+          drive (out ()) (nand (nand a m) (nand b m))
+      | Cell.Xnor2 ->
+          let a = i 0 and b = i 1 in
+          let m = nand a b in
+          drive (out ()) (inv (nand (nand a m) (nand b m)))
+      | Cell.And3 -> drive (out ()) (and_ (and_ (i 0) (i 1)) (i 2))
+      | Cell.Or3 -> drive (out ()) (or_ (or_ (i 0) (i 1)) (i 2))
+      | Cell.Nand3 -> drive (out ()) (inv (and_ (and_ (i 0) (i 1)) (i 2)))
+      | Cell.Nor3 -> drive (out ()) (inv (or_ (or_ (i 0) (i 1)) (i 2)))
+      | Cell.And4 -> drive (out ()) (and_ (and_ (i 0) (i 1)) (and_ (i 2) (i 3)))
+      | Cell.Or4 -> drive (out ()) (or_ (or_ (i 0) (i 1)) (or_ (i 2) (i 3)))
+      | Cell.Mux2 ->
+          let s = i 0 and a = i 1 and b = i 2 in
+          drive (out ()) (nand (nand a (inv s)) (nand b s))
+      | Cell.Aoi21 -> drive (out ()) (inv (or_ (and_ (i 0) (i 1)) (i 2)))
+      | Cell.Oai21 -> drive (out ()) (inv (and_ (or_ (i 0) (i 1)) (i 2))));
+  List.iter (fun (nm, n) -> Design.add_output d' nm (mapped n)) (Design.outputs d);
+  d'
+
+let run ?(seed = 0x0bf5) d =
+  let rng = Random.State.make [| seed |] in
+  let d' = nand_remap d in
+  (* Scrub internal names: give every non-port net an opaque label. *)
+  let ports = Hashtbl.create 64 in
+  List.iter (fun (nm, n) -> Hashtbl.replace ports n nm) (Design.inputs d');
+  for n = 0 to Design.num_nets d' - 1 do
+    if not (Hashtbl.mem ports n) then
+      Design.set_net_name d' n
+        (Printf.sprintf "g%08x" (Random.State.bits rng land 0xFFFFFFF))
+  done;
+  d'

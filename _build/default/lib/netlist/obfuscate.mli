@@ -1,0 +1,16 @@
+(** Netlist obfuscation, modelling how the paper's Cortex-M0 arrives:
+    a functionally identical design whose structure and names reveal
+    nothing about the microarchitecture.
+
+    The pass (1) remaps every combinational gate onto a NAND2/INV
+    basis, (2) erases all internal net names and replaces them with
+    hash-like identifiers, and (3) shuffles cell order.  Primary port
+    names are preserved (the IP must still be integrable), which is
+    exactly why only port-based environment constraints remain
+    possible afterwards. *)
+
+val run : ?seed:int -> Design.t -> Design.t
+(** The result is sequentially equivalent to the input. *)
+
+val nand_remap : Design.t -> Design.t
+(** Just the technology remap onto [Nand2]/[Inv]/[Buf]/[Dff]. *)

@@ -1,0 +1,83 @@
+type t = {
+  d : Design.t;
+  sched : Topo.schedule;
+  values : int64 array;
+  is_input : bool array;
+}
+
+let design t = t.d
+
+let apply_reset t =
+  Array.fill t.values 0 (Array.length t.values) 0L;
+  t.values.(Design.net_true) <- -1L;
+  Array.iter
+    (fun ci ->
+      let c = Design.cell t.d ci in
+      t.values.(c.out) <- (if c.init then -1L else 0L))
+    t.sched.Topo.flops
+
+let create d =
+  let sched = Topo.schedule d in
+  let is_input = Array.make (Design.num_nets d) false in
+  List.iter (fun (_, n) -> is_input.(n) <- true) (Design.inputs d);
+  let t = { d; sched; values = Array.make (Design.num_nets d) 0L; is_input } in
+  apply_reset t;
+  t
+
+let reset = apply_reset
+
+let load_state t f =
+  Array.iter
+    (fun ci ->
+      let c = Design.cell t.d ci in
+      t.values.(c.out) <- f c.out)
+    t.sched.Topo.flops
+
+let set_input t n v =
+  if n < 0 || n >= Array.length t.is_input || not t.is_input.(n) then
+    invalid_arg "Sim64.set_input: not a primary input";
+  t.values.(n) <- v
+
+let set_input_name t nm v =
+  match Design.find_input t.d nm with
+  | Some n -> set_input t n v
+  | None -> invalid_arg (Printf.sprintf "Sim64.set_input_name: no input %s" nm)
+
+let eval t =
+  let values = t.values in
+  Array.iter
+    (fun ci ->
+      let c = Design.cell t.d ci in
+      let ins = Array.map (fun n -> Array.unsafe_get values n) c.ins in
+      Array.unsafe_set values c.out (Cell.eval c.kind ins))
+    t.sched.Topo.order
+
+let step t =
+  let values = t.values in
+  (* Two passes so that flop-to-flop chains see pre-edge values. *)
+  let next =
+    Array.map
+      (fun ci -> values.((Design.cell t.d ci).ins.(0)))
+      t.sched.Topo.flops
+  in
+  Array.iteri
+    (fun i ci -> values.((Design.cell t.d ci).out) <- next.(i))
+    t.sched.Topo.flops
+
+let read t n = t.values.(n)
+
+let set_bus t nets v =
+  Array.iteri
+    (fun i n -> set_input t n (if (v lsr i) land 1 = 1 then -1L else 0L))
+    nets
+
+let read_bus_lane t nets ~lane =
+  let acc = ref 0 in
+  Array.iteri
+    (fun i n ->
+      if Int64.logand (Int64.shift_right_logical t.values.(n) lane) 1L = 1L
+      then acc := !acc lor (1 lsl i))
+    nets;
+  !acc
+
+let read_bus t nets = read_bus_lane t nets ~lane:0

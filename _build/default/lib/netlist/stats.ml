@@ -1,0 +1,42 @@
+type t = {
+  gates : int;
+  buffers : int;
+  flops : int;
+  area : float;
+  by_kind : (Cell.kind * int) list;
+}
+
+let of_design d =
+  let counts = Hashtbl.create 24 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  let gates = ref 0 and buffers = ref 0 and flops = ref 0 and area = ref 0.0 in
+  Design.iter_cells d (fun _ c ->
+      bump c.kind;
+      area := !area +. Cell.area c.kind;
+      match c.kind with
+      | Cell.Const0 | Cell.Const1 -> ()
+      | Cell.Buf -> incr buffers
+      | Cell.Dff -> incr flops
+      | Cell.Inv | Cell.And2 | Cell.Or2 | Cell.Nand2 | Cell.Nor2 | Cell.Xor2
+      | Cell.Xnor2 | Cell.And3 | Cell.Or3 | Cell.Nand3 | Cell.Nor3 | Cell.And4
+      | Cell.Or4 | Cell.Mux2 | Cell.Aoi21 | Cell.Oai21 ->
+          incr gates);
+  let by_kind =
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { gates = !gates; buffers = !buffers; flops = !flops; area = !area; by_kind }
+
+let total_cells t = t.gates + t.buffers + t.flops
+let gate_count t = total_cells t
+
+let delta_pct ~baseline v =
+  if baseline = 0.0 then 0.0 else 100.0 *. (baseline -. v) /. baseline
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>gates=%d buffers=%d flops=%d area=%.1f um^2@,"
+    t.gates t.buffers t.flops t.area;
+  List.iter
+    (fun (k, c) -> Format.fprintf fmt "  %-10s %6d@," (Cell.name k) c)
+    t.by_kind;
+  Format.fprintf fmt "@]"

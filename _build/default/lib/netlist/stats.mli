@@ -1,0 +1,25 @@
+(** Gate-count and area accounting, the metrics reported in the paper's
+    figures.  Tie cells are excluded from the gate count (they are
+    rails, not logic), matching how synthesis reports count cells. *)
+
+type t = {
+  gates : int;        (** combinational cells, excluding ties and buffers *)
+  buffers : int;
+  flops : int;
+  area : float;       (** um^2 over all cells including ties *)
+  by_kind : (Cell.kind * int) list;  (** descending count *)
+}
+
+val of_design : Design.t -> t
+
+val total_cells : t -> int
+(** gates + buffers + flops. *)
+
+val gate_count : t -> int
+(** The paper's "gate count": all logic cells including flops. *)
+
+val pp : Format.formatter -> t -> unit
+
+val delta_pct : baseline:float -> float -> float
+(** [delta_pct ~baseline v] is the percent reduction of [v] versus
+    [baseline]; positive when [v] is smaller. *)

@@ -1,0 +1,45 @@
+type schedule = {
+  order : int array;
+  level : int array;
+  flops : int array;
+}
+
+exception Combinational_cycle of Design.net list
+
+(* Depth-first post-order over combinational cells.  DFS colors:
+   0 = unvisited, 1 = on stack, 2 = done. *)
+let schedule d =
+  let n_cells = Design.num_cells d in
+  let n_nets = Design.num_nets d in
+  let color = Array.make n_cells 0 in
+  let level = Array.make n_nets 0 in
+  let order = Vec.create ~dummy:(-1) () in
+  let flops = Vec.create ~dummy:(-1) () in
+  let rec visit_cell path ci =
+    let c = Design.cell d ci in
+    if Cell.is_sequential c.kind then ()
+    else
+      match color.(ci) with
+      | 2 -> ()
+      | 1 -> raise (Combinational_cycle (List.rev (c.out :: path)))
+      | _ ->
+          color.(ci) <- 1;
+          Array.iter (visit_net (c.out :: path)) c.ins;
+          color.(ci) <- 2;
+          let lvl =
+            Array.fold_left (fun acc n -> max acc (level.(n) + 1)) 0 c.ins
+          in
+          level.(c.out) <- lvl;
+          Vec.push order ci
+  and visit_net path n =
+    match Design.driver d n with
+    | None -> ()
+    | Some ci -> visit_cell path ci
+  in
+  Design.iter_cells d (fun ci c ->
+      if Cell.is_sequential c.kind then Vec.push flops ci);
+  Design.iter_cells d (fun ci _ -> visit_cell [] ci);
+  (* Flip-flop D pins hang off combinational nets already scheduled. *)
+  { order = Vec.to_array order; level; flops = Vec.to_array flops }
+
+let max_level s = Array.fold_left max 0 s.level

@@ -1,0 +1,21 @@
+(** Topological ordering of the combinational portion of a design.
+
+    Sources are constants, primary inputs and flip-flop outputs; an
+    ordering exists iff the combinational logic is acyclic, which every
+    valid synchronous netlist must satisfy. *)
+
+type schedule = {
+  order : int array;
+      (** Combinational cell ids in dependency order (fanin first). *)
+  level : int array;
+      (** [level.(net)]: 0 for sources, else 1 + max over fanin nets. *)
+  flops : int array;  (** All [Dff] cell ids. *)
+}
+
+exception Combinational_cycle of Design.net list
+(** Carries a witness cycle through net ids. *)
+
+val schedule : Design.t -> schedule
+(** @raise Combinational_cycle if the combinational logic is cyclic. *)
+
+val max_level : schedule -> int

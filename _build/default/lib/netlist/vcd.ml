@@ -1,0 +1,70 @@
+type signal = {
+  ident : string;
+  nets : Design.net array;
+  mutable last : string option;
+}
+
+type t = {
+  sim : Sim64.t;
+  oc : out_channel;
+  signals : signal list;
+  mutable time : int;
+  mutable closed : bool;
+}
+
+let ident_of i =
+  (* printable VCD identifier codes: '!' .. '~' *)
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let create sim ~path ~nets =
+  let oc = open_out path in
+  let signals =
+    List.mapi
+      (fun i (label, bus) ->
+        ignore label;
+        { ident = ident_of i; nets = bus; last = None })
+      nets
+  in
+  output_string oc "$date today $end\n$version pdat Sim64 $end\n";
+  output_string oc "$timescale 1ns $end\n$scope module top $end\n";
+  List.iteri
+    (fun i (label, bus) ->
+      Printf.fprintf oc "$var wire %d %s %s $end\n" (Array.length bus)
+        (ident_of i) label)
+    nets;
+  output_string oc "$upscope $end\n$enddefinitions $end\n";
+  { sim; oc; signals; time = 0; closed = false }
+
+let value_string t s =
+  let bits =
+    Array.to_list s.nets
+    |> List.rev_map (fun n -> if Sim64.read t.sim n = 0L then '0' else '1')
+  in
+  String.init (List.length bits) (List.nth bits)
+
+let sample t =
+  if t.closed then invalid_arg "Vcd.sample: closed";
+  Printf.fprintf t.oc "#%d\n" t.time;
+  List.iter
+    (fun s ->
+      let v = value_string t s in
+      if s.last <> Some v then begin
+        s.last <- Some v;
+        if Array.length s.nets = 1 then
+          Printf.fprintf t.oc "%s%s\n" v s.ident
+        else Printf.fprintf t.oc "b%s %s\n" v s.ident
+      end)
+    t.signals;
+  t.time <- t.time + 1
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end

@@ -1,0 +1,16 @@
+(** Value-change-dump (VCD) tracing for the 64-lane simulator.
+
+    Records lane 0 of the selected nets each clock cycle, producing a
+    standard VCD file loadable in GTKWave & co. — indispensable when
+    debugging core models.  Nets are labelled with their debug names. *)
+
+type t
+
+val create : Sim64.t -> path:string -> nets:(string * Design.net array) list -> t
+(** [nets] are (label, LSB-first bus) pairs; 1-bit buses render as
+    scalars.  Writes the VCD header immediately. *)
+
+val sample : t -> unit
+(** Record the current values (call once per cycle, after [eval]). *)
+
+val close : t -> unit

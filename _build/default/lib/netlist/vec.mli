@@ -1,0 +1,28 @@
+(** Growable arrays, used throughout the netlist store.
+
+    A [Vec.t] is a mutable sequence with amortized O(1) [push] and O(1)
+    random access.  Unlike [Buffer], elements may be of any type. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector.  [dummy] fills unused slots and
+    is never observable through the API. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element.  @raise Invalid_argument if empty. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : dummy:'a -> 'a list -> 'a t
+val copy : 'a t -> 'a t

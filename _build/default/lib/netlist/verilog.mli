@@ -1,0 +1,18 @@
+(** Structural-Verilog backend: how firm IP enters and leaves the tool.
+
+    The supported subset is a flat gate-level module: a port list with
+    directions, [wire] declarations, and standard-cell instances using
+    named port connections.  Flip-flop reset values round-trip through
+    an [(* init = 0|1 *)] attribute.  An implicit [CLK] input port is
+    emitted for sequential designs and ignored when reading. *)
+
+val to_string : Design.t -> string
+
+val write_file : Design.t -> string -> unit
+
+exception Parse_error of string
+
+val of_string : ?name:string -> string -> Design.t
+(** @raise Parse_error on malformed input or unknown cell names. *)
+
+val read_file : string -> Design.t

@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: List Lit Solver

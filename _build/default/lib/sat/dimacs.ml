@@ -1,0 +1,45 @@
+let parse src =
+  let n_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' src in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> n_vars := int_of_string nv
+        | _ -> failwith ("bad problem line: " ^ line)
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               let i = int_of_string tok in
+               if i = 0 then begin
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               end
+               else current := Lit.of_int i :: !current))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  (!n_vars, List.rev !clauses)
+
+let load solver src =
+  let n_vars, clauses = parse src in
+  for _ = 1 to n_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses
+
+let to_string (n_vars, clauses) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" n_vars (List.length clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_int l) ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf

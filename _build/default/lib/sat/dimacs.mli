@@ -1,0 +1,10 @@
+(** DIMACS CNF parsing and printing, used by the solver's test suite. *)
+
+val parse : string -> int * Lit.t list list
+(** [parse src] is [(n_vars, clauses)].
+    @raise Failure on malformed input. *)
+
+val load : Solver.t -> string -> unit
+(** Parses and loads into a solver, declaring variables as needed. *)
+
+val to_string : int * Lit.t list list -> string

@@ -1,0 +1,16 @@
+type t = int
+
+let make v positive = (v lsl 1) lor (if positive then 0 else 1)
+let pos v = v lsl 1
+let neg v = (v lsl 1) lor 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let to_int l = if sign l then var l + 1 else -(var l + 1)
+
+let of_int i =
+  if i = 0 then invalid_arg "Lit.of_int 0"
+  else if i > 0 then pos (i - 1)
+  else neg (-i - 1)
+
+let pp fmt l = Format.pp_print_int fmt (to_int l)

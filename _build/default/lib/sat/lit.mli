@@ -1,0 +1,22 @@
+(** Literal encoding: literal [2*v] is variable [v] positive,
+    [2*v + 1] is its negation.  Variables are dense non-negative ints. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v positive]. *)
+
+val pos : int -> t
+val neg : int -> t
+val var : t -> int
+val sign : t -> bool
+(** [true] when the literal is positive. *)
+
+val negate : t -> t
+val to_int : t -> int
+(** DIMACS convention: positive literal of var [v] is [v+1]. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}.  @raise Invalid_argument on 0. *)
+
+val pp : Format.formatter -> t -> unit

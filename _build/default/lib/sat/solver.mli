@@ -1,0 +1,48 @@
+(** CDCL SAT solver with two-watched-literal propagation, 1-UIP
+    learning, VSIDS branching with phase saving, Luby restarts and
+    activity-based learned-clause reduction.
+
+    The solver is incremental: clauses may be added between [solve]
+    calls, and each call may carry assumption literals.  A conflict
+    budget turns the solver into a semi-decision procedure — exactly
+    what the PDAT property-checking stage needs, where "unknown" just
+    means an optimization is skipped. *)
+
+type t
+
+type result =
+  | Sat
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+val create : unit -> t
+
+val new_var : t -> int
+
+val num_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Clauses over undeclared variables raise [Invalid_argument].
+    Adding a clause that is falsified at level 0 marks the instance
+    unsatisfiable. *)
+
+val solve : ?assumptions:Lit.t list -> ?conflict_budget:int -> t -> result
+(** [conflict_budget < 0] (default) means no budget. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after {!solve} returned [Sat].
+    Unconstrained variables read as [false]. *)
+
+val lit_value : t -> Lit.t -> bool
+
+val failed_assumptions : t -> Lit.t list
+(** After [Unsat] under assumptions: a subset of the assumptions
+    sufficient for unsatisfiability (not minimized). *)
+
+val num_conflicts : t -> int
+(** Total conflicts across all [solve] calls, for budget accounting. *)
+
+val num_clauses : t -> int
+
+val set_seed : t -> int -> unit
+(** Seeds the (rare) random branching decisions; default 91648253. *)

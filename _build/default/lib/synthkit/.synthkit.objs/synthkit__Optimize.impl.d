@@ -1,0 +1,1 @@
+lib/synthkit/optimize.ml: Format Netlist Simplify

@@ -1,0 +1,1 @@
+lib/synthkit/optimize.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/synthkit/simplify.ml: Array Hashtbl List Netlist

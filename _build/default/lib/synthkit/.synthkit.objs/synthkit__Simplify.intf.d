@@ -1,0 +1,1 @@
+lib/synthkit/simplify.mli: Netlist

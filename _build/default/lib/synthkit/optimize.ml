@@ -1,0 +1,25 @@
+type report = {
+  iterations : int;
+  before : Netlist.Stats.t;
+  after : Netlist.Stats.t;
+}
+
+let run ?(max_iterations = 16) d =
+  let before = Netlist.Stats.of_design d in
+  let rec go d iterations =
+    if iterations >= max_iterations then (d, iterations)
+    else begin
+      let d' = Netlist.Design.compact (Simplify.run d) in
+      if Netlist.Design.num_cells d' >= Netlist.Design.num_cells d then (d, iterations + 1)
+      else go d' (iterations + 1)
+    end
+  in
+  let d', iterations = go d 0 in
+  (d', { iterations; before; after = Netlist.Stats.of_design d' })
+
+let pp_report fmt r =
+  Format.fprintf fmt "%d iterations: %d -> %d cells, %.1f -> %.1f um^2"
+    r.iterations
+    (Netlist.Stats.total_cells r.before)
+    (Netlist.Stats.total_cells r.after)
+    r.before.Netlist.Stats.area r.after.Netlist.Stats.area

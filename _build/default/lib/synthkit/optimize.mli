@@ -1,0 +1,15 @@
+(** The Logic Resynthesis Stage: iterate {!Simplify.run} and
+    {!Netlist.Design.compact} until the cell count stops improving.
+    Standing in for the commercial synthesis flow of the paper's
+    section IV-C, whose only job there is to exploit the constants
+    introduced by rewiring. *)
+
+type report = {
+  iterations : int;
+  before : Netlist.Stats.t;
+  after : Netlist.Stats.t;
+}
+
+val run : ?max_iterations:int -> Netlist.Design.t -> Netlist.Design.t * report
+
+val pp_report : Format.formatter -> report -> unit

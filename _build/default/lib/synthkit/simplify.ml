@@ -1,0 +1,254 @@
+module D = Netlist.Design
+module C = Netlist.Cell
+
+(* The pass rebuilds the design cell by cell in topological order,
+   mapping every old net to a new net.  Each gate is simplified against
+   the already-mapped (hence already-simplified) fanin:
+
+   - constant folding and one/zero absorption;
+   - idempotence (AND/OR with equal inputs) and self-complement
+     (XOR(x,x), AND(x,!x) via the inverter table);
+   - buffer elision and double-inverter collapse;
+   - structural hashing of identical gates (inputs sorted when the
+     gate is symmetric);
+   - flip-flops: D stuck at the reset value, or fed directly back from
+     the flop's own output, makes the output a constant. *)
+
+let rail0 = D.net_false
+let rail1 = D.net_true
+
+type builder = {
+  src : D.t;
+  dst : D.t;
+  map : int array;                 (* old net -> new net *)
+  strash : (C.kind * int list, int) Hashtbl.t;
+  inv_of : (int, int) Hashtbl.t;   (* new net -> new net carrying its negation *)
+}
+
+let mapped b n =
+  let m = b.map.(n) in
+  if m < 0 then invalid_arg "Simplify: fanin not yet mapped";
+  m
+
+(* Emit (or reuse) a gate in the destination design. *)
+let emit b kind ins =
+  let symmetric =
+    match kind with
+    | C.And2 | C.Or2 | C.Nand2 | C.Nor2 | C.Xor2 | C.Xnor2 | C.And3 | C.Or3
+    | C.Nand3 | C.Nor3 | C.And4 | C.Or4 ->
+        true
+    | C.Buf | C.Inv | C.Mux2 | C.Aoi21 | C.Oai21 | C.Dff | C.Const0 | C.Const1 ->
+        false
+  in
+  let key_ins = if symmetric then List.sort compare (Array.to_list ins) else Array.to_list ins in
+  let key = (kind, key_ins) in
+  match Hashtbl.find_opt b.strash key with
+  | Some out -> out
+  | None ->
+      let out = D.add_cell b.dst kind ins in
+      Hashtbl.replace b.strash key out;
+      (match kind with
+      | C.Inv ->
+          Hashtbl.replace b.inv_of ins.(0) out;
+          Hashtbl.replace b.inv_of out ins.(0)
+      | C.Const0 | C.Const1 | C.Buf | C.And2 | C.Or2 | C.Nand2 | C.Nor2
+      | C.Xor2 | C.Xnor2 | C.And3 | C.Or3 | C.Nand3 | C.Nor3 | C.And4
+      | C.Or4 | C.Mux2 | C.Aoi21 | C.Oai21 | C.Dff ->
+          ());
+      out
+
+let inv b n =
+  if n = rail0 then rail1
+  else if n = rail1 then rail0
+  else
+    match Hashtbl.find_opt b.inv_of n with
+    | Some m -> m
+    | None -> emit b C.Inv [| n |]
+
+let complement b x y =
+  (* are x and y known complements? *)
+  (x = rail0 && y = rail1)
+  || (x = rail1 && y = rail0)
+  || (match Hashtbl.find_opt b.inv_of x with Some m -> m = y | None -> false)
+
+(* Core n-ary AND/OR simplification: constants, idempotence,
+   complementary inputs.  [Value v] means the whole expression collapsed
+   to net [v]; [Needs l] means a real gate over [l] (>= 2 nets) is
+   required — the callers then choose the gate polarity, so NAND/NOR
+   stay single cells instead of inflating into AND+INV. *)
+type simp = Value of int | Needs of int list
+
+let has_compl b ins =
+  let rec go = function
+    | [] -> false
+    | x :: rest -> List.exists (fun y -> complement b x y) rest || go rest
+  in
+  go ins
+
+let and_core b ins =
+  let ins = List.sort_uniq compare ins in
+  if List.mem rail0 ins then Value rail0
+  else
+    let ins = List.filter (fun n -> n <> rail1) ins in
+    if has_compl b ins then Value rail0
+    else match ins with [] -> Value rail1 | [ x ] -> Value x | l -> Needs l
+
+let or_core b ins =
+  let ins = List.sort_uniq compare ins in
+  if List.mem rail1 ins then Value rail1
+  else
+    let ins = List.filter (fun n -> n <> rail0) ins in
+    if has_compl b ins then Value rail1
+    else match ins with [] -> Value rail0 | [ x ] -> Value x | l -> Needs l
+
+let rec emit_and b = function
+  | [ x; y ] -> emit b C.And2 [| x; y |]
+  | [ x; y; z ] -> emit b C.And3 [| x; y; z |]
+  | [ x; y; z; w ] -> emit b C.And4 [| x; y; z; w |]
+  | x :: y :: rest -> emit_and b (List.sort compare (emit b C.And2 [| x; y |] :: rest))
+  | [ _ ] | [] -> invalid_arg "emit_and"
+
+let rec emit_or b = function
+  | [ x; y ] -> emit b C.Or2 [| x; y |]
+  | [ x; y; z ] -> emit b C.Or3 [| x; y; z |]
+  | [ x; y; z; w ] -> emit b C.Or4 [| x; y; z; w |]
+  | x :: y :: rest -> emit_or b (List.sort compare (emit b C.Or2 [| x; y |] :: rest))
+  | [ _ ] | [] -> invalid_arg "emit_or"
+
+let and_list b ins =
+  match and_core b ins with Value v -> v | Needs l -> emit_and b l
+
+let or_list b ins =
+  match or_core b ins with Value v -> v | Needs l -> emit_or b l
+
+let nand_list b ins =
+  match and_core b ins with
+  | Value v -> inv b v
+  | Needs ([ _; _ ] as l) -> emit b C.Nand2 (Array.of_list l)
+  | Needs ([ _; _; _ ] as l) -> emit b C.Nand3 (Array.of_list l)
+  | Needs l -> inv b (emit_and b l)
+
+let nor_list b ins =
+  match or_core b ins with
+  | Value v -> inv b v
+  | Needs ([ _; _ ] as l) -> emit b C.Nor2 (Array.of_list l)
+  | Needs ([ _; _; _ ] as l) -> emit b C.Nor3 (Array.of_list l)
+  | Needs l -> inv b (emit_or b l)
+
+let xor_core b x y =
+  if x = y then Value rail0
+  else if complement b x y then Value rail1
+  else if x = rail0 then Value y
+  else if y = rail0 then Value x
+  else if x = rail1 then Value (inv b y)
+  else if y = rail1 then Value (inv b x)
+  else Needs [ min x y; max x y ]
+
+let xor2 b x y =
+  match xor_core b x y with
+  | Value v -> v
+  | Needs l -> emit b C.Xor2 (Array.of_list l)
+
+let xnor2 b x y =
+  match xor_core b x y with
+  | Value v -> inv b v
+  | Needs l -> emit b C.Xnor2 (Array.of_list l)
+
+let mux b s a0 a1 =
+  (* result is a1 when s=1, a0 when s=0 *)
+  if s = rail0 then a0
+  else if s = rail1 then a1
+  else if a0 = a1 then a0
+  else if a0 = rail0 && a1 = rail1 then s
+  else if a0 = rail1 && a1 = rail0 then inv b s
+  else if a1 = rail1 then or_list b [ s; a0 ]           (* s | a0 *)
+  else if a0 = rail0 then and_list b [ s; a1 ]          (* s & a1 *)
+  else if a1 = rail0 then and_list b [ inv b s; a0 ]
+  else if a0 = rail1 then or_list b [ inv b s; a1 ]
+  else if complement b a0 a1 then xor2 b s a0
+  else emit b C.Mux2 [| s; a0; a1 |]
+
+let simplify_cell b (c : D.cell) =
+  let i k = mapped b c.D.ins.(k) in
+  let result =
+    match c.D.kind with
+    | C.Const0 -> rail0
+    | C.Const1 -> rail1
+    | C.Buf -> i 0
+    | C.Inv -> inv b (i 0)
+    | C.And2 -> and_list b [ i 0; i 1 ]
+    | C.And3 -> and_list b [ i 0; i 1; i 2 ]
+    | C.And4 -> and_list b [ i 0; i 1; i 2; i 3 ]
+    | C.Or2 -> or_list b [ i 0; i 1 ]
+    | C.Or3 -> or_list b [ i 0; i 1; i 2 ]
+    | C.Or4 -> or_list b [ i 0; i 1; i 2; i 3 ]
+    | C.Nand2 -> nand_list b [ i 0; i 1 ]
+    | C.Nand3 -> nand_list b [ i 0; i 1; i 2 ]
+    | C.Nor2 -> nor_list b [ i 0; i 1 ]
+    | C.Nor3 -> nor_list b [ i 0; i 1; i 2 ]
+    | C.Xor2 -> xor2 b (i 0) (i 1)
+    | C.Xnor2 -> xnor2 b (i 0) (i 1)
+    | C.Mux2 -> mux b (i 0) (i 1) (i 2)
+    | C.Aoi21 -> (
+        match and_core b [ i 0; i 1 ] with
+        | Value v -> nor_list b [ v; i 2 ]
+        | Needs [ x; y ] ->
+            if i 2 = rail1 then rail0
+            else if i 2 = rail0 then emit b C.Nand2 [| x; y |]
+            else emit b C.Aoi21 [| x; y; i 2 |]
+        | Needs _ -> nor_list b [ and_list b [ i 0; i 1 ]; i 2 ])
+    | C.Oai21 -> (
+        match or_core b [ i 0; i 1 ] with
+        | Value v -> nand_list b [ v; i 2 ]
+        | Needs [ x; y ] ->
+            if i 2 = rail0 then rail1
+            else if i 2 = rail1 then emit b C.Nor2 [| x; y |]
+            else emit b C.Oai21 [| x; y; i 2 |]
+        | Needs _ -> nand_list b [ or_list b [ i 0; i 1 ]; i 2 ])
+    | C.Dff -> invalid_arg "simplify_cell: sequential"
+  in
+  b.map.(c.D.out) <- result
+
+let run src =
+  let dst = D.create (D.name src) in
+  let map = Array.make (D.num_nets src) (-1) in
+  map.(rail0) <- rail0;
+  map.(rail1) <- rail1;
+  List.iter (fun (nm, n) -> map.(n) <- D.add_input dst nm) (D.inputs src);
+  let b = { src; dst; map; strash = Hashtbl.create 1024; inv_of = Hashtbl.create 256 } in
+  let sched = Netlist.Topo.schedule src in
+  (* Flip-flop outputs: sequential-constant detection, else fresh nets. *)
+  let live_flops = ref [] in
+  Array.iter
+    (fun ci ->
+      let c = D.cell src ci in
+      let d_net = c.D.ins.(0) in
+      let stuck =
+        (* D tied to a rail equal to the reset value, or direct self-loop *)
+        (d_net = rail0 && not c.D.init)
+        || (d_net = rail1 && c.D.init)
+        || d_net = c.D.out
+      in
+      if stuck then map.(c.D.out) <- (if c.D.init then rail1 else rail0)
+      else begin
+        let q = D.new_net dst in
+        map.(c.D.out) <- q;
+        live_flops := (ci, q) :: !live_flops
+      end)
+    sched.Netlist.Topo.flops;
+  Array.iter (fun ci -> simplify_cell b (D.cell src ci)) sched.Netlist.Topo.order;
+  (* Connect surviving flip-flops; a flop whose (now simplified) D is a
+     rail matching its reset value was not caught above — the next
+     fixpoint iteration will see it tied and fold it. *)
+  List.iter
+    (fun (ci, q) ->
+      let c = D.cell src ci in
+      D.add_cell_out b.dst ~init:c.D.init C.Dff [| mapped b c.D.ins.(0) |] ~out:q)
+    !live_flops;
+  List.iter (fun (nm, n) -> D.add_output dst nm (mapped b n)) (D.outputs src);
+  (* carry debug names across for readability of reports *)
+  List.iter
+    (fun (nm, n) -> if map.(n) >= 0 then D.set_net_name dst map.(n) nm)
+    (List.map (fun (nm, n) -> (nm, n)) (D.outputs src));
+  ignore b.src;
+  dst

@@ -1,0 +1,12 @@
+(** One structural simplification pass: constant propagation, algebraic
+    identities, double-inverter and buffer collapsing, structural
+    hashing (common-subexpression merging), and sequential constant
+    detection (a flip-flop whose D pin is tied to its own reset value,
+    or fed back from itself, is a constant).
+
+    The pass preserves primary inputs and outputs and sequential
+    behaviour; it is the workhorse {!Optimize.run} iterates. *)
+
+val run : Netlist.Design.t -> Netlist.Design.t
+(** The result is *not* compacted; dead cells remain until
+    {!Netlist.Design.compact}. *)

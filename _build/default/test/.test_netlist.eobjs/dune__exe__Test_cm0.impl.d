@@ -1,0 +1,1 @@
+test/test_cm0.ml: Alcotest Array Cores Hashtbl Isa Lazy Netlist Printf

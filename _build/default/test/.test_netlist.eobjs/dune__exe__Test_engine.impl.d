@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Int64 List Netlist Option Printf QCheck QCheck_alcotest Random Sat

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Cores Engine Filename Isa List Netlist Pdat String Synthkit Sys

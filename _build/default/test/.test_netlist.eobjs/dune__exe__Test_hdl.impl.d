@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Hdl List Netlist Printf QCheck QCheck_alcotest Random String

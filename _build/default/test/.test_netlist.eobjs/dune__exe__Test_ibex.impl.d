@@ -1,0 +1,1 @@
+test/test_ibex.ml: Alcotest Array Cores Hashtbl Isa Lazy List Netlist Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_pdat.ml: Alcotest Array Cores Engine Hdl Isa List Netlist Option Pdat Printf QCheck QCheck_alcotest Random String

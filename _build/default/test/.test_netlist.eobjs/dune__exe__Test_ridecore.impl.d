@@ -1,0 +1,1 @@
+test/test_ridecore.ml: Alcotest Cores Isa Lazy Netlist Printf

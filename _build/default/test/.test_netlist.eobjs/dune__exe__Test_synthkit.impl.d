@@ -1,0 +1,1 @@
+test/test_synthkit.ml: Alcotest Int64 List Netlist QCheck QCheck_alcotest Random Synthkit

@@ -1,0 +1,370 @@
+(* Architectural tests for the Cortex-M0-like ARMv6-M core. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let core = lazy (Cores.Cm0_like.build ())
+
+let reg_nets = Hashtbl.create 16
+
+let peek_reg tb k =
+  let t = Lazy.force core in
+  let nets =
+    match Hashtbl.find_opt reg_nets k with
+    | Some n -> n
+    | None ->
+        let n = Cores.Cm0_like.peek_reg_nets t k in
+        Hashtbl.replace reg_nets k n;
+        n
+  in
+  Cores.Testbench.read_bus tb nets
+
+let flags tb =
+  let t = Lazy.force core in
+  let nets = Cores.Cm0_like.peek_flags_nets t in
+  ( Cores.Testbench.read_bus tb [| nets.(0) |],
+    Cores.Testbench.read_bus tb [| nets.(1) |],
+    Cores.Testbench.read_bus tb [| nets.(2) |],
+    Cores.Testbench.read_bus tb [| nets.(3) |] )
+
+let run_program ?(cycles = 300) build =
+  let t = Lazy.force core in
+  let p = Isa.Asm_thumb.create () in
+  build p;
+  Isa.Asm_thumb.label p "_tb_end";
+  Isa.Asm_thumb.b p "_tb_end";
+  let tb =
+    Cores.Testbench.create t.Cores.Cm0_like.design
+      ~program:(Isa.Asm_thumb.assemble p) ()
+  in
+  Cores.Testbench.run tb ~cycles;
+  tb
+
+let u32 v = v land 0xFFFFFFFF
+
+let test_mov_add_sub () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 100;
+        Isa.Asm_thumb.movs p ~rd:1 42;
+        Isa.Asm_thumb.adds_reg p ~rd:2 ~rn:0 ~rm:1;
+        Isa.Asm_thumb.subs_reg p ~rd:3 ~rn:0 ~rm:1;
+        Isa.Asm_thumb.adds_imm3 p ~rd:4 ~rn:1 7;
+        Isa.Asm_thumb.subs_imm3 p ~rd:5 ~rn:1 3;
+        Isa.Asm_thumb.adds_imm8 p ~rdn:1 200;
+        Isa.Asm_thumb.mov_reg p ~rd:6 ~rm:1)
+  in
+  check_int "adds reg" 142 (peek_reg tb 2);
+  check_int "subs reg" 58 (peek_reg tb 3);
+  check_int "adds imm3" 49 (peek_reg tb 4);
+  check_int "subs imm3" 39 (peek_reg tb 5);
+  check_int "adds imm8 + mov" 242 (peek_reg tb 6)
+
+let test_logic_ops () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0xF0;
+        Isa.Asm_thumb.movs p ~rd:1 0x3C;
+        Isa.Asm_thumb.mov_reg p ~rd:2 ~rm:0;
+        Isa.Asm_thumb.ands p ~rdn:2 ~rm:1;
+        Isa.Asm_thumb.mov_reg p ~rd:3 ~rm:0;
+        Isa.Asm_thumb.orrs p ~rdn:3 ~rm:1;
+        Isa.Asm_thumb.mov_reg p ~rd:4 ~rm:0;
+        Isa.Asm_thumb.eors p ~rdn:4 ~rm:1;
+        Isa.Asm_thumb.mov_reg p ~rd:5 ~rm:0;
+        Isa.Asm_thumb.bics p ~rdn:5 ~rm:1;
+        Isa.Asm_thumb.mvns p ~rd:6 ~rm:0;
+        Isa.Asm_thumb.rsbs p ~rd:7 ~rn:1)
+  in
+  check_int "ands" 0x30 (peek_reg tb 2);
+  check_int "orrs" 0xFC (peek_reg tb 3);
+  check_int "eors" 0xCC (peek_reg tb 4);
+  check_int "bics" 0xC0 (peek_reg tb 5);
+  check_int "mvns" (u32 (lnot 0xF0)) (peek_reg tb 6);
+  check_int "rsbs" (u32 (-0x3C)) (peek_reg tb 7)
+
+let test_shifts () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0x81;
+        Isa.Asm_thumb.lsls_imm p ~rd:1 ~rm:0 4;
+        Isa.Asm_thumb.lsrs_imm p ~rd:2 ~rm:0 1;
+        Isa.Asm_thumb.lsls_imm p ~rd:3 ~rm:0 24;  (* 0x81000000 *)
+        Isa.Asm_thumb.asrs_imm p ~rd:4 ~rm:3 4;
+        Isa.Asm_thumb.movs p ~rd:5 8;
+        Isa.Asm_thumb.mov_reg p ~rd:6 ~rm:0;
+        Isa.Asm_thumb.lsls_reg p ~rdn:6 ~rs:5)
+  in
+  check_int "lsls imm" 0x810 (peek_reg tb 1);
+  check_int "lsrs imm" 0x40 (peek_reg tb 2);
+  check_int "asrs imm" (u32 0xF8100000) (peek_reg tb 4);
+  check_int "lsls reg" 0x8100 (peek_reg tb 6)
+
+let test_flags_and_branches () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 5;
+        Isa.Asm_thumb.movs p ~rd:1 5;
+        Isa.Asm_thumb.movs p ~rd:7 0;
+        Isa.Asm_thumb.cmp_reg p ~rn:0 ~rm:1;
+        Isa.Asm_thumb.b_cond p Isa.Asm_thumb.EQ "eq_taken";
+        Isa.Asm_thumb.movs p ~rd:7 99;
+        Isa.Asm_thumb.label p "eq_taken";
+        Isa.Asm_thumb.adds_imm8 p ~rdn:7 1;
+        Isa.Asm_thumb.movs p ~rd:2 3;
+        Isa.Asm_thumb.cmp_imm p ~rn:2 7;
+        Isa.Asm_thumb.b_cond p Isa.Asm_thumb.LT "lt_taken";
+        Isa.Asm_thumb.movs p ~rd:7 88;
+        Isa.Asm_thumb.label p "lt_taken";
+        Isa.Asm_thumb.adds_imm8 p ~rdn:7 2)
+  in
+  check_int "branch flags path" 3 (peek_reg tb 7)
+
+let test_carry_chain () =
+  let tb =
+    run_program (fun p ->
+        (* 0xFFFFFFFF + 1 = 0 carry 1; then adcs adds the carry *)
+        Isa.Asm_thumb.movs p ~rd:0 0;
+        Isa.Asm_thumb.mvns p ~rd:0 ~rm:0;        (* 0xFFFFFFFF *)
+        Isa.Asm_thumb.movs p ~rd:1 1;
+        Isa.Asm_thumb.movs p ~rd:2 0;
+        Isa.Asm_thumb.adds_reg p ~rd:3 ~rn:0 ~rm:1;  (* 0, C=1 *)
+        Isa.Asm_thumb.adcs p ~rdn:2 ~rm:2)           (* 0+0+C = 1 *)
+  in
+  check_int "adds wraps" 0 (peek_reg tb 3);
+  check_int "adcs picks carry" 1 (peek_reg tb 2)
+
+let test_muls () =
+  let tb =
+    run_program ~cycles:400 (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 7;
+        Isa.Asm_thumb.movs p ~rd:1 13;
+        Isa.Asm_thumb.mov_reg p ~rd:2 ~rm:0;
+        Isa.Asm_thumb.muls p ~rdm:2 ~rn:1)
+  in
+  check_int "muls" 91 (peek_reg tb 2)
+
+let test_memory () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0x80;
+        Isa.Asm_thumb.movs p ~rd:1 0xAB;
+        Isa.Asm_thumb.lsls_imm p ~rd:1 ~rm:1 8;   (* 0xAB00 *)
+        Isa.Asm_thumb.adds_imm8 p ~rdn:1 0xCD;    (* 0xABCD *)
+        Isa.Asm_thumb.str_imm p ~rt:1 ~rn:0 4;
+        Isa.Asm_thumb.ldr_imm p ~rt:2 ~rn:0 4;
+        Isa.Asm_thumb.ldrb_imm p ~rt:3 ~rn:0 4;
+        Isa.Asm_thumb.ldrh_imm p ~rt:4 ~rn:0 4;
+        Isa.Asm_thumb.strb_imm p ~rt:0 ~rn:0 5;
+        Isa.Asm_thumb.ldr_imm p ~rt:5 ~rn:0 4;
+        Isa.Asm_thumb.movs p ~rd:6 4;
+        Isa.Asm_thumb.ldr_reg p ~rt:7 ~rn:0 ~rm:6)
+  in
+  check_int "ldr" 0xABCD (peek_reg tb 2);
+  check_int "ldrb" 0xCD (peek_reg tb 3);
+  check_int "ldrh" 0xABCD (peek_reg tb 4);
+  check_int "strb patch" 0x80CD (peek_reg tb 5);
+  check_int "ldr reg" 0x80CD (peek_reg tb 7)
+
+let test_push_pop () =
+  let tb =
+    run_program ~cycles:400 (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0x80;
+        Isa.Asm_thumb.lsls_imm p ~rd:0 ~rm:0 1;   (* sp = 0x100 *)
+        Isa.Asm_thumb.mov_reg p ~rd:13 ~rm:0;
+        Isa.Asm_thumb.movs p ~rd:1 11;
+        Isa.Asm_thumb.movs p ~rd:2 22;
+        Isa.Asm_thumb.movs p ~rd:3 33;
+        Isa.Asm_thumb.push p [ 1; 2; 3 ];
+        Isa.Asm_thumb.movs p ~rd:1 0;
+        Isa.Asm_thumb.movs p ~rd:2 0;
+        Isa.Asm_thumb.movs p ~rd:3 0;
+        Isa.Asm_thumb.pop p [ 1; 2; 3 ];
+        Isa.Asm_thumb.mov_reg p ~rd:4 ~rm:13)
+  in
+  check_int "r1 restored" 11 (peek_reg tb 1);
+  check_int "r2 restored" 22 (peek_reg tb 2);
+  check_int "r3 restored" 33 (peek_reg tb 3);
+  check_int "sp balanced" 0x100 (peek_reg tb 4)
+
+let test_bl_bx () =
+  let tb =
+    run_program ~cycles:400 (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0;
+        Isa.Asm_thumb.bl p "func";
+        Isa.Asm_thumb.adds_imm8 p ~rdn:0 100;
+        Isa.Asm_thumb.b p "_stop";
+        Isa.Asm_thumb.label p "func";
+        Isa.Asm_thumb.adds_imm8 p ~rdn:0 1;
+        Isa.Asm_thumb.bx p ~rm:14;
+        Isa.Asm_thumb.label p "_stop";
+        Isa.Asm_thumb.nop p)
+  in
+  check_int "bl/bx" 101 (peek_reg tb 0)
+
+let test_extend_rev () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0x80;
+        Isa.Asm_thumb.sxtb p ~rd:1 ~rm:0;
+        Isa.Asm_thumb.uxtb p ~rd:2 ~rm:0;
+        Isa.Asm_thumb.movs p ~rd:3 0x12;
+        Isa.Asm_thumb.lsls_imm p ~rd:3 ~rm:3 8;
+        Isa.Asm_thumb.adds_imm8 p ~rdn:3 0x34;   (* 0x1234 *)
+        Isa.Asm_thumb.rev p ~rd:4 ~rm:3;
+        Isa.Asm_thumb.sxth p ~rd:5 ~rm:4)
+  in
+  check_int "sxtb" (u32 (-128)) (peek_reg tb 1);
+  check_int "uxtb" 0x80 (peek_reg tb 2);
+  check_int "rev" 0x34120000 (peek_reg tb 4);
+  check_int "sxth of rev" 0 (peek_reg tb 5)
+
+let test_exception_svc () =
+  let tb =
+    run_program ~cycles:200 (fun p ->
+        (* vector at byte 8: the handler *)
+        Isa.Asm_thumb.b p "main";         (* 0 *)
+        Isa.Asm_thumb.nop p;              (* 2 *)
+        Isa.Asm_thumb.nop p;              (* 4 *)
+        Isa.Asm_thumb.nop p;              (* 6 *)
+        Isa.Asm_thumb.label p "handler";  (* 8 *)
+        Isa.Asm_thumb.movs p ~rd:7 55;
+        Isa.Asm_thumb.b p "_stop";
+        Isa.Asm_thumb.label p "main";
+        Isa.Asm_thumb.movs p ~rd:7 0;
+        Isa.Asm_thumb.svc p 1;
+        Isa.Asm_thumb.movs p ~rd:7 99;
+        Isa.Asm_thumb.label p "_stop";
+        Isa.Asm_thumb.nop p)
+  in
+  check_int "svc took the vector" 55 (peek_reg tb 7);
+  check "lr holds return" true (peek_reg tb 14 land 1 = 1)
+
+let test_loop_countdown () =
+  let tb =
+    run_program ~cycles:400 (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 10;
+        Isa.Asm_thumb.movs p ~rd:1 0;
+        Isa.Asm_thumb.label p "loop";
+        Isa.Asm_thumb.adds_imm8 p ~rdn:1 3;
+        Isa.Asm_thumb.subs_imm8 p ~rdn:0 1;
+        Isa.Asm_thumb.b_cond p Isa.Asm_thumb.NE "loop")
+  in
+  check_int "10 iterations of +3" 30 (peek_reg tb 1)
+
+let test_flag_probe () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0;
+        Isa.Asm_thumb.movs p ~rd:1 1;
+        Isa.Asm_thumb.subs_reg p ~rd:2 ~rn:0 ~rm:1)  (* 0-1: N=1 Z=0 C=0 V=0 *)
+  in
+  let n, z, cf, v = flags tb in
+  check_int "N" 1 n;
+  check_int "Z" 0 z;
+  check_int "C (no borrow = 1, borrow = 0)" 0 cf;
+  check_int "V" 0 v
+
+let test_stm_ldm () =
+  let tb =
+    run_program ~cycles:400 (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0x80;
+        Isa.Asm_thumb.movs p ~rd:1 0x11;
+        Isa.Asm_thumb.movs p ~rd:2 0x22;
+        Isa.Asm_thumb.mov_reg p ~rd:4 ~rm:0;
+        Isa.Asm_thumb.stm p ~rn:4 [ 1; 2 ];
+        Isa.Asm_thumb.movs p ~rd:1 0;
+        Isa.Asm_thumb.movs p ~rd:2 0;
+        Isa.Asm_thumb.mov_reg p ~rd:5 ~rm:0;
+        Isa.Asm_thumb.ldm p ~rn:5 [ 1; 2 ])
+  in
+  check_int "r1 via stm/ldm" 0x11 (peek_reg tb 1);
+  check_int "r2 via stm/ldm" 0x22 (peek_reg tb 2);
+  (* both base registers written back by +8 *)
+  check_int "stm writeback" 0x88 (peek_reg tb 4);
+  check_int "ldm writeback" 0x88 (peek_reg tb 5)
+
+let test_signed_loads () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0x80;
+        Isa.Asm_thumb.movs p ~rd:1 0x85;   (* sign bit set byte *)
+        Isa.Asm_thumb.strb_imm p ~rt:1 ~rn:0 0;
+        Isa.Asm_thumb.movs p ~rd:2 0;
+        Isa.Asm_thumb.ldrsb_reg p ~rt:3 ~rn:0 ~rm:2;
+        Isa.Asm_thumb.movs p ~rd:4 0xFF;
+        Isa.Asm_thumb.lsls_imm p ~rd:4 ~rm:4 8;   (* 0xFF00 *)
+        Isa.Asm_thumb.strh_imm p ~rt:4 ~rn:0 2;
+        Isa.Asm_thumb.movs p ~rd:5 2;
+        Isa.Asm_thumb.ldrsh_reg p ~rt:6 ~rn:0 ~rm:5)
+  in
+  check_int "ldrsb sign-extends" (u32 (-123)) (peek_reg tb 3);
+  check_int "ldrsh sign-extends" (u32 (-256)) (peek_reg tb 6)
+
+let test_sp_relative () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0x80;
+        Isa.Asm_thumb.lsls_imm p ~rd:0 ~rm:0 1;
+        Isa.Asm_thumb.mov_reg p ~rd:13 ~rm:0;   (* sp = 0x100 *)
+        Isa.Asm_thumb.movs p ~rd:1 0x5A;
+        Isa.Asm_thumb.str_sp p ~rt:1 8;
+        Isa.Asm_thumb.ldr_sp p ~rt:2 8;
+        Isa.Asm_thumb.sub_sp_imm p 16;
+        Isa.Asm_thumb.mov_reg p ~rd:3 ~rm:13)
+  in
+  check_int "sp store/load" 0x5A (peek_reg tb 2);
+  check_int "sub sp" 0xF0 (peek_reg tb 3)
+
+let test_rors_cmn_tst () =
+  let tb =
+    run_program (fun p ->
+        Isa.Asm_thumb.movs p ~rd:0 0x81;
+        Isa.Asm_thumb.movs p ~rd:1 4;
+        Isa.Asm_thumb.mov_reg p ~rd:2 ~rm:0;
+        Isa.Asm_thumb.rors_reg p ~rdn:2 ~rs:1;   (* ror(0x81,4) = 0x10000008 *)
+        Isa.Asm_thumb.movs p ~rd:3 0;
+        Isa.Asm_thumb.mvns p ~rd:3 ~rm:3;        (* -1 *)
+        Isa.Asm_thumb.movs p ~rd:4 1;
+        Isa.Asm_thumb.movs p ~rd:7 0;
+        Isa.Asm_thumb.cmn p ~rn:3 ~rm:4;         (* -1 + 1 = 0: Z=1 *)
+        Isa.Asm_thumb.b_cond p Isa.Asm_thumb.EQ "z_ok";
+        Isa.Asm_thumb.movs p ~rd:7 99;
+        Isa.Asm_thumb.label p "z_ok";
+        Isa.Asm_thumb.adds_imm8 p ~rdn:7 1)
+  in
+  check_int "rors" 0x10000008 (peek_reg tb 2);
+  check_int "cmn set Z" 1 (peek_reg tb 7)
+
+let test_gate_count_scale () =
+  let t = Lazy.force core in
+  let st = Netlist.Stats.of_design t.Cores.Cm0_like.design in
+  let gates = Netlist.Stats.gate_count st in
+  check (Printf.sprintf "gate count %d in band" gates) true
+    (gates > 3_000 && gates < 30_000)
+
+let () =
+  Alcotest.run "cm0_like"
+    [
+      ( "execute",
+        [
+          Alcotest.test_case "mov/add/sub" `Quick test_mov_add_sub;
+          Alcotest.test_case "logic" `Quick test_logic_ops;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "flags + branches" `Quick test_flags_and_branches;
+          Alcotest.test_case "carry chain" `Quick test_carry_chain;
+          Alcotest.test_case "muls" `Quick test_muls;
+          Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "push/pop" `Quick test_push_pop;
+          Alcotest.test_case "bl/bx" `Quick test_bl_bx;
+          Alcotest.test_case "extend/rev" `Quick test_extend_rev;
+          Alcotest.test_case "svc exception" `Quick test_exception_svc;
+          Alcotest.test_case "loop" `Quick test_loop_countdown;
+          Alcotest.test_case "flag probe" `Quick test_flag_probe;
+          Alcotest.test_case "stm/ldm" `Quick test_stm_ldm;
+          Alcotest.test_case "signed loads" `Quick test_signed_loads;
+          Alcotest.test_case "sp relative" `Quick test_sp_relative;
+          Alcotest.test_case "rors/cmn" `Quick test_rors_cmn_tst;
+        ] );
+      ("scale", [ Alcotest.test_case "gate count" `Quick test_gate_count_scale ]);
+    ]

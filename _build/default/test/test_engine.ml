@@ -1,0 +1,215 @@
+(* Tests for the formal engine: simulation-based candidate mining,
+   CNF unrolling, mutual k-induction, and cutpoints.  Soundness checks
+   cross-validate proved invariants against long random simulations. *)
+
+module D = Netlist.Design
+module C = Netlist.Cell
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A design with structure worth proving things about:
+     in: a[2], en
+     r0: register that only loads when en=1, data = a&~a = 0 -> always 0
+     r1: toggles
+     y = r0 & r1  -> always 0
+     z = r1 | ~r1 -> always 1 (combinationally)
+*)
+let demo_design () =
+  let d = D.create "demo" in
+  let a0 = D.add_input d "a[0]" in
+  let a1 = D.add_input d "a[1]" in
+  let en = D.add_input d "en" in
+  let na0 = D.add_cell d C.Inv [| a0 |] in
+  let zero_comb = D.add_cell d C.And2 [| a0; na0 |] in
+  let r0 = D.new_net d in
+  let r0_next = D.add_cell d C.Mux2 [| en; r0; zero_comb |] in
+  D.add_cell_out d ~init:false C.Dff [| r0_next |] ~out:r0;
+  let r1 = D.new_net d in
+  let nr1 = D.add_cell d C.Inv [| r1 |] in
+  D.add_cell_out d ~init:false C.Dff [| nr1 |] ~out:r1;
+  let y = D.add_cell d C.And2 [| r0; r1 |] in
+  let z = D.add_cell d C.Or2 [| r1; nr1 |] in
+  let w = D.add_cell d C.Xor2 [| a1; r1 |] in
+  D.add_output d "y" y;
+  D.add_output d "z" z;
+  D.add_output d "w" w;
+  (d, zero_comb, r0, y, z, w)
+
+let test_rsim_finds_constants () =
+  let d, zero_comb, r0, y, z, w = demo_design () in
+  let cands = Engine.Rsim.mine d Engine.Stimulus.unconstrained in
+  let has c = List.exists (Engine.Candidate.equal c) cands in
+  check "zero_comb const0" true (has (Engine.Candidate.Const (zero_comb, false)));
+  check "r0 const0" true (has (Engine.Candidate.Const (r0, false)));
+  check "y const0" true (has (Engine.Candidate.Const (y, false)));
+  check "z const1" true (has (Engine.Candidate.Const (z, true)));
+  (* w toggles with a1, must not be a candidate *)
+  check "w not const" false
+    (has (Engine.Candidate.Const (w, false)) || has (Engine.Candidate.Const (w, true)))
+
+let test_induction_proves_true_invariants () =
+  let d, zero_comb, r0, y, z, _w = demo_design () in
+  let cands = Engine.Rsim.mine d Engine.Stimulus.unconstrained in
+  let proved, stats = Engine.Induction.prove ~assume:D.net_true d cands in
+  let has c = List.exists (Engine.Candidate.equal c) proved in
+  check "zero_comb proved" true (has (Engine.Candidate.Const (zero_comb, false)));
+  check "r0 proved" true (has (Engine.Candidate.Const (r0, false)));
+  check "y proved" true (has (Engine.Candidate.Const (y, false)));
+  check "z proved" true (has (Engine.Candidate.Const (z, true)));
+  check "not exhausted" false stats.Engine.Induction.budget_exhausted
+
+let test_induction_kills_false_candidates () =
+  (* candidate claims a free input-fed flop is constant: must die *)
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let q = D.add_dff d ~d:a () in
+  D.add_output d "q" q;
+  let false_cand = Engine.Candidate.Const (q, false) in
+  let proved, _ = Engine.Induction.prove ~assume:D.net_true d [ false_cand ] in
+  check "killed" true (proved = [])
+
+let test_induction_with_assumption () =
+  (* q loads input a every cycle; under the assumption a=0, q is
+     provably constant 0; without it, not *)
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let q = D.add_dff d ~d:a () in
+  let na = D.add_cell d C.Inv [| a |] in
+  D.add_output d "q" q;
+  let cand = Engine.Candidate.Const (q, false) in
+  let proved_free, _ = Engine.Induction.prove ~assume:D.net_true d [ cand ] in
+  check "unprovable without env" true (proved_free = []);
+  let proved_env, _ = Engine.Induction.prove ~assume:na d [ cand ] in
+  check "provable under env" true (proved_env = [ cand ])
+
+let test_induction_implications () =
+  (* g = x & (x | y): x -> (x|y) always holds *)
+  let d = D.create "t" in
+  let x = D.add_input d "x" in
+  let y = D.add_input d "y" in
+  let x_or_y = D.add_cell d C.Or2 [| x; y |] in
+  let g = D.add_cell d C.And2 [| x; x_or_y |] in
+  D.add_output d "g" g;
+  let cands = Engine.Rsim.mine d Engine.Stimulus.unconstrained in
+  let expected =
+    Engine.Candidate.Implies
+      { cell = (match D.driver d g with Some ci -> ci | None -> -1); a = x; b = x_or_y }
+  in
+  check "mined" true (List.exists (Engine.Candidate.equal expected) cands);
+  let proved, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+  check "proved" true (List.exists (Engine.Candidate.equal expected) proved)
+
+(* soundness: every proved invariant must hold on a long random sim *)
+let soundness_check d assume proved ~cycles =
+  let sim = Netlist.Sim64.create d in
+  let rng = Random.State.make [| 31337 |] in
+  let random_word () =
+    Int64.logor
+      (Int64.of_int (Random.State.bits rng))
+      (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
+  in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    List.iter (fun (_, n) -> Netlist.Sim64.set_input sim n (random_word ())) (D.inputs d);
+    Netlist.Sim64.eval sim;
+    (* only check cycles where the (unconstrained) assumption holds *)
+    if Netlist.Sim64.read sim assume = -1L then
+      List.iter
+        (fun c ->
+          if not (Engine.Candidate.holds_in_values (Netlist.Sim64.read sim) c) then
+            ok := false)
+        proved;
+    Netlist.Sim64.step sim
+  done;
+  !ok
+
+let qcheck_induction_sound =
+  QCheck.Test.make ~name:"proved invariants hold in simulation" ~count:15
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let d = Netlist.Generate.random ~seed () in
+      let cands = Engine.Rsim.mine d Engine.Stimulus.unconstrained in
+      let proved, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+      soundness_check d D.net_true proved ~cycles:500)
+
+let test_unroll_semantics () =
+  (* unrolled toggle flop: frame f value = parity of f *)
+  let d = D.create "t" in
+  let q = D.new_net d in
+  let nq = D.add_cell d C.Inv [| q |] in
+  D.add_cell_out d ~init:false C.Dff [| nq |] ~out:q;
+  D.add_output d "q" q;
+  let solver = Sat.Solver.create () in
+  let u = Engine.Unroll.create solver d ~init:`Reset in
+  for _ = 0 to 4 do
+    Engine.Unroll.add_frame u
+  done;
+  (match Sat.Solver.solve solver with
+  | Sat.Solver.Sat -> ()
+  | Sat.Solver.Unsat | Sat.Solver.Unknown -> Alcotest.fail "unrolling unsat");
+  for f = 0 to 4 do
+    let l = Engine.Unroll.lit u ~frame:f q in
+    check_int (Printf.sprintf "frame %d" f) (f mod 2)
+      (if Sat.Solver.lit_value solver l then 1 else 0)
+  done
+
+let test_cutpoint () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let x = D.add_cell d C.Inv [| a |] in
+  let y = D.add_cell d C.Inv [| x |] in
+  D.add_output d "y" y;
+  let d', fresh = Engine.Cutpoint.apply d ~name:"cut" [| x |] in
+  check_int "one new input" (List.length (D.inputs d) + 1) (List.length (D.inputs d'));
+  (* y = Inv(x); after the cut, y = Inv(cut) regardless of a *)
+  let sim = Netlist.Sim64.create d' in
+  Netlist.Sim64.set_input sim (Option.get (D.find_input d' "a")) 0L;
+  Netlist.Sim64.set_input sim fresh.(0) (-1L);
+  Netlist.Sim64.eval sim;
+  let y' = Option.get (D.find_output d' "y") in
+  check "y = not cut" true (Netlist.Sim64.read sim y' = 0L);
+  Netlist.Sim64.set_input sim fresh.(0) 0L;
+  Netlist.Sim64.eval sim;
+  check "y follows cut inverted" true (Netlist.Sim64.read sim y' = -1L);
+  check "cutting an input rejected" true
+    (try ignore (Engine.Cutpoint.apply d ~name:"c" [| a |]); false
+     with Invalid_argument _ -> true)
+
+let test_stimulus_pack () =
+  let lanes = Engine.Stimulus.pack_lanes (fun lane -> lane land 0xF) ~width:4 in
+  (* lane words are 0,1,2,...,63 masked to 4 bits; bit i of lanes.(j) is
+     bit j of word i *)
+  for lane = 0 to 63 do
+    let got =
+      List.fold_left
+        (fun acc j ->
+          if Int64.logand (Int64.shift_right_logical lanes.(j) lane) 1L = 1L then
+            acc lor (1 lsl j)
+          else acc)
+        0 [ 0; 1; 2; 3 ]
+    in
+    check_int (Printf.sprintf "lane %d" lane) (lane land 0xF) got
+  done
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "rsim",
+        [
+          Alcotest.test_case "finds constants" `Quick test_rsim_finds_constants;
+          Alcotest.test_case "stimulus packing" `Quick test_stimulus_pack;
+        ] );
+      ( "induction",
+        [
+          Alcotest.test_case "proves true invariants" `Quick
+            test_induction_proves_true_invariants;
+          Alcotest.test_case "kills false candidates" `Quick
+            test_induction_kills_false_candidates;
+          Alcotest.test_case "env assumptions" `Quick test_induction_with_assumption;
+          Alcotest.test_case "implications" `Quick test_induction_implications;
+        ] );
+      ("unroll", [ Alcotest.test_case "semantics" `Quick test_unroll_semantics ]);
+      ("cutpoint", [ Alcotest.test_case "apply" `Quick test_cutpoint ]);
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_induction_sound ]);
+    ]

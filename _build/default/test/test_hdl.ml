@@ -1,0 +1,342 @@
+(* Tests for the construction DSL: every operator is checked against
+   integer reference semantics by elaborating a tiny design and
+   simulating it. *)
+
+module H = Hdl.Ops
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Build a combinational design computing [f] of two w-bit inputs, then
+   compare against [reference] over a seeded random sample (and the
+   corner values). *)
+let binop_harness ~w ~out_w f reference =
+  let c = Hdl.Ctx.create "t" in
+  let a = Hdl.Ctx.input c "a" w in
+  let b = Hdl.Ctx.input c "b" w in
+  Hdl.Ctx.output c "z" (f a b);
+  let d = Hdl.Ctx.finish c in
+  let sim = Netlist.Sim64.create d in
+  let abus = Netlist.Design.input_bus d "a" in
+  let bbus = Netlist.Design.input_bus d "b" in
+  let zbus =
+    if out_w = 1 then
+      match Netlist.Design.find_output d "z" with
+      | Some n -> [| n |]
+      | None -> Alcotest.fail "no output z"
+    else Netlist.Design.output_bus d "z"
+  in
+  let mask = (1 lsl w) - 1 in
+  let rng = Random.State.make [| 5 |] in
+  let cases =
+    [ (0, 0); (mask, mask); (0, mask); (mask, 0); (1, mask); (mask lsr 1, (mask lsr 1) + 1) ]
+    @ List.init 100 (fun _ -> (Random.State.int rng (mask + 1), Random.State.int rng (mask + 1)))
+  in
+  List.iter
+    (fun (x, y) ->
+      Netlist.Sim64.set_bus sim abus x;
+      Netlist.Sim64.set_bus sim bbus y;
+      Netlist.Sim64.eval sim;
+      let got = Netlist.Sim64.read_bus sim zbus in
+      let expect = reference x y land ((1 lsl out_w) - 1) in
+      if got <> expect then
+        Alcotest.failf "x=%d y=%d: got %d, expected %d" x y got expect)
+    cases
+
+let signed_of ~w v = if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w) else v
+
+let test_add () = binop_harness ~w:8 ~out_w:8 H.( +: ) (fun a b -> a + b)
+let test_sub () = binop_harness ~w:8 ~out_w:8 H.( -: ) (fun a b -> a - b)
+let test_and () = binop_harness ~w:8 ~out_w:8 H.( &: ) (fun a b -> a land b)
+let test_or () = binop_harness ~w:8 ~out_w:8 H.( |: ) (fun a b -> a lor b)
+let test_xor () = binop_harness ~w:8 ~out_w:8 H.( ^: ) (fun a b -> a lxor b)
+
+let test_eq () = binop_harness ~w:8 ~out_w:1 H.( ==: ) (fun a b -> if a = b then 1 else 0)
+let test_ult () = binop_harness ~w:8 ~out_w:1 H.( <: ) (fun a b -> if a < b then 1 else 0)
+let test_uge () = binop_harness ~w:8 ~out_w:1 H.( >=: ) (fun a b -> if a >= b then 1 else 0)
+
+let test_slt () =
+  binop_harness ~w:8 ~out_w:1 H.slt (fun a b ->
+      if signed_of ~w:8 a < signed_of ~w:8 b then 1 else 0)
+
+let test_umul () =
+  binop_harness ~w:6 ~out_w:12 H.umul (fun a b -> a * b)
+
+let test_shifts () =
+  binop_harness ~w:8 ~out_w:8
+    (fun a b -> H.sll a (H.bits b ~hi:2 ~lo:0))
+    (fun a b -> a lsl (b land 7));
+  binop_harness ~w:8 ~out_w:8
+    (fun a b -> H.srl a (H.bits b ~hi:2 ~lo:0))
+    (fun a b -> a lsr (b land 7));
+  binop_harness ~w:8 ~out_w:8
+    (fun a b -> H.sra a (H.bits b ~hi:2 ~lo:0))
+    (fun a b -> signed_of ~w:8 a asr (b land 7))
+
+let test_structure () =
+  binop_harness ~w:8 ~out_w:8
+    (fun a b -> H.concat [ H.bits a ~hi:7 ~lo:4; H.bits b ~hi:3 ~lo:0 ])
+    (fun a b -> (a land 0xF0) lor (b land 0x0F));
+  binop_harness ~w:4 ~out_w:8 (fun a _ -> H.sign_extend a 8) (fun a _ ->
+      signed_of ~w:4 a);
+  binop_harness ~w:4 ~out_w:8 (fun a _ -> H.zero_extend a 8) (fun a _ -> a);
+  binop_harness ~w:8 ~out_w:4 (fun a _ -> H.popcount a) (fun a _ ->
+      let rec pc v = if v = 0 then 0 else (v land 1) + pc (v lsr 1) in
+      pc a)
+
+let test_mux2 () =
+  binop_harness ~w:8 ~out_w:8
+    (fun a b -> H.mux2 (H.lsb a) a b)
+    (fun a b -> if a land 1 = 1 then b else a)
+
+let test_mux_index () =
+  (* 4 cases indexed by a[1:0], plus replication beyond the case list *)
+  binop_harness ~w:8 ~out_w:8
+    (fun a b ->
+      let c = a.Hdl.Ctx.ctx in
+      H.mux (H.bits a ~hi:2 ~lo:0)
+        [ b; H.( ~: ) b; H.zero c 8; H.ones c 8 ])
+    (fun a b ->
+      match min (a land 7) 3 with
+      | 0 -> b
+      | 1 -> lnot b land 0xFF
+      | 2 -> 0
+      | _ -> 0xFF)
+
+let test_one_hot_mux () =
+  binop_harness ~w:8 ~out_w:8
+    (fun a b ->
+      let sel0 = H.eq_const (H.bits a ~hi:1 ~lo:0) 1 in
+      let sel1 = H.eq_const (H.bits a ~hi:1 ~lo:0) 2 in
+      H.one_hot_mux [ (sel0, b); (sel1, H.( ~: ) b) ])
+    (fun a b ->
+      match a land 3 with
+      | 1 -> b
+      | 2 -> lnot b land 0xFF
+      | _ -> 0)
+
+let test_priority_select () =
+  binop_harness ~w:8 ~out_w:8
+    (fun a b ->
+      let c = a.Hdl.Ctx.ctx in
+      H.priority_select
+        [ (H.bit a 0, b); (H.bit a 1, H.( ~: ) b) ]
+        ~default:(H.zero c 8))
+    (fun a b ->
+      if a land 1 = 1 then b
+      else if a land 2 = 2 then lnot b land 0xFF
+      else 0)
+
+let test_reduce () =
+  binop_harness ~w:8 ~out_w:1 (fun a _ -> H.reduce_and a) (fun a _ ->
+      if a = 0xFF then 1 else 0);
+  binop_harness ~w:8 ~out_w:1 (fun a _ -> H.reduce_or a) (fun a _ ->
+      if a <> 0 then 1 else 0);
+  binop_harness ~w:8 ~out_w:1 (fun a _ -> H.reduce_xor a) (fun a _ ->
+      let rec px v = if v = 0 then 0 else (v land 1) lxor px (v lsr 1) in
+      px a)
+
+let test_width_mismatch_rejected () =
+  let c = Hdl.Ctx.create "t" in
+  let a = Hdl.Ctx.input c "a" 4 in
+  let b = Hdl.Ctx.input c "b" 5 in
+  check "mismatch raises" true
+    (try
+       ignore (H.( +: ) a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cross_context_rejected () =
+  let c1 = Hdl.Ctx.create "t1" and c2 = Hdl.Ctx.create "t2" in
+  let a = Hdl.Ctx.input c1 "a" 4 in
+  let b = Hdl.Ctx.input c2 "b" 4 in
+  check "cross-ctx raises" true
+    (try
+       ignore (H.( &: ) a b);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- registers -------------------------------------------------------- *)
+
+let test_counter () =
+  let c = Hdl.Ctx.create "counter" in
+  let r = Hdl.Reg.create c ~width:8 "count" in
+  Hdl.Reg.connect r (H.( +: ) (Hdl.Reg.q r) (H.const c ~width:8 1));
+  Hdl.Ctx.output c "count" (Hdl.Reg.q r);
+  let d = Hdl.Ctx.finish c in
+  let sim = Netlist.Sim64.create d in
+  let bus = Netlist.Design.output_bus d "count" in
+  for expected = 0 to 10 do
+    Netlist.Sim64.eval sim;
+    check_int (Printf.sprintf "cycle %d" expected) expected
+      (Netlist.Sim64.read_bus sim bus);
+    Netlist.Sim64.step sim
+  done
+
+let test_reg_init_and_enable () =
+  let c = Hdl.Ctx.create "t" in
+  let en = Hdl.Ctx.input c "en" 1 in
+  let data = Hdl.Ctx.input c "data" 4 in
+  let q = Hdl.Reg.reg_en c ~init:0x5 "r" ~en data in
+  Hdl.Ctx.output c "q" q;
+  let d = Hdl.Ctx.finish c in
+  let sim = Netlist.Sim64.create d in
+  let qb = Netlist.Design.output_bus d "q" in
+  let datab = Netlist.Design.input_bus d "data" in
+  let enb = Netlist.Design.input_bus d "en" in
+  Netlist.Sim64.eval sim;
+  check_int "reset value" 0x5 (Netlist.Sim64.read_bus sim qb);
+  Netlist.Sim64.set_bus sim datab 0xA;
+  Netlist.Sim64.set_bus sim enb 0;
+  Netlist.Sim64.eval sim;
+  Netlist.Sim64.step sim;
+  Netlist.Sim64.eval sim;
+  check_int "hold without enable" 0x5 (Netlist.Sim64.read_bus sim qb);
+  Netlist.Sim64.set_bus sim enb 1;
+  Netlist.Sim64.eval sim;
+  Netlist.Sim64.step sim;
+  Netlist.Sim64.eval sim;
+  check_int "load with enable" 0xA (Netlist.Sim64.read_bus sim qb)
+
+let test_unconnected_register_fails () =
+  let c = Hdl.Ctx.create "t" in
+  let r = Hdl.Reg.create c ~width:2 "dangling" in
+  Hdl.Ctx.output c "q" (Hdl.Reg.q r);
+  check "finish fails" true
+    (try
+       ignore (Hdl.Ctx.finish c);
+       false
+     with Failure msg -> String.length msg > 0)
+
+let test_double_connect_fails () =
+  let c = Hdl.Ctx.create "t" in
+  let r = Hdl.Reg.create c ~width:2 "r" in
+  Hdl.Reg.connect r (H.zero c 2);
+  check "double connect" true
+    (try
+       Hdl.Reg.connect r (H.ones c 2);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- memories --------------------------------------------------------- *)
+
+let test_memory_rw () =
+  let c = Hdl.Ctx.create "mem" in
+  let we = Hdl.Ctx.input c "we" 1 in
+  let waddr = Hdl.Ctx.input c "waddr" 3 in
+  let wdata = Hdl.Ctx.input c "wdata" 8 in
+  let raddr = Hdl.Ctx.input c "raddr" 3 in
+  let m = Hdl.Mem.create c ~words:8 ~width:8 "m" in
+  Hdl.Mem.write m ~en:we ~addr:waddr ~data:wdata;
+  Hdl.Ctx.output c "rdata" (Hdl.Mem.read m raddr);
+  let d = Hdl.Ctx.finish c in
+  let sim = Netlist.Sim64.create d in
+  let set nm v = Netlist.Sim64.set_bus sim (Netlist.Design.input_bus d nm) v in
+  let rdata = Netlist.Design.output_bus d "rdata" in
+  (* write a distinct value to each word *)
+  for a = 0 to 7 do
+    set "we" 1;
+    set "waddr" a;
+    set "wdata" (a * 17 mod 256);
+    Netlist.Sim64.eval sim;
+    Netlist.Sim64.step sim
+  done;
+  set "we" 0;
+  for a = 0 to 7 do
+    set "raddr" a;
+    Netlist.Sim64.eval sim;
+    check_int (Printf.sprintf "word %d" a) (a * 17 mod 256)
+      (Netlist.Sim64.read_bus sim rdata)
+  done
+
+let test_memory_dual_write () =
+  let c = Hdl.Ctx.create "mem2" in
+  let m = Hdl.Mem.create c ~words:4 ~width:8 "m" in
+  let en0 = Hdl.Ctx.input c "en0" 1 in
+  let a0 = Hdl.Ctx.input c "a0" 2 in
+  let d0 = Hdl.Ctx.input c "d0" 8 in
+  let en1 = Hdl.Ctx.input c "en1" 1 in
+  let a1 = Hdl.Ctx.input c "a1" 2 in
+  let d1 = Hdl.Ctx.input c "d1" 8 in
+  let ra = Hdl.Ctx.input c "ra" 2 in
+  Hdl.Mem.write2 m ~en0 ~addr0:a0 ~data0:d0 ~en1 ~addr1:a1 ~data1:d1;
+  Hdl.Ctx.output c "rd" (Hdl.Mem.read m ra);
+  let d = Hdl.Ctx.finish c in
+  let sim = Netlist.Sim64.create d in
+  let set nm v = Netlist.Sim64.set_bus sim (Netlist.Design.input_bus d nm) v in
+  let rd = Netlist.Design.output_bus d "rd" in
+  (* simultaneous writes to different addresses *)
+  set "en0" 1; set "a0" 0; set "d0" 11;
+  set "en1" 1; set "a1" 1; set "d1" 22;
+  Netlist.Sim64.eval sim; Netlist.Sim64.step sim;
+  set "en0" 0; set "en1" 0;
+  set "ra" 0; Netlist.Sim64.eval sim;
+  check_int "port0 write" 11 (Netlist.Sim64.read_bus sim rd);
+  set "ra" 1; Netlist.Sim64.eval sim;
+  check_int "port1 write" 22 (Netlist.Sim64.read_bus sim rd);
+  (* collision: port 1 wins *)
+  set "en0" 1; set "a0" 2; set "d0" 33;
+  set "en1" 1; set "a1" 2; set "d1" 44;
+  Netlist.Sim64.eval sim; Netlist.Sim64.step sim;
+  set "en0" 0; set "en1" 0;
+  set "ra" 2; Netlist.Sim64.eval sim;
+  check_int "collision port1 wins" 44 (Netlist.Sim64.read_bus sim rd)
+
+(* --- qcheck ------------------------------------------------------------ *)
+
+let qcheck_add_assoc =
+  QCheck.Test.make ~name:"elaborated add matches int add" ~count:100
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (x, y) ->
+      let c = Hdl.Ctx.create "t" in
+      let a = Hdl.Ctx.input c "a" 16 in
+      let b = Hdl.Ctx.input c "b" 16 in
+      Hdl.Ctx.output c "z" (H.( +: ) a b);
+      let d = Hdl.Ctx.finish c in
+      let sim = Netlist.Sim64.create d in
+      Netlist.Sim64.set_bus sim (Netlist.Design.input_bus d "a") x;
+      Netlist.Sim64.set_bus sim (Netlist.Design.input_bus d "b") y;
+      Netlist.Sim64.eval sim;
+      Netlist.Sim64.read_bus sim (Netlist.Design.output_bus d "z")
+      = (x + y) land 0xFFFF)
+
+let () =
+  Alcotest.run "hdl"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "and" `Quick test_and;
+          Alcotest.test_case "or" `Quick test_or;
+          Alcotest.test_case "xor" `Quick test_xor;
+          Alcotest.test_case "eq" `Quick test_eq;
+          Alcotest.test_case "ult" `Quick test_ult;
+          Alcotest.test_case "uge" `Quick test_uge;
+          Alcotest.test_case "slt" `Quick test_slt;
+          Alcotest.test_case "umul" `Quick test_umul;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "mux2" `Quick test_mux2;
+          Alcotest.test_case "mux index" `Quick test_mux_index;
+          Alcotest.test_case "one-hot mux" `Quick test_one_hot_mux;
+          Alcotest.test_case "priority select" `Quick test_priority_select;
+          Alcotest.test_case "reductions" `Quick test_reduce;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch_rejected;
+          Alcotest.test_case "cross context" `Quick test_cross_context_rejected;
+        ] );
+      ( "reg",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "init and enable" `Quick test_reg_init_and_enable;
+          Alcotest.test_case "unconnected fails" `Quick
+            test_unconnected_register_fails;
+          Alcotest.test_case "double connect fails" `Quick test_double_connect_fails;
+        ] );
+      ( "mem",
+        [
+          Alcotest.test_case "read/write" `Quick test_memory_rw;
+          Alcotest.test_case "dual write" `Quick test_memory_dual_write;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_add_assoc ]);
+    ]

@@ -1,0 +1,276 @@
+(* Tests for the PDAT core library: rewiring semantics, environment
+   monitors, the full pipeline on a small design, and the end-to-end
+   guarantee on the Ibex-class core: a program from the reduced ISA
+   executes identically on the original and the PDAT-reduced netlist. *)
+
+module D = Netlist.Design
+module C = Netlist.Cell
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- rewiring ---------------------------------------------------------- *)
+
+let sim_output d inputs_v =
+  let sim = Netlist.Sim64.create d in
+  List.iter (fun (nm, v) -> Netlist.Sim64.set_input_name sim nm v) inputs_v;
+  Netlist.Sim64.eval sim;
+  List.map (fun (nm, n) -> (nm, Netlist.Sim64.read sim n)) (D.outputs d)
+
+let test_rewire_const () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let x = D.add_cell d C.And2 [| a; a |] in
+  D.add_output d "x" x;
+  (* pretend we proved x == 0: the output must follow the rail *)
+  let d' = Pdat.Rewire.apply d [ Engine.Candidate.Const (x, false) ] in
+  check "x tied low" true
+    (sim_output d' [ ("a", -1L) ] = [ ("x", 0L) ])
+
+let test_rewire_implies_and () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let x = D.add_cell d C.And2 [| a; b |] in
+  D.add_output d "x" x;
+  let cell = Option.get (D.driver d x) in
+  (* a -> b proved: output = a *)
+  let d' = Pdat.Rewire.apply d [ Engine.Candidate.Implies { cell; a; b } ] in
+  check "follows a" true
+    (sim_output d' [ ("a", -1L); ("b", 0L) ] = [ ("x", -1L) ])
+
+let test_rewire_implies_or () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let x = D.add_cell d C.Or2 [| a; b |] in
+  D.add_output d "x" x;
+  let cell = Option.get (D.driver d x) in
+  (* a -> b proved: a | b = b *)
+  let d' = Pdat.Rewire.apply d [ Engine.Candidate.Implies { cell; a; b } ] in
+  check "follows b" true
+    (sim_output d' [ ("a", -1L); ("b", 0L) ] = [ ("x", 0L) ])
+
+let test_rewire_implies_nand_nor () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let x = D.add_cell d C.Nand2 [| a; b |] in
+  let y = D.add_cell d C.Nor2 [| a; b |] in
+  D.add_output d "x" x;
+  D.add_output d "y" y;
+  let cx = Option.get (D.driver d x) in
+  let cy = Option.get (D.driver d y) in
+  let d' =
+    Pdat.Rewire.apply d
+      [ Engine.Candidate.Implies { cell = cx; a; b };
+        Engine.Candidate.Implies { cell = cy; a; b } ]
+  in
+  (* nand: !a ; nor: !b *)
+  check "nand is !a, nor is !b" true
+    (sim_output d' [ ("a", 0L); ("b", -1L) ] = [ ("x", -1L); ("y", 0L) ])
+
+let test_rewire_chain () =
+  (* implication redirect onto a net itself proved constant *)
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let x = D.add_cell d C.And2 [| a; b |] in
+  D.add_output d "x" x;
+  let cell = Option.get (D.driver d x) in
+  let d' =
+    Pdat.Rewire.apply d
+      [ Engine.Candidate.Implies { cell; a; b };
+        Engine.Candidate.Const (a, true) ]
+  in
+  check "chained to rail" true
+    (sim_output d' [ ("a", 0L); ("b", 0L) ] = [ ("x", -1L) ])
+
+(* --- environment monitors ---------------------------------------------- *)
+
+(* a bare 32-bit port design to host a monitor *)
+let port_design () =
+  let d = D.create "port" in
+  let nets = Array.init 32 (fun i -> D.add_input d (Printf.sprintf "instr_rdata[%d]" i)) in
+  (* keep a visible output so the design is non-trivial *)
+  D.add_output d "parity" (D.add_cell d C.Xor2 [| nets.(0); nets.(1) |]);
+  d
+
+let monitor_accepts subset word =
+  let d = port_design () in
+  let env = Pdat.Environment.riscv_port d ~port:"instr_rdata" subset in
+  let sim = Netlist.Sim64.create env.Pdat.Environment.model in
+  Netlist.Sim64.set_bus sim
+    (D.input_bus env.Pdat.Environment.model "instr_rdata")
+    word;
+  Netlist.Sim64.eval sim;
+  Netlist.Sim64.read sim env.Pdat.Environment.assume = -1L
+
+let reference_accepts subset word =
+  let is16 = word land 3 <> 3 in
+  List.exists
+    (fun nm ->
+      let i = Isa.Rv32.find nm in
+      let e = i.Isa.Rv32.enc in
+      if e.Isa.Encoding.width = 16 then
+        is16 && Isa.Encoding.matches e (word land 0xFFFF)
+      else (not is16) && Isa.Encoding.matches e word)
+    (Isa.Subset.instructions subset)
+
+let qcheck_monitor_matches_reference =
+  QCheck.Test.make ~name:"port monitor equals reference semantics" ~count:150
+    QCheck.(int_range 0 0xFFFFFFF)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let subset = Isa.Subset.rv32imc in
+      (* half the samples are valid instructions, half random words *)
+      let word =
+        if Random.State.bool rng then
+          let instrs = Isa.Subset.instructions subset in
+          let i = Isa.Rv32.find (List.nth instrs (Random.State.int rng (List.length instrs))) in
+          let w = Isa.Encoding.random_instance rng i.Isa.Rv32.enc in
+          if i.Isa.Rv32.enc.Isa.Encoding.width = 16 then
+            w lor (Random.State.int rng 0x10000 lsl 16)
+          else w
+        else Random.State.bits rng lor (Random.State.bits rng lsl 30)
+      in
+      let word = word land 0xFFFFFFFF in
+      monitor_accepts subset word = reference_accepts subset word)
+
+let test_stimulus_satisfies_monitor () =
+  let d = port_design () in
+  let subset = Isa.Workloads.riscv_all in
+  let env = Pdat.Environment.riscv_port d ~port:"instr_rdata" subset in
+  let sim = Netlist.Sim64.create env.Pdat.Environment.model in
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 200 do
+    List.iter
+      (fun (n, v) -> Netlist.Sim64.set_input sim n v)
+      (env.Pdat.Environment.stimulus.Engine.Stimulus.drive rng);
+    Netlist.Sim64.eval sim;
+    if Netlist.Sim64.read sim env.Pdat.Environment.assume <> -1L then
+      Alcotest.fail "stimulus produced a word the monitor rejects"
+  done
+
+(* --- pipeline on a small design ----------------------------------------- *)
+
+let test_pipeline_small_design () =
+  (* an input-gated accumulator: constraining the gate input to 0
+     freezes the accumulator and PDAT removes it *)
+  let c = Hdl.Ctx.create "acc" in
+  let en = Hdl.Ctx.input c "en" 1 in
+  let data = Hdl.Ctx.input c "data" 8 in
+  let acc = Hdl.Reg.reg_en c "acc" ~en (Hdl.Ops.( +: ) data data) in
+  Hdl.Ctx.output c "acc" acc;
+  Hdl.Ctx.output c "pass" data;
+  let d = Hdl.Ctx.finish c in
+  (* environment: en is always 0 *)
+  let model = D.copy d in
+  let en_net = Option.get (D.find_input model "en") in
+  let inv = D.add_cell model C.Inv [| en_net |] in
+  let env =
+    {
+      Pdat.Environment.model;
+      assume = inv;
+      stimulus =
+        Engine.Stimulus.
+          { drive = (fun _ -> [ (Option.get (D.find_input d "en"), 0L) ]) };
+      description = "en=0";
+    }
+  in
+  let result = Pdat.Pipeline.run ~design:d ~env () in
+  let before = result.Pdat.Pipeline.report.Pdat.Pipeline.before in
+  let after = result.Pdat.Pipeline.report.Pdat.Pipeline.after in
+  check "flops removed" true
+    (after.Netlist.Stats.flops < before.Netlist.Stats.flops);
+  check_int "all 8 accumulator flops gone" 0 after.Netlist.Stats.flops;
+  (* outputs still correct for allowed behaviour *)
+  let sim = Netlist.Sim64.create result.Pdat.Pipeline.reduced in
+  Netlist.Sim64.set_bus sim (D.input_bus result.Pdat.Pipeline.reduced "data") 0x2A;
+  Netlist.Sim64.eval sim;
+  check_int "pass-through intact" 0x2A
+    (Netlist.Sim64.read_bus sim (D.output_bus result.Pdat.Pipeline.reduced "pass"))
+
+(* --- end-to-end on the Ibex-class core ---------------------------------- *)
+
+(* Run a program on a design through the testbench and collect the
+   values it stores to memory. *)
+let run_and_dump design program ~cycles ~addrs =
+  let tb = Cores.Testbench.create design ~program () in
+  Cores.Testbench.run tb ~cycles;
+  List.map (fun a -> Cores.Testbench.read_mem32 tb a) addrs
+
+let test_reduced_ibex_runs_subset_program () =
+  let t = Cores.Ibex_like.build () in
+  let d = t.Cores.Ibex_like.design in
+  let env =
+    Pdat.Environment.riscv_cutpoint d ~nets:(Cores.Ibex_like.cutpoint_nets t)
+      Isa.Subset.rv32i
+  in
+  let result =
+    Pdat.Pipeline.run
+      ~rsim:{ Engine.Rsim.default with Engine.Rsim.cycles = 384; runs = 2 }
+      ~design:d ~env ()
+  in
+  check "meaningful reduction" true
+    (Pdat.Pipeline.gate_delta_pct result.Pdat.Pipeline.report > 10.0);
+  (* an rv32i program: compute and store results *)
+  let p = Isa.Asm.create () in
+  Isa.Asm.li p ~rd:1 1000;
+  Isa.Asm.li p ~rd:2 0;
+  Isa.Asm.li p ~rd:3 5;
+  Isa.Asm.label p "loop";
+  Isa.Asm.add p ~rd:2 ~rs1:2 ~rs2:1;
+  Isa.Asm.addi p ~rd:1 ~rs1:1 (-100);
+  Isa.Asm.addi p ~rd:3 ~rs1:3 (-1);
+  Isa.Asm.bne p ~rs1:3 ~rs2:0 "loop";
+  Isa.Asm.li p ~rd:5 0x80;
+  Isa.Asm.sw p ~rs2:2 ~rs1:5 0;
+  Isa.Asm.sw p ~rs2:1 ~rs1:5 4;
+  Isa.Asm.xor p ~rd:6 ~rs1:2 ~rs2:1;
+  Isa.Asm.sw p ~rs2:6 ~rs1:5 8;
+  Isa.Asm.label p "end";
+  Isa.Asm.j p "end";
+  let program = Isa.Asm.assemble p in
+  let addrs = [ 0x80; 0x84; 0x88 ] in
+  let base = run_and_dump d program ~cycles:200 ~addrs in
+  let reduced =
+    run_and_dump result.Pdat.Pipeline.reduced program ~cycles:200 ~addrs
+  in
+  check "identical architectural results" true (base = reduced);
+  check "program actually computed" true (List.nth base 0 = 4000)
+
+let test_catalog () =
+  check "catalog has the three property classes" true
+    (List.length Pdat.Property_library.catalog = 3);
+  List.iter
+    (fun pc ->
+      check "documented" true (String.length pc.Pdat.Property_library.description > 0);
+      check "has cells" true (pc.Pdat.Property_library.applies_to <> []))
+    Pdat.Property_library.catalog
+
+let () =
+  Alcotest.run "pdat"
+    [
+      ( "rewire",
+        [
+          Alcotest.test_case "const" `Quick test_rewire_const;
+          Alcotest.test_case "implies and" `Quick test_rewire_implies_and;
+          Alcotest.test_case "implies or" `Quick test_rewire_implies_or;
+          Alcotest.test_case "implies nand/nor" `Quick test_rewire_implies_nand_nor;
+          Alcotest.test_case "chains" `Quick test_rewire_chain;
+        ] );
+      ( "environment",
+        [
+          Alcotest.test_case "stimulus satisfies monitor" `Quick
+            test_stimulus_satisfies_monitor;
+          QCheck_alcotest.to_alcotest qcheck_monitor_matches_reference;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "small design" `Quick test_pipeline_small_design;
+          Alcotest.test_case "reduced ibex equivalence" `Slow
+            test_reduced_ibex_runs_subset_program;
+        ] );
+      ("property library", [ Alcotest.test_case "catalog" `Quick test_catalog ]);
+    ]

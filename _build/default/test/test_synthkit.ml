@@ -1,0 +1,178 @@
+(* Tests for the resynthesis substitute: behaviour preservation on
+   random designs, and effectiveness on designs with known dead or
+   constant logic. *)
+
+module D = Netlist.Design
+module C = Netlist.Cell
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* re-usable sequential equivalence harness *)
+let equivalent ?(cycles = 40) d1 d2 =
+  let rng = Random.State.make [| 17 |] in
+  let s1 = Netlist.Sim64.create d1 and s2 = Netlist.Sim64.create d2 in
+  let names = List.map fst (D.inputs d1) in
+  let word () =
+    Int64.logor
+      (Int64.of_int (Random.State.bits rng))
+      (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
+  in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    List.iter
+      (fun nm ->
+        let v = word () in
+        Netlist.Sim64.set_input_name s1 nm v;
+        Netlist.Sim64.set_input_name s2 nm v)
+      names;
+    Netlist.Sim64.eval s1;
+    Netlist.Sim64.eval s2;
+    List.iter2
+      (fun (_, n1) (_, n2) ->
+        if Netlist.Sim64.read s1 n1 <> Netlist.Sim64.read s2 n2 then ok := false)
+      (D.outputs d1) (D.outputs d2);
+    Netlist.Sim64.step s1;
+    Netlist.Sim64.step s2
+  done;
+  !ok
+
+let test_constant_folding () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  (* (a & 0) | (a & 1) == a *)
+  let a_and_0 = D.add_cell d C.And2 [| a; D.net_false |] in
+  let a_and_1 = D.add_cell d C.And2 [| a; D.net_true |] in
+  let y = D.add_cell d C.Or2 [| a_and_0; a_and_1 |] in
+  D.add_output d "y" y;
+  let d', report = Synthkit.Optimize.run d in
+  check "equivalent" true (equivalent d d');
+  (* all logic should fold to a wire *)
+  check_int "no gates left" 0 (Netlist.Stats.of_design d').Netlist.Stats.gates;
+  check "report improves" true
+    (Netlist.Stats.total_cells report.Synthkit.Optimize.after
+    <= Netlist.Stats.total_cells report.Synthkit.Optimize.before)
+
+let test_double_inverter () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let x = D.add_cell d C.Inv [| a |] in
+  let y = D.add_cell d C.Inv [| x |] in
+  let z = D.add_cell d C.Inv [| y |] in
+  D.add_output d "z" z;
+  let d', _ = Synthkit.Optimize.run d in
+  check "equivalent" true (equivalent d d');
+  check_int "one inverter" 1 (Netlist.Stats.of_design d').Netlist.Stats.gates
+
+let test_strash_merges_duplicates () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let x1 = D.add_cell d C.And2 [| a; b |] in
+  let x2 = D.add_cell d C.And2 [| b; a |] in
+  let y = D.add_cell d C.Xor2 [| x1; x2 |] in  (* x ^ x = 0 *)
+  D.add_output d "y" y;
+  let d', _ = Synthkit.Optimize.run d in
+  check "equivalent" true (equivalent d d');
+  check_int "everything folds" 0 (Netlist.Stats.of_design d').Netlist.Stats.gates
+
+let test_mux_simplifications () =
+  let d = D.create "t" in
+  let s = D.add_input d "s" in
+  let a = D.add_input d "a" in
+  (* mux(s, a, a) = a;  mux(s, 0, 1) = s *)
+  let m1 = D.add_cell d C.Mux2 [| s; a; a |] in
+  let m2 = D.add_cell d C.Mux2 [| s; D.net_false; D.net_true |] in
+  let y = D.add_cell d C.And2 [| m1; m2 |] in
+  D.add_output d "y" y;
+  let d', _ = Synthkit.Optimize.run d in
+  check "equivalent" true (equivalent d d');
+  (* should reduce to a single and2(a, s) *)
+  check_int "one gate" 1 (Netlist.Stats.of_design d').Netlist.Stats.gates
+
+let test_sequential_constant () =
+  (* flop with D tied to its reset value is constant; dependent logic folds *)
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let q = D.add_dff d ~init:false ~d:D.net_false () in
+  let y = D.add_cell d C.And2 [| a; q |] in
+  D.add_output d "y" y;
+  let d', _ = Synthkit.Optimize.run d in
+  check "equivalent" true (equivalent d d');
+  let st = Netlist.Stats.of_design d' in
+  check_int "flop gone" 0 st.Netlist.Stats.flops;
+  check_int "and gone" 0 st.Netlist.Stats.gates
+
+let test_self_loop_flop () =
+  (* flop feeding itself holds its reset value forever *)
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let q = D.new_net d in
+  D.add_cell_out d ~init:true C.Dff [| q |] ~out:q;
+  let y = D.add_cell d C.And2 [| a; q |] in
+  D.add_output d "y" y;
+  let d', _ = Synthkit.Optimize.run d in
+  check "equivalent" true (equivalent d d');
+  let st = Netlist.Stats.of_design d' in
+  check_int "flop gone" 0 st.Netlist.Stats.flops;
+  check_int "no gates (y = a)" 0 st.Netlist.Stats.gates
+
+let test_dead_code_removed () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let live = D.add_cell d C.Inv [| a |] in
+  let dead = D.add_cell d C.Xor2 [| a; live |] in
+  let _dead2 = D.add_cell d C.And2 [| dead; a |] in
+  D.add_output d "y" live;
+  let d', _ = Synthkit.Optimize.run d in
+  check_int "only the inverter" 1 (Netlist.Stats.of_design d').Netlist.Stats.gates
+
+let qcheck_optimize_preserves =
+  QCheck.Test.make ~name:"optimize preserves sequential behaviour" ~count:40
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let d = Netlist.Generate.random ~seed () in
+      let d', _ = Synthkit.Optimize.run d in
+      equivalent d d')
+
+let qcheck_optimize_never_grows =
+  (* area is the paper's metric; cell count may trade (e.g. a mux with a
+     constant arm becomes INV+AND, smaller but two cells) *)
+  QCheck.Test.make ~name:"optimize never grows the area" ~count:40
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let d = Netlist.Generate.random ~seed () in
+      let d', _ = Synthkit.Optimize.run d in
+      (Netlist.Stats.of_design d').Netlist.Stats.area
+      <= (Netlist.Stats.of_design (D.compact d)).Netlist.Stats.area +. 1e-6)
+
+let qcheck_optimize_idempotent_size =
+  QCheck.Test.make ~name:"second optimize finds nothing more" ~count:20
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let d = Netlist.Generate.random ~seed () in
+      let d1, _ = Synthkit.Optimize.run d in
+      let d2, _ = Synthkit.Optimize.run d1 in
+      D.num_cells d2 = D.num_cells d1)
+
+let () =
+  Alcotest.run "synthkit"
+    [
+      ( "simplify",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "double inverter" `Quick test_double_inverter;
+          Alcotest.test_case "strash" `Quick test_strash_merges_duplicates;
+          Alcotest.test_case "mux identities" `Quick test_mux_simplifications;
+          Alcotest.test_case "sequential constant" `Quick test_sequential_constant;
+          Alcotest.test_case "self-loop flop" `Quick test_self_loop_flop;
+          Alcotest.test_case "dead code" `Quick test_dead_code_removed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_optimize_preserves;
+            qcheck_optimize_never_grows;
+            qcheck_optimize_idempotent_size;
+          ] );
+    ]
