@@ -67,7 +67,7 @@ let run_ablation () =
         Pdat.Pipeline.run ~rsim
           ~induction:
             { Engine.Induction.k; call_conflict_budget = 30_000;
-              total_conflict_budget = 2_000_000 }
+              total_conflict_budget = 2_000_000; time_budget_s = -1. }
           ~design:d ~env:(env ()) ()
       in
       Format.printf "%-28s %a@." label Pdat.Pipeline.pp_report

@@ -108,11 +108,50 @@ let out_arg =
 
 (* ---------------- reduce --------------------------------------------- *)
 
+let validate_flag =
+  let doc =
+    "Differentially validate the reduction against the original design; \
+     on any divergence the baseline design is returned instead."
+  in
+  Arg.(value & flag & info [ "validate" ] ~doc)
+
+let time_budget_arg =
+  let doc =
+    "Wall-clock budget in seconds for the whole pipeline; stages degrade \
+     gracefully (shorter mining, inconclusive proofs drop candidates)."
+  in
+  Arg.(value & opt (some float) None & info [ "time-budget" ] ~doc ~docv:"SECONDS")
+
+let inject_arg =
+  let fault =
+    let parse s =
+      match Pdat.Faults.of_name s with
+      | Some k -> Ok k
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown fault %S (expected %s)" s
+                 (String.concat ", " (List.map Pdat.Faults.name Pdat.Faults.all))))
+    in
+    Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Pdat.Faults.name k))
+  in
+  let doc =
+    "Self-test: inject the named fault at its stage boundary (implies the \
+     validator should catch it). One of flip-constant, bogus-invariant, \
+     miswire, perturb-cell."
+  in
+  Arg.(value & opt (some fault) None & info [ "inject" ] ~doc ~docv:"FAULT")
+
 let reduce_cmd =
   let port_flag =
     Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
   in
-  let run fast core subset_name port out =
+  let run fast core subset_name port out validate time_budget inject_kind =
+    if inject_kind <> None && not validate then begin
+      Format.eprintf "--inject requires --validate to mean anything@.";
+      exit 1
+    end;
     let design, cut_nets = build_core ~fast core in
     let env =
       match core with
@@ -137,18 +176,34 @@ let reduce_cmd =
           in
           Pdat.Environment.arm_port design ~port:"instr_rdata" subset
     in
-    let result = Pdat.Pipeline.run ~design ~env () in
+    let inject =
+      Option.map (fun kind -> { Pdat.Faults.kind; seed = 7 }) inject_kind
+    in
+    let result =
+      Pdat.Pipeline.run ~validate ?time_budget ?inject ~design ~env ()
+    in
     Format.printf "%a@." Pdat.Pipeline.pp_report result.Pdat.Pipeline.report;
     Option.iter
       (fun path ->
         Netlist.Verilog.write_file result.Pdat.Pipeline.reduced path;
         Format.printf "wrote %s@." path)
-      out
+      out;
+    (* in self-test mode, an uncaught fault is a hard failure *)
+    match inject_kind with
+    | Some _
+      when result.Pdat.Pipeline.report.Pdat.Pipeline.injected_fault <> None
+           && not result.Pdat.Pipeline.report.Pdat.Pipeline.validated ->
+        ()
+    | Some k ->
+        Format.eprintf "injected fault %s was NOT caught@." (Pdat.Faults.name k);
+        exit 1
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Reduce a core for an ISA subset and optionally export Verilog")
-    Term.(const run $ fast $ core_arg $ subset_arg $ port_flag $ out_arg)
+    Term.(const run $ fast $ core_arg $ subset_arg $ port_flag $ out_arg
+          $ validate_flag $ time_budget_arg $ inject_arg)
 
 (* ---------------- export --------------------------------------------- *)
 

@@ -48,6 +48,7 @@ let () =
               (fun _ ->
                 [ (Option.get (Netlist.Design.find_input design "mode"), 0L) ]);
           };
+      cuts = [||];
       description = "mode pinned to 0";
     }
   in

@@ -6,6 +6,7 @@ type t = {
   model : D.t;
   assume : D.net;
   stimulus : Engine.Stimulus.t;
+  cuts : (D.net * D.net) array;
   description : string;
 }
 
@@ -14,6 +15,7 @@ let unconstrained d =
     model = D.copy d;
     assume = D.net_true;
     stimulus = Engine.Stimulus.unconstrained;
+    cuts = [||];
     description = "unconstrained";
   }
 
@@ -134,6 +136,7 @@ let riscv_port ?(rv32e = false) d ~port subset =
     model;
     assume;
     stimulus = riscv_stimulus (D.input_bus d port) ~rv32e subset;
+    cuts = [||];
     description =
       Printf.sprintf "port-based %s%s" (Isa.Subset.name subset)
         (if rv32e then " (rv32e registers)" else "");
@@ -151,6 +154,7 @@ let riscv_cutpoint ?(rv32e = false) d ~nets subset =
     model;
     assume;
     stimulus = riscv_stimulus fresh ~rv32e subset;
+    cuts = Array.init (Array.length nets) (fun i -> (nets.(i), fresh.(i)));
     description = Printf.sprintf "cutpoint-based %s" (Isa.Subset.name subset);
   }
 
@@ -199,6 +203,7 @@ let arm_port d ~port subset =
     assume;
     stimulus =
       Engine.Stimulus.{ drive = (fun rng -> bus_driver (D.input_bus d port) gen rng) };
+    cuts = [||];
     description = Printf.sprintf "port-based %s" (Isa.Subset.name subset);
   }
 

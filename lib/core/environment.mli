@@ -16,6 +16,11 @@ type t = {
   model : Netlist.Design.t;   (** copy (possibly cut) + monitor *)
   assume : Netlist.Design.net;
   stimulus : Engine.Stimulus.t;
+  cuts : (Netlist.Design.net * Netlist.Design.net) array;
+      (** cutpoint map: [(original_net, model_fresh_input)] pairs.
+          Empty for port-based and unconstrained environments.  The
+          differential validator uses it to evaluate the monitor on the
+          values the original design actually computes. *)
   description : string;
 }
 

@@ -1,0 +1,218 @@
+module D = Netlist.Design
+module C = Netlist.Cell
+
+type kind = Flip_constant | Bogus_invariant | Miswire | Perturb_cell
+
+type t = {
+  kind : kind;
+  seed : int;
+}
+
+let all = [ Flip_constant; Bogus_invariant; Miswire; Perturb_cell ]
+
+let name = function
+  | Flip_constant -> "flip-constant"
+  | Bogus_invariant -> "bogus-invariant"
+  | Miswire -> "miswire"
+  | Perturb_cell -> "perturb-cell"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "flip-constant" | "flip_constant" -> Some Flip_constant
+  | "bogus-invariant" | "bogus_invariant" -> Some Bogus_invariant
+  | "miswire" -> Some Miswire
+  | "perturb-cell" | "perturb_cell" -> Some Perturb_cell
+  | _ -> None
+
+(* Nets backwards-reachable from the primary outputs.  A corruption
+   outside this cone is invisible by construction, so every injector
+   restricts itself to it: the point is to test the validator, not to
+   hide faults from it. *)
+let output_cone d =
+  let seen = Array.make (D.num_nets d) false in
+  let stack = ref [] in
+  let visit n =
+    if not seen.(n) then begin
+      seen.(n) <- true;
+      stack := n :: !stack
+    end
+  in
+  List.iter (fun (_, n) -> visit n) (D.outputs d);
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+        stack := rest;
+        (match D.driver d n with
+        | Some ci -> Array.iter visit (D.cell d ci).D.ins
+        | None -> ());
+        drain ()
+  in
+  drain ();
+  seen
+
+let pick rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+let corrupt_proved t ~design proved =
+  let rng = Random.State.make [| t.seed |] in
+  match t.kind with
+  | Flip_constant ->
+      let cone = output_cone design in
+      let is_po = Array.make (D.num_nets design) false in
+      List.iter (fun (_, n) -> is_po.(n) <- true) (D.outputs design);
+      (* prefer constants on primary-output nets: rewiring redirects
+         the output itself, so the flip is observable no matter what
+         other proved constants shadow the net's internal readers *)
+      let consts_on pred =
+        List.filter
+          (function Engine.Candidate.Const (n, _) -> pred n | _ -> false)
+          proved
+      in
+      let consts =
+        match consts_on (fun n -> is_po.(n)) with
+        | [] -> consts_on (fun n -> cone.(n))
+        | l -> l
+      in
+      (match pick rng consts with
+      | Some (Engine.Candidate.Const (n, b) as victim) ->
+          let proved' =
+            List.map
+              (fun c ->
+                if Engine.Candidate.equal c victim then
+                  Engine.Candidate.Const (n, not b)
+                else c)
+              proved
+          in
+          Some
+            ( proved',
+              Printf.sprintf
+                "flip-constant: proved stuck-at-%b on net %d (%s) flipped" b n
+                (D.net_name design n) )
+      | _ -> None)
+  | Bogus_invariant ->
+      let cone = output_cone design in
+      (* a flip-flop that is genuinely proved constant is useless here:
+         rewiring resolves conflicting claims in favour of whichever it
+         sees last, so the bogus claim could be silently shadowed *)
+      let claimed = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Engine.Candidate.Const (n, _) -> Hashtbl.replace claimed n ()
+          | Engine.Candidate.Implies _ -> ())
+        proved;
+      let ffs = ref [] in
+      D.iter_cells design (fun _ c ->
+          if c.D.kind = C.Dff && cone.(c.D.out)
+             && not (Hashtbl.mem claimed c.D.out)
+          then ffs := c :: !ffs);
+      (* claim the register is stuck at the complement of its reset
+         value: false on the very first cycle, so an output-visible
+         register guarantees the validator something to catch *)
+      (match pick rng !ffs with
+      | Some c ->
+          Some
+            ( Engine.Candidate.Const (c.D.out, not c.D.init) :: proved,
+              Printf.sprintf
+                "bogus-invariant: injected stuck-at-%b on flip-flop net %d (%s)"
+                (not c.D.init) c.D.out
+                (D.net_name design c.D.out) )
+      | None -> None)
+  | Miswire | Perturb_cell -> None
+
+let corrupt_rewired t ~original ~rewired =
+  match t.kind with
+  | Miswire ->
+      let rng = Random.State.make [| t.seed |] in
+      let cone = output_cone rewired in
+      let n = min (D.num_cells original) (D.num_cells rewired) in
+      let sites = ref [] in
+      for i = 2 to n - 1 do
+        let co = D.cell original i and cr = D.cell rewired i in
+        if cone.(cr.D.out) then
+          Array.iteri
+            (fun p orig_in ->
+              let new_in = cr.D.ins.(p) in
+              if
+                new_in <> orig_in
+                && (new_in = D.net_false || new_in = D.net_true)
+              then sites := (i, p) :: !sites)
+            co.D.ins
+      done;
+      (match pick rng !sites with
+      | Some (i, p) ->
+          let d = D.copy rewired in
+          let c = D.cell d i in
+          let ins = Array.copy c.D.ins in
+          ins.(p) <-
+            (if ins.(p) = D.net_false then D.net_true else D.net_false);
+          D.replace_cell d i c.D.kind ins;
+          Some
+            ( d,
+              Printf.sprintf "miswire: cell %d (%s) pin %d tied to the wrong rail"
+                i (C.name c.D.kind) p )
+      | None -> None)
+  | Flip_constant | Bogus_invariant | Perturb_cell -> None
+
+(* same-arity swap that complements the output on every input vector *)
+let complement = function
+  | C.Buf -> Some C.Inv
+  | C.Inv -> Some C.Buf
+  | C.And2 -> Some C.Nand2
+  | C.Nand2 -> Some C.And2
+  | C.Or2 -> Some C.Nor2
+  | C.Nor2 -> Some C.Or2
+  | C.Xor2 -> Some C.Xnor2
+  | C.Xnor2 -> Some C.Xor2
+  | C.And3 -> Some C.Nand3
+  | C.Nand3 -> Some C.And3
+  | C.Or3 -> Some C.Nor3
+  | C.Nor3 -> Some C.Or3
+  | C.Const0 | C.Const1 | C.And4 | C.Or4 | C.Mux2 | C.Aoi21 | C.Oai21
+  | C.Dff ->
+      None
+
+let corrupt_reduced t ~reduced =
+  match t.kind with
+  | Perturb_cell ->
+      let rng = Random.State.make [| t.seed |] in
+      let cone = output_cone reduced in
+      let is_po = Array.make (D.num_nets reduced) false in
+      List.iter (fun (_, n) -> is_po.(n) <- true) (D.outputs reduced);
+      let collect pred =
+        let acc = ref [] in
+        D.iter_cells reduced (fun i c ->
+            if i > 1 && pred c.D.out then
+              match complement c.D.kind with
+              | Some k' -> acc := (i, `Kind k') :: !acc
+              | None -> if c.D.kind = C.Dff then acc := (i, `Init) :: !acc);
+        !acc
+      in
+      (* a complemented cell right on a primary output is a guaranteed
+         divergence; fall back to anywhere in the cone *)
+      let sites =
+        match collect (fun n -> is_po.(n)) with
+        | [] -> collect (fun n -> cone.(n))
+        | l -> l
+      in
+      (match pick rng sites with
+      | Some (i, action) ->
+          let d = D.copy reduced in
+          let c = D.cell d i in
+          (match action with
+          | `Kind k' ->
+              D.replace_cell d i k' c.D.ins;
+              Some
+                ( d,
+                  Printf.sprintf "perturb-cell: cell %d rewritten %s -> %s" i
+                    (C.name c.D.kind) (C.name k') )
+          | `Init ->
+              D.replace_cell d i ~init:(not c.D.init) c.D.kind c.D.ins;
+              Some
+                ( d,
+                  Printf.sprintf
+                    "perturb-cell: cell %d (%s) reset value flipped" i
+                    (C.name c.D.kind) ))
+      | None -> None)
+  | Flip_constant | Bogus_invariant | Miswire -> None

@@ -6,6 +6,11 @@ type report = {
   before : Netlist.Stats.t;
   after : Netlist.Stats.t;
   seconds : float;
+  stage_seconds : (string * float) list;
+  validation : Validate.outcome option;
+  validated : bool;
+  fallback_reason : string option;
+  injected_fault : string option;
 }
 
 type result = {
@@ -20,27 +25,106 @@ let baseline d =
 let default_refine =
   { Engine.Rsim.default with Engine.Rsim.cycles = 2048; runs = 4 }
 
-let run ?rsim ?(refine = default_refine) ?induction ~design ~env () =
+let run ?rsim ?(refine = default_refine) ?induction ?(validate = false)
+    ?validate_config ?validate_stimulus ?time_budget ?inject ~design ~env () =
   let t0 = Unix.gettimeofday () in
+  let budget =
+    match time_budget with Some b when b > 0. -> Some b | Some _ | None -> None
+  in
+  (* cumulative checkpoints: a stage finishing early donates its slack
+     to every later stage *)
+  let checkpoint frac = Option.map (fun b -> t0 +. (frac *. b)) budget in
+  let stage_seconds = ref [] in
+  let timed name f =
+    let s = Unix.gettimeofday () in
+    let r = f () in
+    stage_seconds := (name, Unix.gettimeofday () -. s) :: !stage_seconds;
+    r
+  in
+  let injected = ref None in
+  let try_fault hook =
+    match inject with
+    | Some f when !injected = None -> (
+        match hook f with
+        | Some (x, what) ->
+            injected := Some what;
+            Some x
+        | None -> None)
+    | Some _ | None -> None
+  in
   let candidates =
-    Property_library.mine ?config:rsim ~model:env.Environment.model
-      ~assume:env.Environment.assume ~stimulus:env.Environment.stimulus ()
-    |> Property_library.restrict_to_original ~original:design
+    timed "mine" (fun () ->
+        Property_library.mine ?config:rsim ?deadline:(checkpoint 0.2)
+          ~model:env.Environment.model ~assume:env.Environment.assume
+          ~stimulus:env.Environment.stimulus ()
+        |> Property_library.restrict_to_original ~original:design)
   in
   (* a long, candidate-focused simulation pass kills most false
      candidates far more cheaply than SAT counterexamples would *)
   let candidates =
-    Engine.Rsim.refine ~config:refine ~assume:env.Environment.assume
-      env.Environment.model env.Environment.stimulus candidates
+    timed "refine" (fun () ->
+        Engine.Rsim.refine ~config:refine ?deadline:(checkpoint 0.4)
+          ~assume:env.Environment.assume env.Environment.model
+          env.Environment.stimulus candidates)
+  in
+  let induction_options =
+    let base =
+      match induction with
+      | Some o -> o
+      | None -> Engine.Induction.default_options
+    in
+    match checkpoint 0.85 with
+    | None -> base
+    | Some t ->
+        let remaining = Float.max 0.001 (t -. Unix.gettimeofday ()) in
+        let b = base.Engine.Induction.time_budget_s in
+        { base with
+          Engine.Induction.time_budget_s =
+            (if b > 0. then Float.min b remaining else remaining) }
   in
   let proved, istats =
-    Engine.Induction.prove ?options:induction
-      ~cex:(env.Environment.stimulus, 24)
-      ~assume:env.Environment.assume env.Environment.model candidates
+    timed "prove" (fun () ->
+        Engine.Induction.prove ~options:induction_options
+          ~cex:(env.Environment.stimulus, 24)
+          ~assume:env.Environment.assume env.Environment.model candidates)
   in
-  let rewired = Rewire.apply design proved in
-  let reduced, _ = Synthkit.Optimize.run rewired in
-  let _, before = baseline design in
+  let proved =
+    match try_fault (fun f -> Faults.corrupt_proved f ~design proved) with
+    | Some proved' -> proved'
+    | None -> proved
+  in
+  let rewired = timed "rewire" (fun () -> Rewire.apply design proved) in
+  let rewired =
+    match
+      try_fault (fun f -> Faults.corrupt_rewired f ~original:design ~rewired)
+    with
+    | Some d -> d
+    | None -> rewired
+  in
+  let reduced =
+    timed "resynth" (fun () -> fst (Synthkit.Optimize.run rewired))
+  in
+  let reduced =
+    match try_fault (fun f -> Faults.corrupt_reduced f ~reduced) with
+    | Some d -> d
+    | None -> reduced
+  in
+  let base_design, before = timed "baseline" (fun () -> baseline design) in
+  let validation, reduced, validated, fallback_reason =
+    if not validate then (None, reduced, false, None)
+    else
+      let outcome =
+        timed "validate" (fun () ->
+            Validate.run ?config:validate_config ?deadline:(checkpoint 1.0)
+              ?stimulus:validate_stimulus ~original:design ~reduced ~env ())
+      in
+      match outcome with
+      | Validate.Equivalent _ -> (Some outcome, reduced, true, None)
+      | Validate.Divergent _ | Validate.Unsupported _ ->
+          (* never ship an unvalidated reduction: degrade to the
+             baseline-synthesized original *)
+          (Some outcome, base_design, false, Some (Validate.describe outcome))
+  in
   let after = Netlist.Stats.of_design reduced in
   {
     reduced;
@@ -53,8 +137,37 @@ let run ?rsim ?(refine = default_refine) ?induction ~design ~env () =
         before;
         after;
         seconds = Unix.gettimeofday () -. t0;
+        stage_seconds = List.rev !stage_seconds;
+        validation;
+        validated;
+        fallback_reason;
+        injected_fault = !injected;
       };
   }
+
+type self_test_entry = {
+  fault : Faults.kind;
+  injected : string option;
+  caught : bool;
+}
+
+let self_test ?rsim ?refine ?induction ?validate_config ?validate_stimulus
+    ?(seed = 7) ~design ~env () =
+  List.map
+    (fun kind ->
+      let r =
+        run ?rsim ?refine ?induction ~validate:true ?validate_config
+          ?validate_stimulus ~inject:{ Faults.kind; seed } ~design ~env ()
+      in
+      {
+        fault = kind;
+        injected = r.report.injected_fault;
+        caught =
+          r.report.injected_fault <> None
+          && (not r.report.validated)
+          && r.report.fallback_reason <> None;
+      })
+    Faults.all
 
 let area_delta_pct r =
   Netlist.Stats.delta_pct ~baseline:r.before.Netlist.Stats.area
@@ -67,9 +180,19 @@ let gate_delta_pct r =
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "@[<v>%s: mined=%d proved=%d (%a)@,area %.1f -> %.1f um^2 (%.1f%%), gates %d -> %d (%.1f%%), %.1fs@]"
+    "@[<v>%s: mined=%d proved=%d (%a)@,area %.1f -> %.1f um^2 (%.1f%%), gates %d -> %d (%.1f%%), %.1fs"
     r.variant r.mined r.proved Engine.Induction.pp_stats r.induction
     r.before.Netlist.Stats.area r.after.Netlist.Stats.area (area_delta_pct r)
     (Netlist.Stats.gate_count r.before)
     (Netlist.Stats.gate_count r.after)
-    (gate_delta_pct r) r.seconds
+    (gate_delta_pct r) r.seconds;
+  (match r.injected_fault with
+  | Some s -> Format.fprintf fmt "@,fault injected: %s" s
+  | None -> ());
+  (match r.validation with
+  | Some o -> Format.fprintf fmt "@,validation: %a" Validate.pp o
+  | None -> ());
+  (match r.fallback_reason with
+  | Some s -> Format.fprintf fmt "@,FELL BACK to baseline: %s" s
+  | None -> ());
+  Format.fprintf fmt "@]"

@@ -1,5 +1,5 @@
 (** The PDAT pipeline (paper Figure 2): Property Checking, Netlist
-    Rewiring, Logic Resynthesis.
+    Rewiring, Logic Resynthesis — plus the guard layer around them.
 
     [run] takes the design to be reduced and an {!Environment} built
     over it, mines property-library candidates on the environment's
@@ -7,7 +7,22 @@
     netlist with the survivors, and resynthesizes.  The baseline
     against which the paper reports area/gate deltas is the original
     design pushed through the same resynthesis flow with no PDAT
-    transformation ({!baseline}). *)
+    transformation ({!baseline}).
+
+    The guard layer adds:
+    - {b differential validation} ([~validate:true]): the reduced
+      design is co-simulated lock-step against the raw original under
+      environment-constrained stimuli ({!Validate.run}); on any
+      mismatch the pipeline returns the baseline design instead of the
+      reduction, recording the reason — [run ~validate] never returns
+      an unvalidated reduction;
+    - {b deadlines} ([~time_budget]): a wall-clock budget split across
+      the stages (mining 20%%, refinement 20%%, proof 45%%, the rest for
+      validation), with each stage degrading gracefully — truncated
+      mining and an out-of-time prover only drop candidates, which is
+      conservative;
+    - {b fault injection} ([~inject]): corrupts one stage hand-off so
+      the validator's catch rate can be tested ({!self_test}). *)
 
 type report = {
   variant : string;
@@ -15,8 +30,20 @@ type report = {
   proved : int;
   induction : Engine.Induction.stats;
   before : Netlist.Stats.t;   (** baseline-optimized original *)
-  after : Netlist.Stats.t;    (** PDAT-reduced, resynthesized *)
+  after : Netlist.Stats.t;    (** the design actually returned *)
   seconds : float;
+  stage_seconds : (string * float) list;
+      (** wall-clock per stage, in execution order: ["mine"],
+          ["refine"], ["prove"], ["rewire"], ["resynth"], ["baseline"],
+          and ["validate"] when enabled *)
+  validation : Validate.outcome option;
+      (** [None] unless [~validate:true] was passed *)
+  validated : bool;
+      (** the returned design passed differential validation *)
+  fallback_reason : string option;
+      (** when set, [reduced] is the baseline design, not a reduction *)
+  injected_fault : string option;
+      (** description of the applied fault, in self-test mode *)
 }
 
 type result = {
@@ -31,13 +58,53 @@ val run :
   ?rsim:Engine.Rsim.config ->
   ?refine:Engine.Rsim.config ->
   ?induction:Engine.Induction.options ->
+  ?validate:bool ->
+  ?validate_config:Validate.config ->
+  ?validate_stimulus:Engine.Stimulus.t ->
+  ?time_budget:float ->
+  ?inject:Faults.t ->
   design:Netlist.Design.t ->
   env:Environment.t ->
   unit ->
   result
 (** [rsim] controls candidate mining, [refine] the long candidate-only
     simulation pass that weeds out false candidates before the prover
-    (default: 4 runs of 2048 cycles). *)
+    (default: 4 runs of 2048 cycles).
+
+    [validate] (default [false]) enables differential validation; on a
+    divergence or an uncomparable interface the result falls back to
+    {!baseline} with [fallback_reason] set.  [validate_stimulus]
+    overrides the validator's drive (needed for meaningful coverage
+    with cutpoint environments, see {!Validate.run}).
+
+    [time_budget] is a soft wall-clock budget in seconds for the whole
+    run; stages check it at safe points, so the total can overshoot by
+    one SAT call or simulation cycle.
+
+    [inject] corrupts one stage boundary (see {!Faults}); intended for
+    validator self-tests only. *)
+
+type self_test_entry = {
+  fault : Faults.kind;
+  injected : string option;  (** [None] if no eligible corruption site *)
+  caught : bool;             (** validation failed and fell back *)
+}
+
+val self_test :
+  ?rsim:Engine.Rsim.config ->
+  ?refine:Engine.Rsim.config ->
+  ?induction:Engine.Induction.options ->
+  ?validate_config:Validate.config ->
+  ?validate_stimulus:Engine.Stimulus.t ->
+  ?seed:int ->
+  design:Netlist.Design.t ->
+  env:Environment.t ->
+  unit ->
+  self_test_entry list
+(** Runs the full pipeline once per fault class with validation on and
+    reports whether each injected fault was caught.  An entry with
+    [injected = None] means the class had no eligible site in this
+    design (e.g. nothing was proved constant). *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -24,13 +24,15 @@ val catalog : property_class list
 
 val mine :
   ?config:Engine.Rsim.config ->
+  ?deadline:float ->
   model:Netlist.Design.t ->
   assume:Netlist.Design.net ->
   stimulus:Engine.Stimulus.t ->
   unit ->
   Engine.Candidate.t list
 (** Instantiates the library against a design: returns every property
-    instance that survived constrained simulation. *)
+    instance that survived constrained simulation.  [deadline]
+    truncates the simulation window (see {!Engine.Rsim.mine}). *)
 
 val restrict_to_original :
   original:Netlist.Design.t ->

@@ -1,0 +1,71 @@
+(** Differential validation of a reduced design against its original.
+
+    PDAT's proof stage guarantees soundness only if every stage between
+    the proof and the final netlist (rewiring, resynthesis) is
+    implemented correctly.  This module is the independent check: it
+    co-simulates the original and the reduced design lock-step in the
+    64-lane simulator under environment-constrained stimuli and
+    compares every primary output on every cycle, on every lane where
+    the environment assumption has held continuously since reset.
+
+    Lanes that ever violate the assumption are masked out for the rest
+    of the run: once outside the contract, the two designs may
+    legitimately diverge forever.  The environment's monitor is
+    evaluated on a third simulator running [env.model]; for
+    cutpoint-based environments the monitor's fresh inputs are fed the
+    values the original design actually computes on the cut nets
+    ([env.cuts]), so the masking is exact. *)
+
+type config = {
+  runs : int;    (** independent runs from reset *)
+  cycles : int;  (** cycles per run *)
+  seed : int;    (** stimulus seed, reported in divergences *)
+}
+
+val default : config
+
+type divergence = {
+  run : int;       (** 1-based run in which the mismatch appeared *)
+  cycle : int;     (** 1-based cycle within the run *)
+  lane : int;      (** simulation lane, 0..63 *)
+  output : string; (** primary-output port name *)
+  seed : int;      (** stimulus seed, for reproduction *)
+}
+
+type outcome =
+  | Equivalent of { runs : int; cycles : int; observations : int }
+      (** No mismatch; [observations] counts compared lane-cycles
+          (lanes masked by the assumption are not observations). *)
+  | Divergent of divergence
+  | Unsupported of string
+      (** The designs cannot be compared (mismatched port lists). *)
+
+val run :
+  ?config:config ->
+  ?deadline:float ->
+  ?stimulus:Engine.Stimulus.t ->
+  original:Netlist.Design.t ->
+  reduced:Netlist.Design.t ->
+  env:Environment.t ->
+  unit ->
+  outcome
+(** Inputs are driven identically in both designs (and in the monitor
+    model): nets named by the stimulus get its values, all others get
+    fresh random words.
+
+    [stimulus] overrides the drive.  By default, port-based
+    environments reuse [env.stimulus]; cutpoint-based environments fall
+    back to unconstrained inputs, because their stimulus drives the
+    model's fresh inputs, which do not exist in the designs under test
+    — pass a port-level stimulus that implies the cut constraint to
+    raise coverage there.
+
+    [deadline] (absolute wall-clock time, checked each cycle)
+    truncates the comparison; a truncated run that saw no mismatch
+    still reports [Equivalent] with correspondingly fewer
+    observations. *)
+
+val describe : outcome -> string
+(** One-line rendering, used for [Pipeline] fallback reasons. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -6,10 +6,12 @@ type options = {
   k : int;
   call_conflict_budget : int;
   total_conflict_budget : int;
+  time_budget_s : float;
 }
 
 let default_options =
-  { k = 1; call_conflict_budget = 200_000; total_conflict_budget = -1 }
+  { k = 1; call_conflict_budget = 200_000; total_conflict_budget = -1;
+    time_budget_s = -1. }
 
 type stats = {
   n_candidates : int;
@@ -18,13 +20,15 @@ type stats = {
   conflicts : int;
   rounds : int;
   budget_exhausted : bool;
+  deadline_exceeded : bool;
 }
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "candidates=%d proved=%d sat_calls=%d conflicts=%d rounds=%d%s"
+    "candidates=%d proved=%d sat_calls=%d conflicts=%d rounds=%d%s%s"
     s.n_candidates s.n_proved s.sat_calls s.conflicts s.rounds
     (if s.budget_exhausted then " (budget exhausted)" else "")
+    (if s.deadline_exceeded then " (deadline exceeded)" else "")
 
 (* A candidate's claim at a given frame, as (clause to assert it under a
    guard) and (literal implying its violation). *)
@@ -112,7 +116,8 @@ exception Out_of_budget
 (* One pass over a side: eliminate alive candidates violated on this
    side until UNSAT (all alive jointly hold).  Returns true if any
    candidate was killed. *)
-let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~on_kill =
+let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~deadline
+    ~deadline_hit ~on_kill =
   let solver = Unroll.solver side.u in
   let killed_any = ref false in
   let alive_indices () =
@@ -151,7 +156,10 @@ let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~on_kill =
       | None -> b
       | Some total -> if b < 0 then total else min b total
     in
-    let r = S.solve ~assumptions ~conflict_budget:budget solver in
+    let r = S.solve ~assumptions ~conflict_budget:budget ?deadline solver in
+    (match (r, deadline) with
+    | S.Unknown, Some t when Unix.gettimeofday () >= t -> deadline_hit := true
+    | _ -> ());
     let spent = S.num_conflicts solver - before in
     (match !budget_left with
     | None -> ()
@@ -267,6 +275,12 @@ let prove ?(options = default_options) ?cex ~assume d candidate_list =
       (if options.total_conflict_budget < 0 then None
        else Some options.total_conflict_budget)
   in
+  let deadline =
+    if options.time_budget_s > 0. then
+      Some (Unix.gettimeofday () +. options.time_budget_s)
+    else None
+  in
+  let deadline_hit = ref false in
   let k = max 1 options.k in
   let base =
     build_side d ~assume ~init:`Reset ~n_frames:k
@@ -285,11 +299,11 @@ let prove ?(options = default_options) ?cex ~assume d candidate_list =
        incr rounds;
        let kb =
          run_pass base ~alive ~candidates ~opts:options ~sat_calls ~budget_left
-           ~on_kill:(cex_propagate base)
+           ~deadline ~deadline_hit ~on_kill:(cex_propagate base)
        in
        let ks =
          run_pass step ~alive ~candidates ~opts:options ~sat_calls ~budget_left
-           ~on_kill:(cex_propagate step)
+           ~deadline ~deadline_hit ~on_kill:(cex_propagate step)
        in
        continue := kb || ks
      done
@@ -311,4 +325,5 @@ let prove ?(options = default_options) ?cex ~assume d candidate_list =
       conflicts;
       rounds = !rounds;
       budget_exhausted = !exhausted;
+      deadline_exceeded = !deadline_hit;
     } )

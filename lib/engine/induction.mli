@@ -16,6 +16,12 @@ type options = {
   k : int;                    (** induction depth, >= 1 *)
   call_conflict_budget : int; (** per aggregate SAT call; -1 = unlimited *)
   total_conflict_budget : int;(** across the whole proof; -1 = unlimited *)
+  time_budget_s : float;
+      (** wall-clock seconds for the whole proof; <= 0 = unlimited.
+          Measured from the [prove] call; once exceeded, every further
+          SAT call returns Unknown, so remaining candidates are dropped
+          (incomplete, never unsound) and the fixpoint winds down
+          quickly. *)
 }
 
 val default_options : options
@@ -27,6 +33,7 @@ type stats = {
   conflicts : int;
   rounds : int;
   budget_exhausted : bool;
+  deadline_exceeded : bool;  (** the wall-clock budget cut the proof short *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -8,9 +8,18 @@ type config = {
 
 let default = { cycles = 512; runs = 4; seed = 0xC0FFEE }
 
+(* Deadlines are checked once per simulated cycle; an expired deadline
+   just truncates the observation window, which is conservative for
+   both mining (more false candidates for the prover to kill) and
+   refinement (fewer cheap kills). *)
+let expired deadline =
+  match deadline with
+  | None -> false
+  | Some t -> Unix.gettimeofday () >= t
+
 (* Per-net accumulators: bits ever seen 1 / ever seen 0.  Per-eligible-
    cell accumulators: violation masks for a->b and b->a. *)
-let mine ?(config = default) ?(assume = D.net_true) d stimulus =
+let mine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus =
   let sim = Netlist.Sim64.create d in
   let n_nets = D.num_nets d in
   let seen1 = Array.make n_nets 0L in
@@ -67,23 +76,32 @@ let mine ?(config = default) ?(assume = D.net_true) d stimulus =
       incr observed_lanes
     end
   in
-  for _run = 1 to config.runs do
-    Netlist.Sim64.reset sim;
-    for _cycle = 1 to config.cycles do
-      let driven = stimulus.Stimulus.drive rng in
-      let driven_nets = List.map fst driven in
-      List.iter
-        (fun (_, n) ->
-          if not (List.mem n driven_nets) then Netlist.Sim64.set_input sim n (random_word ()))
-        inputs;
-      List.iter (fun (n, v) -> Netlist.Sim64.set_input sim n v) driven;
-      Netlist.Sim64.eval sim;
-      observe (Netlist.Sim64.read sim assume);
-      Netlist.Sim64.step sim
-    done
-  done;
+  (try
+     for _run = 1 to config.runs do
+       Netlist.Sim64.reset sim;
+       for _cycle = 1 to config.cycles do
+         if expired deadline then raise Exit;
+         let driven = stimulus.Stimulus.drive rng in
+         let driven_nets = List.map fst driven in
+         List.iter
+           (fun (_, n) ->
+             if not (List.mem n driven_nets) then Netlist.Sim64.set_input sim n (random_word ()))
+           inputs;
+         List.iter (fun (n, v) -> Netlist.Sim64.set_input sim n v) driven;
+         Netlist.Sim64.eval sim;
+         observe (Netlist.Sim64.read sim assume);
+         Netlist.Sim64.step sim
+       done
+     done
+   with Exit -> ());
   if !observed_lanes = 0 then
-    failwith "Rsim.mine: the environment assumption never held in simulation";
+    if expired deadline then
+      (* out of time before observing anything: no candidates is the
+         graceful-degradation answer, not a crash *)
+      []
+    else
+      failwith "Rsim.mine: the environment assumption never held in simulation"
+  else begin
   (* Primary inputs and rails are not rewiring targets. *)
   let is_input = Array.make n_nets false in
   List.iter (fun (_, n) -> is_input.(n) <- true) inputs;
@@ -106,9 +124,10 @@ let mine ?(config = default) ?(assume = D.net_true) d stimulus =
           implications := Candidate.Implies { cell; a = b; b = a } :: !implications
       end)
     eligible;
-  !consts @ !implications
+    !consts @ !implications
+  end
 
-let refine ?(config = default) ?(assume = D.net_true) d stimulus cands =
+let refine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus cands =
   let sim = Netlist.Sim64.create d in
   let rng = Random.State.make [| config.seed lxor 0x5EED |] in
   let inputs = D.inputs d in
@@ -121,9 +140,11 @@ let refine ?(config = default) ?(assume = D.net_true) d stimulus cands =
          (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
          (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 60))
   in
+  (try
   for _run = 1 to config.runs do
     Netlist.Sim64.reset sim;
     for _cycle = 1 to config.cycles do
+      if expired deadline then raise Exit;
       let driven = stimulus.Stimulus.drive rng in
       let driven_nets = List.map fst driven in
       List.iter
@@ -153,7 +174,8 @@ let refine ?(config = default) ?(assume = D.net_true) d stimulus cands =
           cands;
       Netlist.Sim64.step sim
     done
-  done;
+  done
+  with Exit -> ());
   let out = ref [] in
   for i = Array.length cands - 1 downto 0 do
     if alive.(i) then out := cands.(i) :: !out

@@ -18,6 +18,7 @@ val default : config
 val mine :
   ?config:config ->
   ?assume:Netlist.Design.net ->
+  ?deadline:float ->
   Netlist.Design.t ->
   Stimulus.t ->
   Candidate.t list
@@ -25,11 +26,18 @@ val mine :
     masked out of observation (data-dependent restrictions cannot
     always be generated constructively).  Raises [Failure] only if the
     assumption never held at all.  Candidates never mention the
-    constant rails or primary inputs. *)
+    constant rails or primary inputs.
+
+    [deadline] (absolute wall-clock time, checked each cycle) truncates
+    the simulation: a shorter observation window only produces more
+    false candidates for the prover to kill, never unsoundness.  If the
+    deadline expires before any cycle was observed, the result is the
+    empty candidate list rather than [Failure]. *)
 
 val refine :
   ?config:config ->
   ?assume:Netlist.Design.net ->
+  ?deadline:float ->
   Netlist.Design.t ->
   Stimulus.t ->
   Candidate.t list ->

@@ -89,6 +89,15 @@ let add_dff d ?(init = false) ~d:data () =
   out
 
 let cell d i = Vec.get d.cells i
+
+let replace_cell d i ?init kind ins =
+  if i < 0 || i >= Vec.length d.cells then
+    invalid_arg "Design.replace_cell: cell id out of range";
+  if i <= 1 then invalid_arg "Design.replace_cell: cannot replace a tie cell";
+  check_ins d kind ins;
+  let old = Vec.get d.cells i in
+  let init = match init with Some b -> b | None -> old.init in
+  Vec.set d.cells i { kind; ins = Array.copy ins; out = old.out; init }
 let iter_cells d f = Vec.iteri f d.cells
 let fold_cells d f acc = snd (Vec.fold (fun (i, acc) c -> (i + 1, f acc i c)) (0, acc) d.cells)
 

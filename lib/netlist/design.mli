@@ -51,6 +51,14 @@ val add_dff : t -> ?init:bool -> d:net -> unit -> net
 val cell : t -> int -> cell
 (** Cell by dense id, [0 <= id < num_cells]. *)
 
+val replace_cell : t -> int -> ?init:bool -> Cell.kind -> net array -> unit
+(** [replace_cell d i kind ins] swaps cell [i]'s function and fanin in
+    place, keeping its output net (and [init] unless overridden).  The
+    mutation exists for the fault-injection harness; transformation
+    passes should keep using {!substitute}.
+    @raise Invalid_argument on a tie cell (ids 0/1), an out-of-range
+    id, or an arity/net-range violation. *)
+
 val iter_cells : t -> (int -> cell -> unit) -> unit
 val fold_cells : t -> ('a -> int -> cell -> 'a) -> 'a -> 'a
 

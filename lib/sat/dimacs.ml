@@ -1,27 +1,59 @@
+exception Parse_error of { line : int; token : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; token; reason } ->
+        Some
+          (Printf.sprintf "Dimacs.Parse_error: line %d, at %S: %s" line token
+             reason)
+    | _ -> None)
+
+let error ~line ~token reason = raise (Parse_error { line; token; reason })
+
 let parse src =
   let n_vars = ref 0 in
+  let header_seen = ref false in
   let clauses = ref [] in
   let current = ref [] in
   let lines = String.split_on_char '\n' src in
-  List.iter
-    (fun line ->
-      let line = String.trim line in
-      if line = "" || line.[0] = 'c' then ()
-      else if line.[0] = 'p' then begin
-        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-        | [ "p"; "cnf"; nv; _nc ] -> n_vars := int_of_string nv
-        | _ -> failwith ("bad problem line: " ^ line)
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let text = String.trim raw in
+      if text = "" || text.[0] = 'c' then ()
+      else if text.[0] = 'p' then begin
+        if !header_seen then
+          error ~line ~token:text "duplicate problem line";
+        match String.split_on_char ' ' text |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; nc ] -> (
+            match (int_of_string_opt nv, int_of_string_opt nc) with
+            | Some v, Some c when v >= 0 && c >= 0 ->
+                n_vars := v;
+                header_seen := true
+            | _ ->
+                error ~line ~token:text
+                  "malformed problem line (expected `p cnf <vars> <clauses>')")
+        | _ ->
+            error ~line ~token:text
+              "malformed problem line (expected `p cnf <vars> <clauses>')"
       end
       else
-        String.split_on_char ' ' line
+        String.split_on_char ' ' text
         |> List.filter (( <> ) "")
         |> List.iter (fun tok ->
-               let i = int_of_string tok in
-               if i = 0 then begin
-                 clauses := List.rev !current :: !clauses;
-                 current := []
-               end
-               else current := Lit.of_int i :: !current))
+               match int_of_string_opt tok with
+               | None -> error ~line ~token:tok "not an integer literal"
+               | Some 0 ->
+                   clauses := List.rev !current :: !clauses;
+                   current := []
+               | Some v ->
+                   if not !header_seen then
+                     error ~line ~token:tok "clause before the problem line";
+                   if abs v > !n_vars then
+                     error ~line ~token:tok
+                       (Printf.sprintf
+                          "literal exceeds the %d declared variables" !n_vars);
+                   current := Lit.of_int v :: !current))
     lines;
   if !current <> [] then clauses := List.rev !current :: !clauses;
   (!n_vars, List.rev !clauses)

@@ -1,8 +1,15 @@
 (** DIMACS CNF parsing and printing, used by the solver's test suite. *)
 
+exception Parse_error of { line : int; token : string; reason : string }
+(** Located syntax error: 1-based source line, the offending token (the
+    whole line for problem-line errors) and a human-readable reason.  A
+    printer is registered with [Printexc]. *)
+
 val parse : string -> int * Lit.t list list
-(** [parse src] is [(n_vars, clauses)].
-    @raise Failure on malformed input. *)
+(** [parse src] is [(n_vars, clauses)].  The problem line is required
+    before the first clause, and every literal must stay within the
+    declared variable count.
+    @raise Parse_error on malformed input. *)
 
 val load : Solver.t -> string -> unit
 (** Parses and loads into a solver, declaring variables as needed. *)

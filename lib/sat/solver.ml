@@ -519,8 +519,13 @@ let analyze_final s seed_lit =
   done;
   List.iter (fun v -> s.seen.(v) <- false) !marked
 
-let solve ?(assumptions = []) ?(conflict_budget = -1) s =
+let solve ?(assumptions = []) ?(conflict_budget = -1) ?deadline s =
+  let deadline = match deadline with Some t -> t | None -> infinity in
   if not s.ok then Unsat
+  else if deadline < infinity && Unix.gettimeofday () >= deadline then begin
+    s.failed <- [];
+    Unknown
+  end
   else begin
     s.failed <- [];
     let budget_start = s.conflicts in
@@ -547,8 +552,9 @@ let solve ?(assumptions = []) ?(conflict_budget = -1) s =
             record_learnt s lits;
             var_decay s;
             cla_decay s;
-            if conflict_budget >= 0
-               && s.conflicts - budget_start >= conflict_budget
+            if (conflict_budget >= 0
+                && s.conflicts - budget_start >= conflict_budget)
+               || (deadline < infinity && Unix.gettimeofday () >= deadline)
             then begin
               result := Unknown;
               finished := true

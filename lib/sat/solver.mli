@@ -13,7 +13,7 @@ type t
 type result =
   | Sat
   | Unsat
-  | Unknown  (** conflict budget exhausted *)
+  | Unknown  (** conflict budget or wall-clock deadline exhausted *)
 
 val create : unit -> t
 
@@ -26,8 +26,15 @@ val add_clause : t -> Lit.t list -> unit
     Adding a clause that is falsified at level 0 marks the instance
     unsatisfiable. *)
 
-val solve : ?assumptions:Lit.t list -> ?conflict_budget:int -> t -> result
-(** [conflict_budget < 0] (default) means no budget. *)
+val solve :
+  ?assumptions:Lit.t list -> ?conflict_budget:int -> ?deadline:float -> t ->
+  result
+(** [conflict_budget < 0] (default) means no budget.  [deadline] is an
+    absolute wall-clock time ([Unix.gettimeofday] scale); the check
+    runs once per conflict, so a call returns [Unknown] at the first
+    conflict past the deadline (or immediately if already past).  A
+    timed-out call leaves the solver fully usable, exactly like an
+    exhausted conflict budget. *)
 
 val value : t -> int -> bool
 (** Model value of a variable after {!solve} returned [Sat].

@@ -59,6 +59,46 @@ let test_induction_proves_true_invariants () =
   check "z proved" true (has (Engine.Candidate.Const (z, true)));
   check "not exhausted" false stats.Engine.Induction.budget_exhausted
 
+let test_rsim_deadline () =
+  let d, _, _, _, _, _ = demo_design () in
+  let past = Unix.gettimeofday () -. 1. in
+  (* an expired deadline before any observation degrades to "no
+     candidates", never to an exception *)
+  check "mine returns empty" true
+    (Engine.Rsim.mine ~deadline:past d Engine.Stimulus.unconstrained = []);
+  (* refine without simulation time keeps every candidate (conservative:
+     fewer cheap kills, the prover still guards soundness) *)
+  let cand = Engine.Candidate.Const (2, false) in
+  check_int "refine passes candidates through" 1
+    (List.length
+       (Engine.Rsim.refine ~deadline:past d Engine.Stimulus.unconstrained
+          [ cand ]))
+
+let test_induction_time_budget () =
+  let d, zero_comb, _, _, _, _ = demo_design () in
+  let cands = Engine.Rsim.mine d Engine.Stimulus.unconstrained in
+  check "have candidates" true (cands <> []);
+  (* an (effectively) zero budget: every SAT call is inconclusive, all
+     candidates are conservatively dropped, and the stats say why *)
+  let opts =
+    { Engine.Induction.default_options with
+      Engine.Induction.time_budget_s = 1e-9 }
+  in
+  let proved, stats = Engine.Induction.prove ~options:opts ~assume:D.net_true d cands in
+  check "nothing proved" true (proved = []);
+  check "deadline flagged" true stats.Engine.Induction.deadline_exceeded;
+  (* a generous budget changes nothing *)
+  let opts =
+    { Engine.Induction.default_options with
+      Engine.Induction.time_budget_s = 3600. }
+  in
+  let proved, stats = Engine.Induction.prove ~options:opts ~assume:D.net_true d cands in
+  check "still proves under a generous budget" true
+    (List.exists
+       (Engine.Candidate.equal (Engine.Candidate.Const (zero_comb, false)))
+       proved);
+  check "deadline not flagged" false stats.Engine.Induction.deadline_exceeded
+
 let test_induction_kills_false_candidates () =
   (* candidate claims a free input-fed flop is constant: must die *)
   let d = D.create "t" in
@@ -198,6 +238,8 @@ let () =
       ( "rsim",
         [
           Alcotest.test_case "finds constants" `Quick test_rsim_finds_constants;
+          Alcotest.test_case "deadline degrades gracefully" `Quick
+            test_rsim_deadline;
           Alcotest.test_case "stimulus packing" `Quick test_stimulus_pack;
         ] );
       ( "induction",
@@ -208,6 +250,7 @@ let () =
             test_induction_kills_false_candidates;
           Alcotest.test_case "env assumptions" `Quick test_induction_with_assumption;
           Alcotest.test_case "implications" `Quick test_induction_implications;
+          Alcotest.test_case "time budget" `Quick test_induction_time_budget;
         ] );
       ("unroll", [ Alcotest.test_case "semantics" `Quick test_unroll_semantics ]);
       ("cutpoint", [ Alcotest.test_case "apply" `Quick test_cutpoint ]);

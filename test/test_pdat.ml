@@ -70,6 +70,37 @@ let test_rewire_implies_nand_nor () =
   check "nand is !a, nor is !b" true
     (sim_output d' [ ("a", 0L); ("b", -1L) ] = [ ("x", -1L); ("y", 0L) ])
 
+let test_rewire_empty_is_identity () =
+  (* no proved properties: rewiring must be a semantic no-op, and the
+     resynthesized result must match the baseline exactly *)
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let x = D.add_cell d C.And2 [| a; b |] in
+  let q = D.add_dff d ~d:x () in
+  D.add_output d "x" x;
+  D.add_output d "q" q;
+  let d' = Pdat.Rewire.apply d [] in
+  check "same stats before resynthesis" true
+    (Netlist.Stats.of_design d = Netlist.Stats.of_design d');
+  let opt = Netlist.Stats.of_design (fst (Synthkit.Optimize.run d)) in
+  let opt' = Netlist.Stats.of_design (fst (Synthkit.Optimize.run d')) in
+  check "same stats after resynthesis" true (opt = opt')
+
+let test_rewire_unknown_cell () =
+  let d = D.create "t" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  D.add_output d "x" (D.add_cell d C.And2 [| a; b |]);
+  let raises cell =
+    try
+      ignore (Pdat.Rewire.apply d [ Engine.Candidate.Implies { cell; a; b } ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  check "cell id past the end rejected" true (raises (D.num_cells d));
+  check "negative cell id rejected" true (raises (-1))
+
 let test_rewire_chain () =
   (* implication redirect onto a net itself proved constant *)
   let d = D.create "t" in
@@ -154,6 +185,21 @@ let test_stimulus_satisfies_monitor () =
 
 (* --- pipeline on a small design ----------------------------------------- *)
 
+(* environment: en is always 0 *)
+let en0_env d =
+  let model = D.copy d in
+  let en_net = Option.get (D.find_input model "en") in
+  let inv = D.add_cell model C.Inv [| en_net |] in
+  {
+    Pdat.Environment.model;
+    assume = inv;
+    stimulus =
+      Engine.Stimulus.
+        { drive = (fun _ -> [ (Option.get (D.find_input d "en"), 0L) ]) };
+    cuts = [||];
+    description = "en=0";
+  }
+
 let test_pipeline_small_design () =
   (* an input-gated accumulator: constraining the gate input to 0
      freezes the accumulator and PDAT removes it *)
@@ -164,20 +210,7 @@ let test_pipeline_small_design () =
   Hdl.Ctx.output c "acc" acc;
   Hdl.Ctx.output c "pass" data;
   let d = Hdl.Ctx.finish c in
-  (* environment: en is always 0 *)
-  let model = D.copy d in
-  let en_net = Option.get (D.find_input model "en") in
-  let inv = D.add_cell model C.Inv [| en_net |] in
-  let env =
-    {
-      Pdat.Environment.model;
-      assume = inv;
-      stimulus =
-        Engine.Stimulus.
-          { drive = (fun _ -> [ (Option.get (D.find_input d "en"), 0L) ]) };
-      description = "en=0";
-    }
-  in
+  let env = en0_env d in
   let result = Pdat.Pipeline.run ~design:d ~env () in
   let before = result.Pdat.Pipeline.report.Pdat.Pipeline.before in
   let after = result.Pdat.Pipeline.report.Pdat.Pipeline.after in
@@ -190,6 +223,132 @@ let test_pipeline_small_design () =
   Netlist.Sim64.eval sim;
   check_int "pass-through intact" 0x2A
     (Netlist.Sim64.read_bus sim (D.output_bus result.Pdat.Pipeline.reduced "pass"))
+
+(* --- guard layer: validation, fault injection, deadlines ---------------- *)
+
+(* A design exercising every fault class: a provably-frozen accumulator
+   (constants to flip), a live toggle register (a bogus-invariant
+   target), a gate mixing a frozen net with live data (a miswire site),
+   and pure combinational logic surviving resynthesis (a perturb
+   site). *)
+let guard_design () =
+  let open Hdl.Ops in
+  let c = Hdl.Ctx.create "guard" in
+  let en = Hdl.Ctx.input c "en" 1 in
+  let data = Hdl.Ctx.input c "data" 8 in
+  let acc = Hdl.Reg.reg_en c "acc" ~en (data +: data) in
+  Hdl.Ctx.output c "acc" acc;
+  Hdl.Ctx.output c "parity" (reduce_xor data);
+  Hdl.Ctx.output c "mix" (bit acc 0 |: bit data 0);
+  let tog = Hdl.Reg.create c ~init:0 ~width:1 "tog" in
+  Hdl.Reg.connect tog ~:(Hdl.Reg.q tog);
+  Hdl.Ctx.output c "tog" (Hdl.Reg.q tog);
+  Hdl.Ctx.finish c
+
+let test_validate_accepts_copy () =
+  let d = guard_design () in
+  match
+    Pdat.Validate.run ~original:d ~reduced:(D.copy d)
+      ~env:(Pdat.Environment.unconstrained d) ()
+  with
+  | Pdat.Validate.Equivalent { observations; _ } ->
+      check "observed lanes" true (observations > 0)
+  | o -> Alcotest.failf "expected equivalence, got %s" (Pdat.Validate.describe o)
+
+let test_validate_detects_divergence () =
+  let mk kind =
+    let d = D.create "t" in
+    let a = D.add_input d "a" in
+    let b = D.add_input d "b" in
+    D.add_output d "x" (D.add_cell d kind [| a; b |]);
+    d
+  in
+  let original = mk C.And2 and broken = mk C.Or2 in
+  match
+    Pdat.Validate.run ~original ~reduced:broken
+      ~env:(Pdat.Environment.unconstrained original) ()
+  with
+  | Pdat.Validate.Divergent dv ->
+      Alcotest.(check string) "output name" "x" dv.Pdat.Validate.output;
+      check_int "first run" 1 dv.Pdat.Validate.run;
+      check_int "first cycle" 1 dv.Pdat.Validate.cycle;
+      check "lane in range" true
+        (dv.Pdat.Validate.lane >= 0 && dv.Pdat.Validate.lane < 64)
+  | o -> Alcotest.failf "expected divergence, got %s" (Pdat.Validate.describe o)
+
+let test_validate_unsupported_interface () =
+  let d = guard_design () in
+  let empty = D.create "empty" in
+  match
+    Pdat.Validate.run ~original:d ~reduced:empty
+      ~env:(Pdat.Environment.unconstrained d) ()
+  with
+  | Pdat.Validate.Unsupported _ -> ()
+  | o -> Alcotest.failf "expected unsupported, got %s" (Pdat.Validate.describe o)
+
+let test_pipeline_validates_unfaulted () =
+  let d = guard_design () in
+  let r = Pdat.Pipeline.run ~validate:true ~design:d ~env:(en0_env d) () in
+  let rep = r.Pdat.Pipeline.report in
+  check "validated" true rep.Pdat.Pipeline.validated;
+  check "no fallback" true (rep.Pdat.Pipeline.fallback_reason = None);
+  check "no fault" true (rep.Pdat.Pipeline.injected_fault = None);
+  (match rep.Pdat.Pipeline.validation with
+  | Some (Pdat.Validate.Equivalent { observations; _ }) ->
+      check "observed lanes" true (observations > 0)
+  | _ -> Alcotest.fail "expected a recorded equivalence outcome");
+  check "validate stage timed" true
+    (List.mem_assoc "validate" rep.Pdat.Pipeline.stage_seconds);
+  (* the guard layer must not change the reduction itself *)
+  let r0 = Pdat.Pipeline.run ~design:d ~env:(en0_env d) () in
+  check "area/gate deltas unchanged by validation" true
+    (rep.Pdat.Pipeline.after = r0.Pdat.Pipeline.report.Pdat.Pipeline.after)
+
+let test_pipeline_fault_matrix () =
+  let d = guard_design () in
+  let entries = Pdat.Pipeline.self_test ~design:d ~env:(en0_env d) () in
+  check_int "every fault class exercised" (List.length Pdat.Faults.all)
+    (List.length entries);
+  List.iter
+    (fun e ->
+      let nm = Pdat.Faults.name e.Pdat.Pipeline.fault in
+      check (nm ^ " found an injection site") true
+        (e.Pdat.Pipeline.injected <> None);
+      check (nm ^ " caught by the validator") true e.Pdat.Pipeline.caught)
+    entries
+
+let test_pipeline_fallback_reports_reason () =
+  let d = guard_design () in
+  let r =
+    Pdat.Pipeline.run ~validate:true
+      ~inject:{ Pdat.Faults.kind = Pdat.Faults.Perturb_cell; seed = 7 }
+      ~design:d ~env:(en0_env d) ()
+  in
+  let rep = r.Pdat.Pipeline.report in
+  check "fault applied" true (rep.Pdat.Pipeline.injected_fault <> None);
+  check "not validated" false rep.Pdat.Pipeline.validated;
+  (match rep.Pdat.Pipeline.fallback_reason with
+  | Some reason -> check "reason mentions divergence" true
+      (String.length reason > 0)
+  | None -> Alcotest.fail "expected a fallback reason");
+  (* the fallback result is the baseline, not the corrupted reduction *)
+  check "fallback matches baseline stats" true
+    (rep.Pdat.Pipeline.after = rep.Pdat.Pipeline.before)
+
+let test_pipeline_time_budget_degrades () =
+  let d = guard_design () in
+  (* a budget so small every stage deadline is already expired: the
+     pipeline must still terminate and return a working design *)
+  let r =
+    Pdat.Pipeline.run ~time_budget:1e-6 ~design:d ~env:(en0_env d) ()
+  in
+  let rep = r.Pdat.Pipeline.report in
+  check_int "nothing mined in time" 0 rep.Pdat.Pipeline.mined;
+  check_int "nothing proved" 0 rep.Pdat.Pipeline.proved;
+  check "result is a valid netlist" true
+    (D.validate r.Pdat.Pipeline.reduced = Ok ());
+  check "no reduction claimed" true
+    (rep.Pdat.Pipeline.after = rep.Pdat.Pipeline.before)
 
 (* --- end-to-end on the Ibex-class core ---------------------------------- *)
 
@@ -207,13 +366,24 @@ let test_reduced_ibex_runs_subset_program () =
     Pdat.Environment.riscv_cutpoint d ~nets:(Cores.Ibex_like.cutpoint_nets t)
       Isa.Subset.rv32i
   in
+  (* the env constrains cutpoints deep inside the model, so give the
+     differential validator port-level stimuli biased toward legal
+     rv32i words instead of its unconstrained default *)
+  let validate_stimulus =
+    (Pdat.Environment.riscv_port d ~port:"instr_rdata" Isa.Subset.rv32i)
+      .Pdat.Environment.stimulus
+  in
   let result =
     Pdat.Pipeline.run
       ~rsim:{ Engine.Rsim.default with Engine.Rsim.cycles = 384; runs = 2 }
-      ~design:d ~env ()
+      ~validate:true ~validate_stimulus ~design:d ~env ()
   in
   check "meaningful reduction" true
     (Pdat.Pipeline.gate_delta_pct result.Pdat.Pipeline.report > 10.0);
+  check "reduction validated" true
+    result.Pdat.Pipeline.report.Pdat.Pipeline.validated;
+  check "no fallback" true
+    (result.Pdat.Pipeline.report.Pdat.Pipeline.fallback_reason = None);
   (* an rv32i program: compute and store results *)
   let p = Isa.Asm.create () in
   Isa.Asm.li p ~rd:1 1000;
@@ -240,6 +410,23 @@ let test_reduced_ibex_runs_subset_program () =
   check "identical architectural results" true (base = reduced);
   check "program actually computed" true (List.nth base 0 = 4000)
 
+let test_reduced_cm0_validates () =
+  let t = Cores.Cm0_like.build () in
+  let d = t.Cores.Cm0_like.design in
+  let env =
+    Pdat.Environment.arm_port d ~port:"instr_rdata"
+      Isa.Subset.armv6m_interesting
+  in
+  let result =
+    Pdat.Pipeline.run
+      ~rsim:{ Engine.Rsim.default with Engine.Rsim.cycles = 400; runs = 2 }
+      ~validate:true ~design:d ~env ()
+  in
+  let rep = result.Pdat.Pipeline.report in
+  check "proved something" true (rep.Pdat.Pipeline.proved > 0);
+  check "reduction validated" true rep.Pdat.Pipeline.validated;
+  check "no fallback" true (rep.Pdat.Pipeline.fallback_reason = None)
+
 let test_catalog () =
   check "catalog has the three property classes" true
     (List.length Pdat.Property_library.catalog = 3);
@@ -259,6 +446,10 @@ let () =
           Alcotest.test_case "implies or" `Quick test_rewire_implies_or;
           Alcotest.test_case "implies nand/nor" `Quick test_rewire_implies_nand_nor;
           Alcotest.test_case "chains" `Quick test_rewire_chain;
+          Alcotest.test_case "empty proof set is identity" `Quick
+            test_rewire_empty_is_identity;
+          Alcotest.test_case "unknown cell rejected" `Quick
+            test_rewire_unknown_cell;
         ] );
       ( "environment",
         [
@@ -266,11 +457,33 @@ let () =
             test_stimulus_satisfies_monitor;
           QCheck_alcotest.to_alcotest qcheck_monitor_matches_reference;
         ] );
+      ( "validate",
+        [
+          Alcotest.test_case "accepts an exact copy" `Quick
+            test_validate_accepts_copy;
+          Alcotest.test_case "detects divergence" `Quick
+            test_validate_detects_divergence;
+          Alcotest.test_case "unsupported interface" `Quick
+            test_validate_unsupported_interface;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "unfaulted run validates" `Quick
+            test_pipeline_validates_unfaulted;
+          Alcotest.test_case "fault matrix all caught" `Quick
+            test_pipeline_fault_matrix;
+          Alcotest.test_case "fallback reports reason" `Quick
+            test_pipeline_fallback_reports_reason;
+          Alcotest.test_case "time budget degrades gracefully" `Quick
+            test_pipeline_time_budget_degrades;
+        ] );
       ( "pipeline",
         [
           Alcotest.test_case "small design" `Quick test_pipeline_small_design;
           Alcotest.test_case "reduced ibex equivalence" `Slow
             test_reduced_ibex_runs_subset_program;
+          Alcotest.test_case "reduced cm0 validates" `Slow
+            test_reduced_cm0_validates;
         ] );
       ("property library", [ Alcotest.test_case "catalog" `Quick test_catalog ]);
     ]

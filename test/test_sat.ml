@@ -111,6 +111,19 @@ let test_budget () =
   | Sat.Solver.Unsat -> ()
 (* solving it fully within 5 conflicts would be miraculous but sound *)
 
+let test_deadline () =
+  (* an already-expired deadline yields Unknown without burning time;
+     the solver stays usable afterwards *)
+  let s = pigeonhole 7 in
+  (match Sat.Solver.solve ~deadline:(Unix.gettimeofday () -. 1.) s with
+  | Sat.Solver.Unknown -> ()
+  | Sat.Solver.Sat | Sat.Solver.Unsat ->
+      Alcotest.fail "expired deadline must report Unknown");
+  (* a generous deadline must not change the verdict *)
+  let s4 = pigeonhole 4 in
+  check_result "php(4) still unsat under a far deadline" true
+    (is_unsat (Sat.Solver.solve ~deadline:(Unix.gettimeofday () +. 3600.) s4))
+
 let test_dimacs_roundtrip () =
   let src = "c example\np cnf 3 2\n1 -2 0\n2 3 0\n" in
   let n, clauses = Sat.Dimacs.parse src in
@@ -119,6 +132,31 @@ let test_dimacs_roundtrip () =
   let n', clauses' = Sat.Dimacs.parse (Sat.Dimacs.to_string (n, clauses)) in
   Alcotest.(check int) "vars rt" n n';
   Alcotest.(check bool) "clauses rt" true (clauses = clauses')
+
+let expect_parse_error ?token src ~line =
+  match Sat.Dimacs.parse src with
+  | _ -> Alcotest.fail (Printf.sprintf "parser accepted malformed input %S" src)
+  | exception Sat.Dimacs.Parse_error { line = l; token = t; _ } ->
+      Alcotest.(check int) "error line" line l;
+      Option.iter (fun tok -> Alcotest.(check string) "error token" tok t) token
+
+let test_dimacs_errors () =
+  (* clause before the problem line *)
+  expect_parse_error "c hi\n1 -2 0\n" ~line:2 ~token:"1";
+  (* malformed problem lines *)
+  expect_parse_error "p cnf three 2\n" ~line:1 ~token:"p cnf three 2";
+  expect_parse_error "p dimacs 3 2\n" ~line:1;
+  expect_parse_error "p cnf -3 2\n" ~line:1;
+  (* duplicate problem line *)
+  expect_parse_error "p cnf 3 1\np cnf 3 1\n1 0\n" ~line:2;
+  (* non-integer literal, with the right line under comments/blanks *)
+  expect_parse_error "p cnf 3 1\nc note\n\n1 x 0\n" ~line:4 ~token:"x";
+  (* literal out of the declared range *)
+  expect_parse_error "p cnf 3 1\n1 -4 0\n" ~line:2 ~token:"-4";
+  (* well-formed input still parses *)
+  let n, clauses = Sat.Dimacs.parse "c ok\np cnf 2 2\n1 2 0\n-1 0\n" in
+  Alcotest.(check int) "vars" 2 n;
+  Alcotest.(check int) "clauses" 2 (List.length clauses)
 
 (* --- brute force cross-check ---------------------------------------- *)
 
@@ -232,7 +270,9 @@ let () =
           Alcotest.test_case "assumptions" `Quick test_assumptions;
           Alcotest.test_case "incremental" `Quick test_incremental;
           Alcotest.test_case "conflict budget" `Quick test_budget;
+          Alcotest.test_case "wall-clock deadline" `Quick test_deadline;
           Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "dimacs located errors" `Quick test_dimacs_errors;
           Alcotest.test_case "vs brute force" `Quick test_vs_brute_force;
           Alcotest.test_case "assumptions vs brute force" `Quick
             test_assumptions_vs_brute_force;
