@@ -1,12 +1,19 @@
 (* Benchmark and reproduction harness.
 
-   Usage:  main.exe [target] [--fast]
+   Usage:  main.exe [target] [--fast] [--json]
 
-   Targets: table1 table2 fig5 fig6 fig7 ablation micro all (default: all).
-   Each figure target regenerates the corresponding paper table/figure
-   as text rows (variant, area, gate count, deltas vs the "Full"
-   baseline); `micro` runs one Bechamel timing per table/figure on a
-   representative kernel of that experiment.
+   Targets: table1 table2 fig5 fig6 fig7 ablation micro parallel all
+   (default: all).  Each figure target regenerates the corresponding
+   paper table/figure as text rows (variant, area, gate count, deltas vs
+   the "Full" baseline); `micro` runs one Bechamel timing per
+   table/figure on a representative kernel of that experiment;
+   `parallel` checks the sharded prover against the serial one on the
+   Ibex fig5 kernel (proved-set identity, warm-cache SAT skip, speedup
+   when the machine has cores to spare).
+
+   `--json` additionally writes BENCH_<target>.json next to the binary:
+   machine-readable per-variant, per-stage wall-clock timings for
+   CI trend tracking.
 
    By default Figure 7 runs on a scaled-down RIDECORE configuration
    (16-entry ROB / 48 physical registers) so the whole harness finishes
@@ -15,14 +22,69 @@
    core. *)
 
 let fast = not (Array.exists (( = ) "--full") Sys.argv)
+let json = Array.exists (( = ) "--json") Sys.argv
+
+(* --- JSON emission ------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json target fields_of_entries =
+  let path = Printf.sprintf "BENCH_%s.json" target in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"target\": \"%s\",\n  \"fast\": %b,\n%s}\n"
+    (json_escape target) fast fields_of_entries;
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let report_json (r : Pdat.Pipeline.report) =
+  let stages =
+    String.concat ", "
+      (List.map
+         (fun (name, s) -> Printf.sprintf "\"%s\": %.3f" (json_escape name) s)
+         r.Pdat.Pipeline.stage_seconds)
+  in
+  Printf.sprintf
+    "{\"variant\": \"%s\", \"seconds\": %.3f, \"proved\": %d, \"jobs\": %d, \
+     \"sat_calls\": %d, \"stages\": {%s}}"
+    (json_escape r.Pdat.Pipeline.variant)
+    r.Pdat.Pipeline.seconds r.Pdat.Pipeline.proved r.Pdat.Pipeline.jobs
+    r.Pdat.Pipeline.induction.Engine.Induction.sat_calls stages
 
 let figure title figs =
   List.iter
     (fun fig ->
-      let rows = Experiments.Runner.run_figure ~fast fig in
+      let results =
+        List.map
+          (fun v -> Experiments.Runner.run_full ~fast v)
+          (Experiments.Variants.by_figure fig)
+      in
+      let rows = List.map fst results in
       Format.printf "%a@."
         (Experiments.Runner.pp_rows ~title:(title ^ " / " ^ fig))
-        rows)
+        rows;
+      if json then
+        let entries =
+          List.filter_map
+            (fun (_, res) ->
+              Option.map
+                (fun r -> report_json r.Pdat.Pipeline.report)
+                res)
+            results
+        in
+        write_bench_json fig
+          (Printf.sprintf "  \"entries\": [\n    %s\n  ]\n"
+             (String.concat ",\n    " entries)))
     figs
 
 let run_table1 () = Format.printf "%a@." Experiments.Tables.pp_table1 ()
@@ -147,10 +209,128 @@ let run_micro () =
       | Some _ | None -> Format.printf "%-32s (no estimate)@." name)
     results
 
+(* --- parallel prover check ---------------------------------------------- *)
+
+let detected_cores () =
+  try
+    let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+    let n = try int_of_string (String.trim (input_line ic)) with _ -> 1 in
+    ignore (Unix.close_process_in ic);
+    max 1 n
+  with _ -> 1
+
+let run_parallel () =
+  Format.printf "== Parallel prover: Ibex fig5 kernel (cutpoint, rv32i) ==@.";
+  let t = Cores.Ibex_like.build () in
+  let d = t.Cores.Ibex_like.design in
+  let env =
+    Pdat.Environment.riscv_cutpoint d ~nets:(Cores.Ibex_like.cutpoint_nets t)
+      Isa.Subset.rv32i
+  in
+  let model = env.Pdat.Environment.model in
+  let assume = env.Pdat.Environment.assume in
+  let rsim = { Engine.Rsim.default with Engine.Rsim.cycles = 400; runs = 2 } in
+  let candidates =
+    Pdat.Property_library.mine ~config:rsim ~model ~assume
+      ~stimulus:env.Pdat.Environment.stimulus ()
+    |> Pdat.Property_library.restrict_to_original ~original:d
+  in
+  let candidates =
+    Engine.Rsim.refine ~config:rsim ~assume model
+      env.Pdat.Environment.stimulus candidates
+  in
+  Format.printf "%d candidates after refinement@." (List.length candidates);
+  let opts =
+    { Engine.Induction.k = 1; call_conflict_budget = 30_000;
+      total_conflict_budget = -1; time_budget_s = -1. }
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* no ~cex on either side: the provers must kill only on real
+     violations for the set-identity guarantee to be exact *)
+  let (p1, s1), t1 =
+    timed (fun () ->
+        Engine.Induction.prove_parallel ~options:opts ~jobs:1 ~assume model
+          candidates)
+  in
+  let (p4, s4), t4 =
+    timed (fun () ->
+        Engine.Induction.prove_parallel ~options:opts ~jobs:4 ~assume model
+          candidates)
+  in
+  let sorted l = List.sort Engine.Candidate.compare l in
+  let identical = sorted p1 = sorted p4 in
+  Format.printf "jobs=1: proved %d in %.1fs (%a)@." (List.length p1) t1
+    Engine.Induction.pp_stats s1;
+  Format.printf "jobs=4: proved %d in %.1fs (%a)@." (List.length p4) t4
+    Engine.Induction.pp_stats s4;
+  if not identical then begin
+    Format.eprintf "FAIL: jobs=4 proved set differs from jobs=1@.";
+    exit 1
+  end;
+  Format.printf "proved sets identical: yes@.";
+  let cores = detected_cores () in
+  let speedup = if t4 > 0. then t1 /. t4 else 0. in
+  if cores >= 2 then begin
+    Format.printf "proof-stage speedup: %.2fx on %d cores@." speedup cores;
+    if speedup < 1.8 then begin
+      Format.eprintf "FAIL: expected >= 1.8x speedup on %d cores@." cores;
+      exit 1
+    end
+  end
+  else
+    Format.printf
+      "(1 core detected: %d workers time-share it, speedup assertion \
+       skipped; measured %.2fx)@."
+      s4.Engine.Induction.workers speedup;
+  (* warm-cache rerun must resolve (almost) everything without SAT *)
+  let cache = Engine.Proof_cache.create () in
+  let _, cold =
+    Engine.Induction.prove_parallel ~options:opts ~jobs:4 ~cache ~assume model
+      candidates
+  in
+  let pw, warm =
+    Engine.Induction.prove_parallel ~options:opts ~jobs:4 ~cache ~assume model
+      candidates
+  in
+  if sorted pw <> sorted p1 then begin
+    Format.eprintf "FAIL: warm-cache proved set differs@.";
+    exit 1
+  end;
+  let cold_calls = cold.Engine.Induction.sat_calls in
+  let warm_calls = warm.Engine.Induction.sat_calls in
+  let skipped_pct =
+    if cold_calls = 0 then 100.
+    else 100. *. (1. -. (float_of_int warm_calls /. float_of_int cold_calls))
+  in
+  Format.printf "warm cache: %d -> %d SAT calls (%.1f%% skipped)@." cold_calls
+    warm_calls skipped_pct;
+  if skipped_pct < 95. then begin
+    Format.eprintf "FAIL: warm cache skipped only %.1f%% of SAT calls@."
+      skipped_pct;
+    exit 1
+  end;
+  if json then
+    write_bench_json "parallel"
+      (Printf.sprintf
+         "  \"candidates\": %d,\n  \"proved\": %d,\n  \"identical\": %b,\n  \
+          \"cores\": %d,\n  \"t_jobs1_s\": %.3f,\n  \"t_jobs4_s\": %.3f,\n  \
+          \"speedup\": %.3f,\n  \"workers\": %d,\n  \"shard_sizes\": [%s],\n  \
+          \"cold_sat_calls\": %d,\n  \"warm_sat_calls\": %d,\n  \
+          \"cache_skipped_pct\": %.1f\n"
+         (List.length candidates) (List.length p1) identical cores t1 t4
+         speedup s4.Engine.Induction.workers
+         (String.concat ", "
+            (List.map string_of_int s4.Engine.Induction.shard_sizes))
+         cold_calls warm_calls skipped_pct)
+
 let () =
   let targets =
     Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "--fast" && a <> "--full")
+    |> List.filter (fun a -> a <> "--fast" && a <> "--full" && a <> "--json")
   in
   let targets = if targets = [] then [ "all" ] else targets in
   let dispatch = function
@@ -161,6 +341,7 @@ let () =
     | "fig7" -> run_fig7 ()
     | "ablation" -> run_ablation ()
     | "micro" -> run_micro ()
+    | "parallel" -> run_parallel ()
     | "all" ->
         run_table1 ();
         run_table2 ();
@@ -168,7 +349,8 @@ let () =
         run_fig6 ();
         run_fig7 ();
         run_ablation ();
-        run_micro ()
+        run_micro ();
+        run_parallel ()
     | other ->
         Format.eprintf "unknown target %s@." other;
         exit 1

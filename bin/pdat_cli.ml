@@ -14,6 +14,24 @@ let fast =
   let doc = "Use the reduced RIDECORE configuration." in
   Arg.(value & flag & info [ "fast" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker processes for the proof stage (defaults to \\$(b,PDAT_JOBS) or \
+     1). The parallel prover's join round makes the proved set identical to \
+     a serial run."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
+let cache_dir_arg =
+  let doc =
+    "Directory for the persistent proof cache; candidates with a recorded \
+     verdict for the same (netlist, assumption) skip the SAT prover on \
+     later runs."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~doc ~docv:"DIR")
+
+let make_cache = Option.map (fun d -> Engine.Proof_cache.create ~dir:d ())
+
 (* ---------------- list ---------------------------------------------- *)
 
 let list_cmd =
@@ -37,12 +55,13 @@ let run_cmd =
   let variants =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"VARIANT")
   in
-  let run fast ids =
+  let run fast jobs cache_dir ids =
+    let cache = make_cache cache_dir in
     List.iter
       (fun id ->
         match Experiments.Variants.find id with
         | v ->
-            let row = Experiments.Runner.run ~fast v in
+            let row = Experiments.Runner.run ~fast ?jobs ?cache v in
             Format.printf "%a@." Experiments.Runner.pp_row row
         | exception Not_found ->
             Format.eprintf "unknown variant %s (try `pdat list')@." id;
@@ -51,7 +70,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run catalog variants through the PDAT pipeline")
-    Term.(const run $ fast $ variants)
+    Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ variants)
 
 (* ---------------- core / subset parsing ------------------------------- *)
 
@@ -147,7 +166,8 @@ let reduce_cmd =
   let port_flag =
     Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
   in
-  let run fast core subset_name port out validate time_budget inject_kind =
+  let run fast jobs cache_dir core subset_name port out validate time_budget
+      inject_kind =
     if inject_kind <> None && not validate then begin
       Format.eprintf "--inject requires --validate to mean anything@.";
       exit 1
@@ -180,7 +200,8 @@ let reduce_cmd =
       Option.map (fun kind -> { Pdat.Faults.kind; seed = 7 }) inject_kind
     in
     let result =
-      Pdat.Pipeline.run ~validate ?time_budget ?inject ~design ~env ()
+      Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
+        ?time_budget ?inject ~design ~env ()
     in
     Format.printf "%a@." Pdat.Pipeline.pp_report result.Pdat.Pipeline.report;
     Option.iter
@@ -202,8 +223,8 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Reduce a core for an ISA subset and optionally export Verilog")
-    Term.(const run $ fast $ core_arg $ subset_arg $ port_flag $ out_arg
-          $ validate_flag $ time_budget_arg $ inject_arg)
+    Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ core_arg $ subset_arg
+          $ port_flag $ out_arg $ validate_flag $ time_budget_arg $ inject_arg)
 
 (* ---------------- export --------------------------------------------- *)
 

@@ -7,6 +7,8 @@ type report = {
   after : Netlist.Stats.t;
   seconds : float;
   stage_seconds : (string * float) list;
+  jobs : int;
+  proof_budget_s : float;
   validation : Validate.outcome option;
   validated : bool;
   fallback_reason : string option;
@@ -25,15 +27,58 @@ let baseline d =
 let default_refine =
   { Engine.Rsim.default with Engine.Rsim.cycles = 2048; runs = 4 }
 
-let run ?rsim ?(refine = default_refine) ?induction ?(validate = false)
-    ?validate_config ?validate_stimulus ?time_budget ?inject ~design ~env () =
+let default_jobs () =
+  match Sys.getenv_opt "PDAT_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j > 0 -> j
+      | _ -> 1)
+  | None -> 1
+
+(* Budgeted stages and their relative weights.  The validate entry only
+   participates when validation is on, so with it off the proof stage's
+   share grows instead of being silently forfeited. *)
+let stage_weights ~validate =
+  [ ("mine", 1.0); ("refine", 1.0); ("prove", 2.5) ]
+  @ (if validate then [ ("validate", 0.7) ] else [])
+
+let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
+    ?(validate = false) ?validate_config ?validate_stimulus ?time_budget
+    ?inject ~design ~env () =
   let t0 = Unix.gettimeofday () in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let budget =
     match time_budget with Some b when b > 0. -> Some b | Some _ | None -> None
   in
-  (* cumulative checkpoints: a stage finishing early donates its slack
-     to every later stage *)
-  let checkpoint frac = Option.map (fun b -> t0 +. (frac *. b)) budget in
+  (* proportional allocation over the *remaining* budget: each budgeted
+     stage, at its start, claims weight/(weight + weights-still-to-come)
+     of whatever wall-clock is left, so a stage finishing early donates
+     its slack to every later stage and nothing is reserved for stages
+     that will not run (the small tail epsilon keeps the untimed
+     rewire/resynth/baseline steps from being squeezed to zero) *)
+  let weights = stage_weights ~validate in
+  let stage_alloc name =
+    match budget with
+    | None -> None
+    | Some b ->
+        let now = Unix.gettimeofday () in
+        (* may be <= 0: an exhausted budget yields already-expired
+           deadlines, so every stage degrades to its empty result *)
+        let remaining = t0 +. b -. now in
+        let rec split = function
+          | [] -> None
+          | (n, w) :: rest when n = name ->
+              let later =
+                List.fold_left (fun acc (_, w') -> acc +. w') 0. rest
+              in
+              Some (remaining *. w /. (w +. later +. 0.02))
+          | _ :: rest -> split rest
+        in
+        split weights
+  in
+  let stage_deadline name =
+    Option.map (fun a -> Unix.gettimeofday () +. a) (stage_alloc name)
+  in
   let stage_seconds = ref [] in
   let timed name f =
     let s = Unix.gettimeofday () in
@@ -54,7 +99,7 @@ let run ?rsim ?(refine = default_refine) ?induction ?(validate = false)
   in
   let candidates =
     timed "mine" (fun () ->
-        Property_library.mine ?config:rsim ?deadline:(checkpoint 0.2)
+        Property_library.mine ?config:rsim ?deadline:(stage_deadline "mine")
           ~model:env.Environment.model ~assume:env.Environment.assume
           ~stimulus:env.Environment.stimulus ()
         |> Property_library.restrict_to_original ~original:design)
@@ -63,31 +108,35 @@ let run ?rsim ?(refine = default_refine) ?induction ?(validate = false)
      candidates far more cheaply than SAT counterexamples would *)
   let candidates =
     timed "refine" (fun () ->
-        Engine.Rsim.refine ~config:refine ?deadline:(checkpoint 0.4)
+        Engine.Rsim.refine ~config:refine ?deadline:(stage_deadline "refine")
           ~assume:env.Environment.assume env.Environment.model
           env.Environment.stimulus candidates)
   in
+  let proof_alloc = stage_alloc "prove" in
   let induction_options =
     let base =
       match induction with
       | Some o -> o
       | None -> Engine.Induction.default_options
     in
-    match checkpoint 0.85 with
+    match proof_alloc with
     | None -> base
-    | Some t ->
-        let remaining = Float.max 0.001 (t -. Unix.gettimeofday ()) in
+    | Some alloc ->
+        (* [time_budget_s <= 0.] means unlimited to the prover, so an
+           exhausted allocation must become a tiny positive budget *)
+        let alloc = Float.max 1e-6 alloc in
         let b = base.Engine.Induction.time_budget_s in
         { base with
           Engine.Induction.time_budget_s =
-            (if b > 0. then Float.min b remaining else remaining) }
+            (if b > 0. then Float.min b alloc else alloc) }
   in
   let proved, istats =
     timed "prove" (fun () ->
-        Engine.Induction.prove ~options:induction_options
-          ~cex:(env.Environment.stimulus, 24)
+        Engine.Induction.prove_parallel ~options:induction_options
+          ~cex:(env.Environment.stimulus, 24) ~jobs ?cache
           ~assume:env.Environment.assume env.Environment.model candidates)
   in
+  Option.iter Engine.Proof_cache.flush cache;
   let proved =
     match try_fault (fun f -> Faults.corrupt_proved f ~design proved) with
     | Some proved' -> proved'
@@ -115,7 +164,8 @@ let run ?rsim ?(refine = default_refine) ?induction ?(validate = false)
     else
       let outcome =
         timed "validate" (fun () ->
-            Validate.run ?config:validate_config ?deadline:(checkpoint 1.0)
+            Validate.run ?config:validate_config
+              ?deadline:(stage_deadline "validate")
               ?stimulus:validate_stimulus ~original:design ~reduced ~env ())
       in
       match outcome with
@@ -138,6 +188,8 @@ let run ?rsim ?(refine = default_refine) ?induction ?(validate = false)
         after;
         seconds = Unix.gettimeofday () -. t0;
         stage_seconds = List.rev !stage_seconds;
+        jobs;
+        proof_budget_s = Float.max 0. (Option.value proof_alloc ~default:0.);
         validation;
         validated;
         fallback_reason;
@@ -151,13 +203,14 @@ type self_test_entry = {
   caught : bool;
 }
 
-let self_test ?rsim ?refine ?induction ?validate_config ?validate_stimulus
-    ?(seed = 7) ~design ~env () =
+let self_test ?rsim ?refine ?induction ?jobs ?cache ?validate_config
+    ?validate_stimulus ?(seed = 7) ~design ~env () =
   List.map
     (fun kind ->
       let r =
-        run ?rsim ?refine ?induction ~validate:true ?validate_config
-          ?validate_stimulus ~inject:{ Faults.kind; seed } ~design ~env ()
+        run ?rsim ?refine ?induction ?jobs ?cache ~validate:true
+          ?validate_config ?validate_stimulus ~inject:{ Faults.kind; seed }
+          ~design ~env ()
       in
       {
         fault = kind;
@@ -186,6 +239,7 @@ let pp_report fmt r =
     (Netlist.Stats.gate_count r.before)
     (Netlist.Stats.gate_count r.after)
     (gate_delta_pct r) r.seconds;
+  if r.jobs > 1 then Format.fprintf fmt " [jobs=%d]" r.jobs;
   (match r.injected_fault with
   | Some s -> Format.fprintf fmt "@,fault injected: %s" s
   | None -> ());

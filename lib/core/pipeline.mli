@@ -17,8 +17,13 @@
       reduction, recording the reason — [run ~validate] never returns
       an unvalidated reduction;
     - {b deadlines} ([~time_budget]): a wall-clock budget split across
-      the stages (mining 20%%, refinement 20%%, proof 45%%, the rest for
-      validation), with each stage degrading gracefully — truncated
+      the budgeted stages in proportion to fixed weights (mine 1.0,
+      refine 1.0, prove 2.5, validate 0.7 — the validate weight only
+      counts when validation is on).  Each stage claims its share of the
+      budget {e remaining at its start}, so a stage finishing early
+      donates its slack to every later stage, and with validation off
+      the proof stage absorbs the validator's share instead of
+      forfeiting it.  Every stage degrades gracefully — truncated
       mining and an out-of-time prover only drop candidates, which is
       conservative;
     - {b fault injection} ([~inject]): corrupts one stage hand-off so
@@ -36,6 +41,10 @@ type report = {
       (** wall-clock per stage, in execution order: ["mine"],
           ["refine"], ["prove"], ["rewire"], ["resynth"], ["baseline"],
           and ["validate"] when enabled *)
+  jobs : int;  (** worker processes the proof stage was allowed *)
+  proof_budget_s : float;
+      (** wall-clock granted to the proof stage by the budget allocator;
+          [0.] when the run had no [~time_budget] *)
   validation : Validate.outcome option;
       (** [None] unless [~validate:true] was passed *)
   validated : bool;
@@ -58,6 +67,8 @@ val run :
   ?rsim:Engine.Rsim.config ->
   ?refine:Engine.Rsim.config ->
   ?induction:Engine.Induction.options ->
+  ?jobs:int ->
+  ?cache:Engine.Proof_cache.t ->
   ?validate:bool ->
   ?validate_config:Validate.config ->
   ?validate_stimulus:Engine.Stimulus.t ->
@@ -70,6 +81,12 @@ val run :
 (** [rsim] controls candidate mining, [refine] the long candidate-only
     simulation pass that weeds out false candidates before the prover
     (default: 4 runs of 2048 cycles).
+
+    [jobs] is the proof-stage worker count, handed to
+    {!Engine.Induction.prove_parallel}; it defaults to the [PDAT_JOBS]
+    environment variable, or 1 (fully serial, no forking).  [cache], if
+    given, settles previously-decided candidates without SAT and is
+    flushed to disk (when disk-backed) right after the proof stage.
 
     [validate] (default [false]) enables differential validation; on a
     divergence or an uncomparable interface the result falls back to
@@ -94,6 +111,8 @@ val self_test :
   ?rsim:Engine.Rsim.config ->
   ?refine:Engine.Rsim.config ->
   ?induction:Engine.Induction.options ->
+  ?jobs:int ->
+  ?cache:Engine.Proof_cache.t ->
   ?validate_config:Validate.config ->
   ?validate_stimulus:Engine.Stimulus.t ->
   ?seed:int ->

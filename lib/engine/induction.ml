@@ -18,17 +18,56 @@ type stats = {
   n_proved : int;
   sat_calls : int;
   conflicts : int;
+  decisions : int;
+  propagations : int;
   rounds : int;
   budget_exhausted : bool;
   deadline_exceeded : bool;
+  workers : int;
+  workers_failed : int;
+  shard_sizes : int list;
+  cache_hits : int;
+  cache_misses : int;
+  worker_seconds : float;
 }
+
+let blank_stats =
+  {
+    n_candidates = 0;
+    n_proved = 0;
+    sat_calls = 0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    rounds = 0;
+    budget_exhausted = false;
+    deadline_exceeded = false;
+    workers = 0;
+    workers_failed = 0;
+    shard_sizes = [];
+    cache_hits = 0;
+    cache_misses = 0;
+    worker_seconds = 0.;
+  }
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "candidates=%d proved=%d sat_calls=%d conflicts=%d rounds=%d%s%s"
     s.n_candidates s.n_proved s.sat_calls s.conflicts s.rounds
     (if s.budget_exhausted then " (budget exhausted)" else "")
-    (if s.deadline_exceeded then " (deadline exceeded)" else "")
+    (if s.deadline_exceeded then " (deadline exceeded)" else "");
+  if s.workers > 0 then begin
+    Format.fprintf fmt " workers=%d shards=[%s] worker_wall=%.1fs"
+      s.workers
+      (String.concat ";" (List.map string_of_int s.shard_sizes))
+      s.worker_seconds;
+    if s.workers_failed > 0 then
+      Format.fprintf fmt " (%d worker%s lost)" s.workers_failed
+        (if s.workers_failed = 1 then "" else "s")
+  end;
+  if s.cache_hits + s.cache_misses > 0 then
+    Format.fprintf fmt " cache=%d/%d hits" s.cache_hits
+      (s.cache_hits + s.cache_misses)
 
 (* A candidate's claim at a given frame, as (clause to assert it under a
    guard) and (literal implying its violation). *)
@@ -78,7 +117,8 @@ let or_lits u lits =
       S.add_clause s (L.negate v :: lits);
       v
 
-let build_side d ~assume ~init ~n_frames ~check_frames ~with_hypothesis candidates =
+let build_side d ~assume ~init ~n_frames ~check_frames ~with_hypothesis
+    ~known ~hypotheses candidates =
   let solver = S.create () in
   let u = Unroll.create solver d ~init in
   for _ = 1 to n_frames do
@@ -87,6 +127,25 @@ let build_side d ~assume ~init ~n_frames ~check_frames ~with_hypothesis candidat
   for f = 0 to n_frames - 1 do
     S.add_clause solver [ Unroll.lit u ~frame:f assume ]
   done;
+  let tl = Unroll.lit_true u in
+  (* [known] are established invariants of the reachable state space:
+     sound to assert at every frame of either side (strengthening) *)
+  List.iter
+    (fun cand ->
+      for f = 0 to n_frames - 1 do
+        S.add_clause solver (claim_clause u ~frame:f ~guard:tl cand)
+      done)
+    known;
+  (* [hypotheses] are unverified co-candidates from other shards: they
+     may only be assumed where this side's own candidates assume theirs
+     — the induction window of the step side, never the base side *)
+  if with_hypothesis then
+    List.iter
+      (fun cand ->
+        for f = 0 to n_frames - 2 do
+          S.add_clause solver (claim_clause u ~frame:f ~guard:tl cand)
+        done)
+      hypotheses;
   let hyp_actives =
     if not with_hypothesis then None
     else begin
@@ -208,7 +267,8 @@ let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~deadline
   aggregate_loop ();
   !killed_any
 
-let prove ?(options = default_options) ?cex ~assume d candidate_list =
+let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
+    ~assume d candidate_list =
   let candidates = Array.of_list candidate_list in
   let n = Array.length candidates in
   let alive = Array.make n true in
@@ -285,11 +345,11 @@ let prove ?(options = default_options) ?cex ~assume d candidate_list =
   let base =
     build_side d ~assume ~init:`Reset ~n_frames:k
       ~check_frames:(List.init k (fun i -> i))
-      ~with_hypothesis:false candidates
+      ~with_hypothesis:false ~known ~hypotheses:[] candidates
   in
   let step =
     build_side d ~assume ~init:`Free ~n_frames:(k + 1) ~check_frames:[ k ]
-      ~with_hypothesis:true candidates
+      ~with_hypothesis:true ~known ~hypotheses candidates
   in
   let rounds = ref 0 in
   let exhausted = ref false in
@@ -314,16 +374,225 @@ let prove ?(options = default_options) ?cex ~assume d candidate_list =
   for i = n - 1 downto 0 do
     if alive.(i) then proved := candidates.(i) :: !proved
   done;
-  let conflicts =
-    S.num_conflicts (Unroll.solver base.u) + S.num_conflicts (Unroll.solver step.u)
-  in
+  let snap_base = S.snapshot (Unroll.solver base.u) in
+  let snap_step = S.snapshot (Unroll.solver step.u) in
   ( !proved,
     {
+      blank_stats with
       n_candidates = n;
       n_proved = List.length !proved;
       sat_calls = !sat_calls;
-      conflicts;
+      conflicts = snap_base.S.conflicts + snap_step.S.conflicts;
+      decisions = snap_base.S.decisions + snap_step.S.decisions;
+      propagations = snap_base.S.propagations + snap_step.S.propagations;
       rounds = !rounds;
       budget_exhausted = !exhausted;
       deadline_exceeded = !deadline_hit;
     } )
+
+(* ------------------------------------------------------------------ *)
+(* Parallel prover: shard, fork, join.                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Test hook: PDAT_KILL_WORKER=<i> makes worker [i] die before writing
+   its result, exercising the crash-isolation path deterministically. *)
+let kill_worker_index () =
+  match Sys.getenv_opt "PDAT_KILL_WORKER" with
+  | Some s -> int_of_string_opt (String.trim s)
+  | None -> None
+
+let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
+    ~assume d candidate_list =
+  let sc =
+    Option.map (fun c -> (c, Proof_cache.scope c ~design:d ~assume)) cache
+  in
+  (* split the input into cache-resolved candidates and genuine work *)
+  let cached_proved = ref [] and fresh = ref [] in
+  let hits = ref 0 and misses = ref 0 in
+  List.iter
+    (fun cand ->
+      match sc with
+      | None -> fresh := cand :: !fresh
+      | Some (c, scope) -> (
+          match Proof_cache.find c scope cand with
+          | Some Proof_cache.Proved ->
+              incr hits;
+              cached_proved := cand :: !cached_proved
+          | Some Proof_cache.Disproved -> incr hits
+          | None ->
+              incr misses;
+              fresh := cand :: !fresh))
+    candidate_list;
+  let known = List.rev !cached_proved in
+  let fresh = List.rev !fresh in
+  let n_total = List.length candidate_list in
+  let position = Hashtbl.create (max 16 n_total) in
+  List.iteri (fun i cand -> Hashtbl.replace position cand i) candidate_list;
+  let in_input_order l =
+    List.sort
+      (fun a b -> compare (Hashtbl.find position a) (Hashtbl.find position b))
+      l
+  in
+  let finish ~proved ~st ~workers ~workers_failed ~shard_sizes ~worker_seconds =
+    (* verdicts are recorded only for runs that completed cleanly: a
+       candidate dropped because a budget ran out or a worker died is
+       not a refutation and must stay re-provable *)
+    (match sc with
+    | Some (c, scope)
+      when (not st.budget_exhausted)
+           && (not st.deadline_exceeded)
+           && workers_failed = 0 ->
+        let proved_tbl = Hashtbl.create 64 in
+        List.iter (fun cand -> Hashtbl.replace proved_tbl cand ()) proved;
+        List.iter
+          (fun cand ->
+            Proof_cache.record c scope cand
+              (if Hashtbl.mem proved_tbl cand then Proof_cache.Proved
+               else Proof_cache.Disproved))
+          fresh
+    | _ -> ());
+    let all_proved = in_input_order (known @ proved) in
+    ( all_proved,
+      {
+        st with
+        n_candidates = n_total;
+        n_proved = List.length all_proved;
+        workers;
+        workers_failed;
+        shard_sizes;
+        cache_hits = !hits;
+        cache_misses = !misses;
+        worker_seconds;
+      } )
+  in
+  let serial () =
+    let proved, st = prove ~options ?cex ~known ~assume d fresh in
+    finish ~proved ~st ~workers:0 ~workers_failed:0 ~shard_sizes:[]
+      ~worker_seconds:0.
+  in
+  if fresh = [] then
+    finish ~proved:[] ~st:blank_stats ~workers:0 ~workers_failed:0
+      ~shard_sizes:[] ~worker_seconds:0.
+  else if jobs <= 1 then serial ()
+  else begin
+    let shards = Shard.partition d ~jobs fresh in
+    if List.length shards <= 1 then serial ()
+    else begin
+      let n_fresh = List.length fresh in
+      let worker_options shard_n =
+        if options.total_conflict_budget <= 0 then options
+        else
+          { options with
+            total_conflict_budget =
+              max 1000 (options.total_conflict_budget * shard_n / n_fresh) }
+      in
+      let t_fork = Unix.gettimeofday () in
+      let spawn idx shard =
+        let shard_tbl = Hashtbl.create 64 in
+        List.iter (fun cand -> Hashtbl.replace shard_tbl cand ()) shard;
+        let hypotheses =
+          List.filter (fun c -> not (Hashtbl.mem shard_tbl c)) fresh
+        in
+        flush stdout;
+        flush stderr;
+        let rd, wr = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+            (* child: prove the shard (no cex propagation — workers must
+               be deterministic and kill only on real violations), ship
+               the result through the pipe, and die without running the
+               parent's at_exit machinery *)
+            (try
+               Unix.close rd;
+               (match kill_worker_index () with
+               | Some k when k = idx -> Unix._exit 3
+               | _ -> ());
+               let payload =
+                 try
+                   let proved, st =
+                     prove
+                       ~options:(worker_options (List.length shard))
+                       ~known ~hypotheses ~assume d shard
+                   in
+                   Ok (proved, st)
+                 with e -> Error (Printexc.to_string e)
+               in
+               let oc = Unix.out_channel_of_descr wr in
+               Marshal.to_channel oc payload [];
+               flush oc
+             with _ -> ());
+            Unix._exit 0
+        | pid ->
+            Unix.close wr;
+            (pid, rd)
+      in
+      let spawned = List.mapi spawn shards in
+      let collect (pid, rd) =
+        let ic = Unix.in_channel_of_descr rd in
+        let payload =
+          try
+            Some
+              (Marshal.from_channel ic
+                : (Candidate.t list * stats, string) result)
+          with _ -> None
+        in
+        close_in_noerr ic;
+        let rec wait () =
+          try snd (Unix.waitpid [] pid)
+          with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        in
+        match (payload, wait ()) with
+        | Some (Ok r), Unix.WEXITED 0 -> Some r
+        | _ ->
+            (* crashed, killed, or garbled pipe: drop the shard —
+               incomplete, never unsound *)
+            None
+      in
+      let results = List.map collect spawned in
+      let worker_seconds = Unix.gettimeofday () -. t_fork in
+      let workers = List.length shards in
+      let workers_failed =
+        List.length (List.filter (( = ) None) results)
+      in
+      let surv_tbl = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Some (p, _) -> List.iter (fun c -> Hashtbl.replace surv_tbl c ()) p
+          | None -> ())
+        results;
+      let survivors = List.filter (Hashtbl.mem surv_tbl) fresh in
+      (* join round: one serial mutual-induction fixpoint over the union
+         of shard survivors.  Workers over-assume (every other shard's
+         candidates as step hypotheses), so their survivor union is a
+         superset of the serial fixpoint; the greatest fixpoint of a
+         superset that still contains it is the same set, so this round
+         restores exact agreement with the serial prover. *)
+      let joined, jst = prove ~options ?cex ~known ~assume d survivors in
+      let sum f =
+        List.fold_left
+          (fun acc r -> match r with Some (_, st) -> acc + f st | None -> acc)
+          0 results
+      in
+      let any f =
+        List.exists
+          (function Some (_, st) -> f st | None -> false)
+          results
+      in
+      let st =
+        {
+          jst with
+          sat_calls = jst.sat_calls + sum (fun s -> s.sat_calls);
+          conflicts = jst.conflicts + sum (fun s -> s.conflicts);
+          decisions = jst.decisions + sum (fun s -> s.decisions);
+          propagations = jst.propagations + sum (fun s -> s.propagations);
+          rounds = jst.rounds + sum (fun s -> s.rounds);
+          budget_exhausted =
+            jst.budget_exhausted || any (fun s -> s.budget_exhausted);
+          deadline_exceeded =
+            jst.deadline_exceeded || any (fun s -> s.deadline_exceeded);
+        }
+      in
+      finish ~proved:joined ~st ~workers ~workers_failed
+        ~shard_sizes:(List.map List.length shards) ~worker_seconds
+    end
+  end

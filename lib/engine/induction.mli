@@ -31,9 +31,17 @@ type stats = {
   n_proved : int;
   sat_calls : int;
   conflicts : int;
+  decisions : int;     (** SAT branch decisions, summed over solvers *)
+  propagations : int;  (** unit propagations, summed over solvers *)
   rounds : int;
   budget_exhausted : bool;
   deadline_exceeded : bool;  (** the wall-clock budget cut the proof short *)
+  workers : int;          (** forked workers (0 = ran serially) *)
+  workers_failed : int;   (** workers that crashed; their shards dropped *)
+  shard_sizes : int list; (** candidates per shard, parallel runs only *)
+  cache_hits : int;       (** candidates resolved from the proof cache *)
+  cache_misses : int;     (** candidates the cache had no verdict for *)
+  worker_seconds : float; (** wall-clock of the fork/collect span *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -41,6 +49,8 @@ val pp_stats : Format.formatter -> stats -> unit
 val prove :
   ?options:options ->
   ?cex:Stimulus.t * int ->
+  ?known:Candidate.t list ->
+  ?hypotheses:Candidate.t list ->
   assume:Netlist.Design.net ->
   Netlist.Design.t ->
   Candidate.t list ->
@@ -54,4 +64,50 @@ val prove :
     64-lane simulator for [cycles] cycles under the stimulus, evicting
     further candidates without SAT queries.  Conservative only — an
     eviction never makes the result unsound, it only skips an
-    optimization. *)
+    optimization.
+
+    [known] are established invariants of the design under [assume]
+    (e.g. from {!Proof_cache}); they are asserted at every frame of both
+    the base and the step side, strengthening the induction for free.
+    Soundness requires that they really are invariants.
+
+    [hypotheses] are *unverified* co-candidates being proved elsewhere
+    (other shards of a parallel run).  They are assumed only where the
+    candidate set assumes its own members: frames [0..k-1] of the step
+    side, never the base side.  Survivors of a run with hypotheses are
+    only proved relative to them — {!prove_parallel}'s join round
+    discharges that relativity. *)
+
+val prove_parallel :
+  ?options:options ->
+  ?cex:Stimulus.t * int ->
+  ?jobs:int ->
+  ?cache:Proof_cache.t ->
+  assume:Netlist.Design.net ->
+  Netlist.Design.t ->
+  Candidate.t list ->
+  Candidate.t list * stats
+(** Sharded fork-based prover.  Returns exactly the proved set of the
+    serial {!prove} (when neither is cut short by budgets):
+
+    - candidates with a cached verdict are settled up front; cached
+      proofs join the run as [known] invariants,
+    - the rest are partitioned by {!Shard.partition} and proved in
+      [jobs] forked workers, each assuming the other shards' candidates
+      as step-side [hypotheses] (workers run without [cex] so their
+      kills are deterministic and exact),
+    - a worker that crashes or writes a garbled result only loses its
+      shard (incomplete, never unsound),
+    - one serial mutual-induction join round over the union of shard
+      survivors restores the greatest fixpoint of the whole set.
+
+    Workers over-assume, so the survivor union is a superset of the
+    serial fixpoint; the greatest fixpoint of any superset of the
+    fixpoint (within the original set) is that fixpoint, hence the join
+    round's result equals the serial one.
+
+    Fresh verdicts are recorded in [cache] only when the run completed
+    cleanly (no budget/deadline exhaustion, no failed workers); the
+    caller is responsible for {!Proof_cache.flush}.  [jobs <= 1] (the
+    default), a single shard, or a fully cache-resolved candidate list
+    short-circuit to the serial path with no forking. *)

@@ -1,0 +1,199 @@
+module D = Netlist.Design
+
+type verdict = Proved | Disproved
+
+type scope = string (* hex digest of (design, assume) *)
+
+type scope_state = {
+  entries : (string, verdict) Hashtbl.t;
+  mutable dirty : bool;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stored : int;
+  corrupt_files : int;
+}
+
+type t = {
+  dir : string option;
+  scopes : (scope, scope_state) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stored : int;
+  mutable corrupt : int;
+}
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir () =
+  Option.iter mkdir_p dir;
+  {
+    dir;
+    scopes = Hashtbl.create 8;
+    hits = 0;
+    misses = 0;
+    stored = 0;
+    corrupt = 0;
+  }
+
+let dir t = t.dir
+
+let stats t =
+  { hits = t.hits; misses = t.misses; stored = t.stored;
+    corrupt_files = t.corrupt }
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.stored <- 0;
+  t.corrupt <- 0
+
+(* ---------------- content addressing -------------------------------- *)
+
+let scope_digest design ~assume =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "pdat-scope-v1\n";
+  Buffer.add_string b (string_of_int assume);
+  Buffer.add_char b '\n';
+  D.iter_cells design (fun _ c ->
+      Buffer.add_string b (Netlist.Cell.name c.D.kind);
+      Array.iter
+        (fun i ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b (string_of_int i))
+        c.D.ins;
+      Buffer.add_char b '>';
+      Buffer.add_string b (string_of_int c.D.out);
+      if c.D.init then Buffer.add_char b '!';
+      Buffer.add_char b '\n');
+  List.iter
+    (fun (nm, net) ->
+      Buffer.add_string b "i ";
+      Buffer.add_string b nm;
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int net);
+      Buffer.add_char b '\n')
+    (D.inputs design);
+  List.iter
+    (fun (nm, net) ->
+      Buffer.add_string b "o ";
+      Buffer.add_string b nm;
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int net);
+      Buffer.add_char b '\n')
+    (D.outputs design);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let candidate_key = function
+  | Candidate.Const (n, b) -> Printf.sprintf "C%d:%d" n (Bool.to_int b)
+  | Candidate.Implies { cell; a; b } -> Printf.sprintf "I%d:%d>%d" cell a b
+
+(* ---------------- disk format --------------------------------------- *)
+
+let header = "pdat-proof-cache v1"
+
+let file_of t sc =
+  Option.map (fun d -> Filename.concat d (sc ^ ".pdatcache")) t.dir
+
+exception Damaged
+
+let load_file path sc =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = Hashtbl.create 256 in
+      (match input_line ic with
+      | l when l = header ^ " " ^ sc -> ()
+      | _ -> raise Damaged
+      | exception End_of_file -> raise Damaged);
+      let finished = ref false in
+      (try
+         while not !finished do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | [ "P"; key ] -> Hashtbl.replace entries key Proved
+           | [ "D"; key ] -> Hashtbl.replace entries key Disproved
+           | [ "end"; n ] ->
+               if int_of_string_opt n <> Some (Hashtbl.length entries) then
+                 raise Damaged;
+               finished := true
+           | _ -> raise Damaged
+         done
+       with End_of_file -> raise Damaged);
+      (* anything after the trailer is damage too *)
+      (match input_line ic with
+      | _ -> raise Damaged
+      | exception End_of_file -> ());
+      entries)
+
+let scope_state t sc =
+  match Hashtbl.find_opt t.scopes sc with
+  | Some st -> st
+  | None ->
+      let entries =
+        match file_of t sc with
+        | Some path when Sys.file_exists path -> (
+            try load_file path sc
+            with _ ->
+              t.corrupt <- t.corrupt + 1;
+              Hashtbl.create 16)
+        | Some _ | None -> Hashtbl.create 16
+      in
+      let st = { entries; dirty = false } in
+      Hashtbl.replace t.scopes sc st;
+      st
+
+let scope t ~design ~assume =
+  let sc = scope_digest design ~assume in
+  ignore (scope_state t sc);
+  sc
+
+let find t sc cand =
+  let st = scope_state t sc in
+  match Hashtbl.find_opt st.entries (candidate_key cand) with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Some v
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let record t sc cand verdict =
+  let st = scope_state t sc in
+  let key = candidate_key cand in
+  if Hashtbl.find_opt st.entries key <> Some verdict then begin
+    Hashtbl.replace st.entries key verdict;
+    st.dirty <- true;
+    t.stored <- t.stored + 1
+  end
+
+let flush t =
+  match t.dir with
+  | None -> ()
+  | Some _ ->
+      Hashtbl.iter
+        (fun sc st ->
+          if st.dirty then begin
+            let path = Option.get (file_of t sc) in
+            let tmp = path ^ ".tmp" in
+            let oc = open_out tmp in
+            Printf.fprintf oc "%s %s\n" header sc;
+            Hashtbl.iter
+              (fun key v ->
+                Printf.fprintf oc "%s %s\n"
+                  (match v with Proved -> "P" | Disproved -> "D")
+                  key)
+              st.entries;
+            Printf.fprintf oc "end %d\n" (Hashtbl.length st.entries);
+            close_out oc;
+            Sys.rename tmp path;
+            st.dirty <- false
+          end)
+        t.scopes

@@ -1,0 +1,30 @@
+(** Candidate-set sharding for the parallel proof engine.
+
+    Candidates whose cones of influence overlap interact during mutual
+    induction (one may serve as the hypothesis that makes another
+    inductive), so they should be proved by the same worker; candidates
+    over disjoint logic are independent and parallelize freely.
+
+    [partition] derives structural components from the netlist
+    (union-find over the cell graph, ignoring the constant rails and
+    primary inputs, which are high-fanout hubs that would glue
+    everything together), refines the order inside oversized components
+    with 64-lane random-simulation signatures (candidates that toggle
+    together land in the same chunk), and bin-packs the components onto
+    [jobs] shards, splitting any component larger than a fair share.
+
+    The partition is purely a performance heuristic: the parallel
+    prover's join round re-establishes mutual induction over the union
+    of shard survivors, so any partition — even a random one — yields
+    the same final proved set (see DESIGN.md). *)
+
+val partition :
+  Netlist.Design.t ->
+  jobs:int ->
+  Candidate.t list ->
+  Candidate.t list list
+(** Splits the candidates into at most [jobs] non-empty shards.
+    Deterministic: depends only on the design and the candidate list.
+    Candidates keep their relative input order within each shard.
+    [jobs <= 1], an empty candidate list, or fewer candidates than
+    shards degenerate gracefully (never returns empty shards). *)

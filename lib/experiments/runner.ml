@@ -85,6 +85,13 @@ let baseline_stats design =
       Hashtbl.replace baselines key st;
       st
 
+(* one proof cache shared by every variant of a session: Ibex variants
+   reuse each other's verdicts whenever their (model, assume) scopes
+   coincide, and PDAT_CACHE_DIR makes the verdicts survive the process *)
+let shared_cache =
+  lazy
+    (Engine.Proof_cache.create ?dir:(Sys.getenv_opt "PDAT_CACHE_DIR") ())
+
 let finish_env (v : Variants.t) design env =
   (* the Aligned variant additionally pins the data-address low bits *)
   if v.Variants.id = "ibex-aligned" then
@@ -93,7 +100,10 @@ let finish_env (v : Variants.t) design env =
       ~bits:2
   else env
 
-let run_full ?(fast = false) (v : Variants.t) =
+let run_full ?(fast = false) ?jobs ?cache (v : Variants.t) =
+  let cache =
+    match cache with Some c -> Some c | None -> Some (Lazy.force shared_cache)
+  in
   let t0 = Unix.gettimeofday () in
   let design = design_of ~fast v in
   let base = baseline_stats design in
@@ -113,7 +123,7 @@ let run_full ?(fast = false) (v : Variants.t) =
       let env = finish_env v design env in
       let result =
         Pdat.Pipeline.run ~rsim:(rsim_config ~fast v)
-          ~induction:(induction_options ~fast v) ~design ~env ()
+          ~induction:(induction_options ~fast v) ?jobs ?cache ~design ~env ()
       in
       let r = result.Pdat.Pipeline.report in
       ( {
@@ -127,14 +137,15 @@ let run_full ?(fast = false) (v : Variants.t) =
         },
         Some result )
 
-let run ?fast v = fst (run_full ?fast v)
+let run ?fast ?jobs ?cache v = fst (run_full ?fast ?jobs ?cache v)
 
 let reduced_design ?fast v =
   match run_full ?fast v with
   | _, Some result -> result.Pdat.Pipeline.reduced
   | _, None -> fst (Pdat.Pipeline.baseline (design_of ?fast v))
 
-let run_figure ?fast figure = List.map (run ?fast) (Variants.by_figure figure)
+let run_figure ?fast ?jobs ?cache figure =
+  List.map (run ?fast ?jobs ?cache) (Variants.by_figure figure)
 
 let pp_row fmt r =
   Format.fprintf fmt "%-22s %9.1f um^2 (%+6.1f%%)  %6d gates (%+6.1f%%)  [proved %5d, %5.1fs]"

@@ -56,6 +56,8 @@ type t = {
   mutable cla_inc : float;
   mutable ok : bool;
   mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
   mutable n_clauses : int;
   mutable n_learnts : int;
   mutable max_learnts : float;
@@ -90,6 +92,8 @@ let create () =
     cla_inc = 1.0;
     ok = true;
     conflicts = 0;
+    decisions = 0;
+    propagations = 0;
     n_clauses = 0;
     n_learnts = 0;
     max_learnts = 8192.0;
@@ -210,6 +214,7 @@ let lit_val s l =
 (* ---------------- trail ------------------------------------------- *)
 
 let enqueue s l reason =
+  if reason <> None then s.propagations <- s.propagations + 1;
   let v = l lsr 1 in
   s.assign.(v) <- (l land 1) lxor 1;
   s.level.(v) <- s.n_levels;
@@ -593,6 +598,7 @@ let solve ?(assumptions = []) ?(conflict_budget = -1) ?deadline s =
               finished := true
             end
             else begin
+              s.decisions <- s.decisions + 1;
               new_decision_level s;
               enqueue s (Lit.make v s.polarity.(v)) None
             end
@@ -601,6 +607,25 @@ let solve ?(assumptions = []) ?(conflict_budget = -1) ?deadline s =
     cancel_until s 0;
     !result
   end
+
+type snapshot = {
+  vars : int;
+  clauses : int;
+  learnts : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+}
+
+let snapshot s =
+  {
+    vars = s.n_vars;
+    clauses = s.n_clauses;
+    learnts = s.n_learnts;
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+  }
 
 let value s v = s.model.(v) = 1
 

@@ -49,6 +49,21 @@ val failed_assumptions : t -> Lit.t list
 val num_conflicts : t -> int
 (** Total conflicts across all [solve] calls, for budget accounting. *)
 
+type snapshot = {
+  vars : int;
+  clauses : int;  (** problem clauses *)
+  learnts : int;  (** currently retained learned clauses *)
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+}
+
+val snapshot : t -> snapshot
+(** A cheap copy of the cumulative search counters.  Used by the
+    parallel proof engine: each forked worker snapshots its solvers and
+    ships the counters back to the coordinator, which aggregates them
+    into the per-shard statistics. *)
+
 val num_clauses : t -> int
 
 val set_seed : t -> int -> unit

@@ -335,6 +335,74 @@ let test_pipeline_fallback_reports_reason () =
   check "fallback matches baseline stats" true
     (rep.Pdat.Pipeline.after = rep.Pdat.Pipeline.before)
 
+let test_pipeline_budget_reclaim () =
+  (* regression: the proof stage must inherit the budget that mining and
+     refinement did not use, instead of being capped at a hard fraction
+     of the total.  On this tiny design mine+refine take well under a
+     second, so with validation off virtually the whole 40s budget must
+     reach the prover (the old hard-coded checkpoints capped it at 85%,
+     minus everything the earlier stages were *allotted* but never
+     used). *)
+  let d = guard_design () in
+  let budget = 40. in
+  let r = Pdat.Pipeline.run ~time_budget:budget ~design:d ~env:(en0_env d) () in
+  let rep = r.Pdat.Pipeline.report in
+  check "proof stage reclaims unused mining/refinement budget" true
+    (rep.Pdat.Pipeline.proof_budget_s > 0.9 *. budget);
+  check "pipeline still reduces under a generous budget" true
+    (rep.Pdat.Pipeline.proved > 0);
+  (* with validation on, the validator's share is genuinely reserved *)
+  let rv =
+    Pdat.Pipeline.run ~validate:true ~time_budget:budget ~design:d
+      ~env:(en0_env d) ()
+  in
+  check "validator share reserved when validation is on" true
+    (rv.Pdat.Pipeline.report.Pdat.Pipeline.proof_budget_s < 0.9 *. budget);
+  (* no budget at all: the allocator stays out of the way *)
+  let r0 = Pdat.Pipeline.run ~design:d ~env:(en0_env d) () in
+  check "no budget, no allocation" true
+    (r0.Pdat.Pipeline.report.Pdat.Pipeline.proof_budget_s = 0.)
+
+let test_pipeline_fault_matrix_parallel () =
+  (* the validator must catch every fault class when the proof stage
+     runs sharded across forked workers too *)
+  let d = guard_design () in
+  let entries = Pdat.Pipeline.self_test ~jobs:4 ~design:d ~env:(en0_env d) () in
+  check_int "every fault class exercised" (List.length Pdat.Faults.all)
+    (List.length entries);
+  List.iter
+    (fun e ->
+      let nm = Pdat.Faults.name e.Pdat.Pipeline.fault in
+      check (nm ^ " found an injection site (jobs=4)") true
+        (e.Pdat.Pipeline.injected <> None);
+      check (nm ^ " caught by the validator (jobs=4)") true
+        e.Pdat.Pipeline.caught)
+    entries
+
+let test_validate_divergence_fields_parallel () =
+  (* a faulted run under the parallel prover: the divergence report must
+     carry the reproduction coordinates (run, cycle, lane, seed) *)
+  let d = guard_design () in
+  let r =
+    Pdat.Pipeline.run ~jobs:2 ~validate:true
+      ~inject:{ Pdat.Faults.kind = Pdat.Faults.Perturb_cell; seed = 7 }
+      ~design:d ~env:(en0_env d) ()
+  in
+  let rep = r.Pdat.Pipeline.report in
+  check "fault applied" true (rep.Pdat.Pipeline.injected_fault <> None);
+  check "not validated" false rep.Pdat.Pipeline.validated;
+  match rep.Pdat.Pipeline.validation with
+  | Some (Pdat.Validate.Divergent dv) ->
+      check "run indexed from 1" true (dv.Pdat.Validate.run >= 1);
+      check "cycle indexed from 1" true (dv.Pdat.Validate.cycle >= 1);
+      check "lane in range" true
+        (dv.Pdat.Validate.lane >= 0 && dv.Pdat.Validate.lane < 64);
+      check "divergent output named" true
+        (String.length dv.Pdat.Validate.output > 0);
+      check "stimulus seed reported for reproduction" true
+        (dv.Pdat.Validate.seed <> 0)
+  | _ -> Alcotest.fail "expected a recorded divergence"
+
 let test_pipeline_time_budget_degrades () =
   let d = guard_design () in
   (* a budget so small every stage deadline is already expired: the
@@ -472,10 +540,16 @@ let () =
             test_pipeline_validates_unfaulted;
           Alcotest.test_case "fault matrix all caught" `Quick
             test_pipeline_fault_matrix;
+          Alcotest.test_case "fault matrix all caught at jobs=4" `Quick
+            test_pipeline_fault_matrix_parallel;
+          Alcotest.test_case "divergence coordinates under jobs=2" `Quick
+            test_validate_divergence_fields_parallel;
           Alcotest.test_case "fallback reports reason" `Quick
             test_pipeline_fallback_reports_reason;
           Alcotest.test_case "time budget degrades gracefully" `Quick
             test_pipeline_time_budget_degrades;
+          Alcotest.test_case "proof stage reclaims stage budget" `Quick
+            test_pipeline_budget_reclaim;
         ] );
       ( "pipeline",
         [

@@ -1,0 +1,355 @@
+(* Randomized differential tests for the parallel proof engine and the
+   invariant cache.
+
+   The central claim under test: [Induction.prove_parallel] — sharding,
+   forked workers, join round — proves *exactly* the set the serial
+   [Induction.prove] proves, for any job count, and every proved
+   invariant survives long constrained simulation.  Neither prover gets
+   [~cex] here: the set-identity theorem is stated for exact kills, and
+   worker determinism depends on it. *)
+
+module D = Netlist.Design
+module C = Netlist.Cell
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sorted = List.sort Engine.Candidate.compare
+
+let same_set a b = sorted a = sorted b
+
+(* every proved invariant must hold on a long random simulation *)
+let survives_sim d assume proved ~cycles =
+  let sim = Netlist.Sim64.create d in
+  let rng = Random.State.make [| 98765 |] in
+  let random_word () =
+    Int64.logor
+      (Int64.of_int (Random.State.bits rng))
+      (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
+  in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    List.iter
+      (fun (_, n) -> Netlist.Sim64.set_input sim n (random_word ()))
+      (D.inputs d);
+    Netlist.Sim64.eval sim;
+    if Netlist.Sim64.read sim assume = -1L then
+      List.iter
+        (fun c ->
+          if not (Engine.Candidate.holds_in_values (Netlist.Sim64.read sim) c)
+          then ok := false)
+        proved;
+    Netlist.Sim64.step sim
+  done;
+  !ok
+
+let gen_config =
+  { Netlist.Generate.n_inputs = 6; n_gates = 42; n_flops = 8; n_outputs = 6 }
+
+let mine_config =
+  { Engine.Rsim.default with Engine.Rsim.cycles = 128; runs = 1 }
+
+(* --- parallel == serial, across seeds and job counts ------------------- *)
+
+let test_differential () =
+  let nonempty = ref 0 in
+  for seed = 1 to 50 do
+    let d = Netlist.Generate.random ~seed ~config:gen_config () in
+    let cands =
+      Engine.Rsim.mine ~config:mine_config d Engine.Stimulus.unconstrained
+    in
+    let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+    if serial <> [] then incr nonempty;
+    List.iter
+      (fun jobs ->
+        let par, stats =
+          Engine.Induction.prove_parallel ~jobs ~assume:D.net_true d cands
+        in
+        if not (same_set serial par) then
+          Alcotest.failf
+            "seed %d jobs %d: parallel proved %d, serial proved %d \
+             (different sets)"
+            seed jobs (List.length par) (List.length serial);
+        check (Printf.sprintf "seed %d jobs %d: no worker lost" seed jobs)
+          true
+          (stats.Engine.Induction.workers_failed = 0);
+        check
+          (Printf.sprintf "seed %d jobs %d: survives simulation" seed jobs)
+          true
+          (survives_sim d D.net_true par ~cycles:1000))
+      [ 1; 2; 4 ]
+  done;
+  (* the harness must actually exercise non-trivial proofs *)
+  check "some seeds proved something" true (!nonempty > 10)
+
+(* --- crash isolation ---------------------------------------------------- *)
+
+(* two structurally disjoint blocks, each with provable constants, so
+   the sharder reliably produces two shards for jobs=2 *)
+let twin_design () =
+  let d = D.create "twin" in
+  let block name =
+    let a = D.add_input d name in
+    let na = D.add_cell d C.Inv [| a |] in
+    let zero = D.add_cell d C.And2 [| a; na |] in
+    let r = D.add_dff d ~d:zero () in
+    D.add_output d ("y_" ^ name) r;
+    [ Engine.Candidate.Const (zero, false); Engine.Candidate.Const (r, false) ]
+  in
+  let cands = block "a" @ block "b" in
+  (d, cands)
+
+let with_env_var name value f =
+  Unix.putenv name value;
+  Fun.protect ~finally:(fun () -> Unix.putenv name "") f
+
+let test_crash_isolation () =
+  let d, cands = twin_design () in
+  let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+  check_int "all four constants provable" 4 (List.length serial);
+  (* sanity: without sabotage, two workers agree with serial *)
+  let par, st = Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands in
+  check "clean parallel run matches serial" true (same_set serial par);
+  check_int "two workers ran" 2 st.Engine.Induction.workers;
+  (* kill worker 0 before it reports: its shard is dropped, the rest is
+     still proved, and nothing unsound appears *)
+  let par, st =
+    with_env_var "PDAT_KILL_WORKER" "0" (fun () ->
+        Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands)
+  in
+  check_int "one worker lost" 1 st.Engine.Induction.workers_failed;
+  check "survivors are a subset of the serial set" true
+    (List.for_all
+       (fun c -> List.exists (Engine.Candidate.equal c) serial)
+       par);
+  check "the other shard still proved" true (par <> []);
+  check "fewer proved than serial (shard really dropped)" true
+    (List.length par < List.length serial);
+  check "result still sound" true (survives_sim d D.net_true par ~cycles:500)
+
+(* --- invariant cache ---------------------------------------------------- *)
+
+let cache_fixture () =
+  let seed = 11 in
+  let d = Netlist.Generate.random ~seed ~config:gen_config () in
+  let cands =
+    Engine.Rsim.mine ~config:mine_config d Engine.Stimulus.unconstrained
+  in
+  (d, cands)
+
+let test_cache_warm_run () =
+  let d, cands = cache_fixture () in
+  check "fixture mines candidates" true (List.length cands > 3);
+  let cache = Engine.Proof_cache.create () in
+  let cold, cst =
+    Engine.Induction.prove_parallel ~jobs:2 ~cache ~assume:D.net_true d cands
+  in
+  check_int "cold run: no hits" 0 cst.Engine.Induction.cache_hits;
+  check_int "cold run: all misses" (List.length cands)
+    cst.Engine.Induction.cache_misses;
+  let warm, wst =
+    Engine.Induction.prove_parallel ~jobs:2 ~cache ~assume:D.net_true d cands
+  in
+  (* 100% hit: every candidate settled without any SAT call *)
+  check_int "warm run: all hits" (List.length cands)
+    wst.Engine.Induction.cache_hits;
+  check_int "warm run: zero SAT calls" 0 wst.Engine.Induction.sat_calls;
+  check_int "warm run: zero workers" 0 wst.Engine.Induction.workers;
+  check "warm run: identical proved list" true (cold = warm)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pdat_cache_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_cache_disk_persistence () =
+  let d, cands = cache_fixture () in
+  with_temp_dir (fun dir ->
+      let cache = Engine.Proof_cache.create ~dir () in
+      let cold, _ =
+        Engine.Induction.prove_parallel ~jobs:1 ~cache ~assume:D.net_true d
+          cands
+      in
+      Engine.Proof_cache.flush cache;
+      check "scope file written" true
+        (Array.exists
+           (fun f -> Filename.check_suffix f ".pdatcache")
+           (Sys.readdir dir));
+      (* a brand-new cache instance over the same directory: the second
+         process' run is fully served from disk *)
+      let cache2 = Engine.Proof_cache.create ~dir () in
+      let warm, wst =
+        Engine.Induction.prove_parallel ~jobs:1 ~cache:cache2
+          ~assume:D.net_true d cands
+      in
+      check_int "warm across processes: zero SAT calls" 0
+        wst.Engine.Induction.sat_calls;
+      check "identical proved list across processes" true (cold = warm);
+      check_int "no corrupt files seen" 0
+        (Engine.Proof_cache.stats cache2).Engine.Proof_cache.corrupt_files)
+
+let test_cache_mutated_netlist_is_cold () =
+  let d, cands = cache_fixture () in
+  let cache = Engine.Proof_cache.create () in
+  let _ =
+    Engine.Induction.prove_parallel ~jobs:1 ~cache ~assume:D.net_true d cands
+  in
+  (* swap one cell's function: a different design must never reuse the
+     old verdicts, even though every net id still exists *)
+  let d' = D.copy d in
+  let swapped = ref false in
+  (try
+     D.iter_cells d' (fun i c ->
+         if not !swapped then
+           match c.D.kind with
+           | C.And2 ->
+               D.replace_cell d' i C.Or2 c.D.ins;
+               swapped := true
+           | C.Or2 ->
+               D.replace_cell d' i C.And2 c.D.ins;
+               swapped := true
+           | _ -> ())
+   with _ -> ());
+  check "a cell was swapped" true !swapped;
+  let proved', st' =
+    Engine.Induction.prove_parallel ~jobs:1 ~cache ~assume:D.net_true d' cands
+  in
+  check_int "mutated design: zero cache hits" 0 st'.Engine.Induction.cache_hits;
+  check "mutated design result is sound for the mutated design" true
+    (survives_sim d' D.net_true proved' ~cycles:1000)
+
+let test_cache_corrupt_files_are_cold () =
+  let d, cands = cache_fixture () in
+  with_temp_dir (fun dir ->
+      let seed_cache = Engine.Proof_cache.create ~dir () in
+      let cold, _ =
+        Engine.Induction.prove_parallel ~jobs:1 ~cache:seed_cache
+          ~assume:D.net_true d cands
+      in
+      Engine.Proof_cache.flush seed_cache;
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".pdatcache")
+      in
+      check "scope file exists" true (files <> []);
+      let path = Filename.concat dir (List.hd files) in
+      let damage_and_check label mutate =
+        mutate path;
+        let cache = Engine.Proof_cache.create ~dir () in
+        let proved, st =
+          Engine.Induction.prove_parallel ~jobs:1 ~cache ~assume:D.net_true d
+            cands
+        in
+        (* damage is detected and the run behaves exactly like a cold
+           one — same result, real SAT work, corruption counted *)
+        check (label ^ ": no stale hits") true
+          (st.Engine.Induction.cache_hits = 0);
+        check (label ^ ": SAT actually ran") true
+          (st.Engine.Induction.sat_calls > 0);
+        check (label ^ ": same proved list as cold") true (proved = cold);
+        check (label ^ ": corruption counted") true
+          ((Engine.Proof_cache.stats cache).Engine.Proof_cache.corrupt_files
+          = 1);
+        (* the damaged file is replaced by a clean one on flush *)
+        Engine.Proof_cache.flush cache;
+        let cache2 = Engine.Proof_cache.create ~dir () in
+        let _, st2 =
+          Engine.Induction.prove_parallel ~jobs:1 ~cache:cache2
+            ~assume:D.net_true d cands
+        in
+        check (label ^ ": healed after flush") true
+          (st2.Engine.Induction.sat_calls = 0)
+      in
+      damage_and_check "truncated" (fun p ->
+          let n = (Unix.stat p).Unix.st_size in
+          let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd (n / 2);
+          Unix.close fd);
+      damage_and_check "garbage" (fun p ->
+          let oc = open_out p in
+          output_string oc "not a cache file\nat all\n";
+          close_out oc))
+
+(* --- the flagship kernel at scale (mirrors the bench `parallel` target) -- *)
+
+let test_ibex_parallel_identity () =
+  let t = Cores.Ibex_like.build () in
+  let d = t.Cores.Ibex_like.design in
+  let env =
+    Pdat.Environment.riscv_cutpoint d ~nets:(Cores.Ibex_like.cutpoint_nets t)
+      Isa.Subset.rv32i
+  in
+  let model = env.Pdat.Environment.model in
+  let assume = env.Pdat.Environment.assume in
+  let rsim = { Engine.Rsim.default with Engine.Rsim.cycles = 400; runs = 2 } in
+  let cands =
+    Pdat.Property_library.mine ~config:rsim ~model ~assume
+      ~stimulus:env.Pdat.Environment.stimulus ()
+    |> Pdat.Property_library.restrict_to_original ~original:d
+    |> Engine.Rsim.refine ~config:rsim ~assume model
+         env.Pdat.Environment.stimulus
+  in
+  let opts =
+    { Engine.Induction.k = 1; call_conflict_budget = 30_000;
+      total_conflict_budget = -1; time_budget_s = -1. }
+  in
+  let p1, _ =
+    Engine.Induction.prove_parallel ~options:opts ~jobs:1 ~assume model cands
+  in
+  check "proves a substantial set" true (List.length p1 > 50);
+  let cache = Engine.Proof_cache.create () in
+  let p4, s4 =
+    Engine.Induction.prove_parallel ~options:opts ~jobs:4 ~cache ~assume model
+      cands
+  in
+  check "jobs=4 proved set identical to jobs=1" true (same_set p1 p4);
+  check "four workers ran" true (s4.Engine.Induction.workers >= 2);
+  check_int "no workers lost" 0 s4.Engine.Induction.workers_failed;
+  (* warm rerun: >= 95% of SAT calls skipped (here: all of them) *)
+  let pw, sw =
+    Engine.Induction.prove_parallel ~options:opts ~jobs:4 ~cache ~assume model
+      cands
+  in
+  check "warm proved set identical" true (same_set p1 pw);
+  check "warm run skips >= 95% of SAT calls" true
+    (float_of_int sw.Engine.Induction.sat_calls
+    <= 0.05 *. float_of_int (max 1 s4.Engine.Induction.sat_calls))
+
+let () =
+  Random.self_init ();
+  Alcotest.run "prover_diff"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "parallel == serial over 50 random netlists"
+            `Slow test_differential;
+          Alcotest.test_case "crash isolation drops only the dead shard"
+            `Quick test_crash_isolation;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "warm run is 100% hits, zero SAT" `Quick
+            test_cache_warm_run;
+          Alcotest.test_case "persists across cache instances" `Quick
+            test_cache_disk_persistence;
+          Alcotest.test_case "mutated netlist never reuses stale entries"
+            `Quick test_cache_mutated_netlist_is_cold;
+          Alcotest.test_case "corrupt files detected and treated cold" `Quick
+            test_cache_corrupt_files_are_cold;
+        ] );
+      ( "ibex",
+        [
+          Alcotest.test_case "jobs=4 identity + warm-cache skip" `Slow
+            test_ibex_parallel_identity;
+        ] );
+    ]
