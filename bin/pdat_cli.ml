@@ -6,6 +6,8 @@
      reduce --core C --subset S [--port|--cutpoint] [-o out.v]
                                custom reduction with Verilog export
      export --core C -o out.v  dump a core's baseline netlist
+     lint [FILE.v ...] [--core C ...]
+                               static netlist lint; exit 1 on errors
      table1 | table2           paper tables *)
 
 open Cmdliner
@@ -162,12 +164,24 @@ let inject_arg =
   in
   Arg.(value & opt (some fault) None & info [ "inject" ] ~doc ~docv:"FAULT")
 
+let lint_gate_arg =
+  let doc =
+    "Static-analysis gate: $(b,off), $(b,warn) (lint the input and audit the \
+     rewire certificate, recording findings in the report) or $(b,strict) \
+     (additionally refuse Error-severity findings)."
+  in
+  Arg.(value
+       & opt (enum [ ("off", Analysis.Lint.Off); ("warn", Analysis.Lint.Warn);
+                     ("strict", Analysis.Lint.Strict) ])
+           Analysis.Lint.Warn
+       & info [ "lint" ] ~doc ~docv:"MODE")
+
 let reduce_cmd =
   let port_flag =
     Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
   in
   let run fast jobs cache_dir core subset_name port out validate time_budget
-      inject_kind =
+      lint inject_kind =
     if inject_kind <> None && not validate then begin
       Format.eprintf "--inject requires --validate to mean anything@.";
       exit 1
@@ -200,8 +214,17 @@ let reduce_cmd =
       Option.map (fun kind -> { Pdat.Faults.kind; seed = 7 }) inject_kind
     in
     let result =
-      Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
-        ?time_budget ?inject ~design ~env ()
+      match
+        Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
+          ?time_budget ~lint ?inject ~design ~env ()
+      with
+      | r -> r
+      | exception Pdat.Pipeline.Rejected diags ->
+          Format.eprintf "input netlist rejected by the static gate:@.";
+          List.iter
+            (fun d -> Format.eprintf "  %s@." (Analysis.Diag.to_string d))
+            diags;
+          exit 1
     in
     Format.printf "%a@." Pdat.Pipeline.pp_report result.Pdat.Pipeline.report;
     Option.iter
@@ -224,7 +247,81 @@ let reduce_cmd =
     (Cmd.info "reduce"
        ~doc:"Reduce a core for an ISA subset and optionally export Verilog")
     Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ core_arg $ subset_arg
-          $ port_flag $ out_arg $ validate_flag $ time_budget_arg $ inject_arg)
+          $ port_flag $ out_arg $ validate_flag $ time_budget_arg
+          $ lint_gate_arg $ inject_arg)
+
+(* ---------------- lint ------------------------------------------------ *)
+
+let core_label = function
+  | `Ibex -> "ibex"
+  | `Cm0 -> "cm0"
+  | `Ridecore -> "ridecore"
+
+let lint_cmd =
+  let files =
+    let doc = "Structural-Verilog netlists to lint." in
+    Arg.(value & pos_all file [] & info [] ~doc ~docv:"FILE.v")
+  in
+  let cores =
+    let doc = "Also lint a built-in core (repeatable): ibex, cm0, ridecore." in
+    Arg.(value
+         & opt_all (enum [ ("ibex", `Ibex); ("cm0", `Cm0); ("ridecore", `Ridecore) ]) []
+         & info [ "core" ] ~doc ~docv:"CORE")
+  in
+  let mode =
+    let doc =
+      "$(b,strict) exits 1 on any Error-severity finding; $(b,warn) always \
+       exits 0."
+    in
+    Arg.(value
+         & opt (enum [ ("warn", Analysis.Lint.Warn); ("strict", Analysis.Lint.Strict) ])
+             Analysis.Lint.Strict
+         & info [ "mode" ] ~doc ~docv:"MODE")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ]
+             ~doc:"Also print Info-severity findings (ternary constants).")
+  in
+  let run fast mode verbose cores files =
+    let targets =
+      List.map
+        (fun f -> (f, fun () -> Netlist.Verilog.read_file f))
+        files
+      @ List.map
+          (fun c -> (core_label c, fun () -> fst (build_core ~fast c)))
+          cores
+    in
+    if targets = [] then begin
+      Format.eprintf "nothing to lint: pass FILE.v arguments and/or --core@.";
+      exit 2
+    end;
+    let failed = ref false in
+    List.iter
+      (fun (label, load) ->
+        match load () with
+        | exception e ->
+            Format.printf "%s: cannot load: %s@." label (Printexc.to_string e);
+            failed := true
+        | d ->
+            let diags = Analysis.Lint.run d in
+            List.iter
+              (fun diag ->
+                if verbose || diag.Analysis.Diag.severity <> Analysis.Diag.Info
+                then
+                  Format.printf "%s: %s@." label (Analysis.Diag.to_string diag))
+              diags;
+            let e, w, i = Analysis.Diag.count diags in
+            Format.printf "%s: %d cell(s), %d error(s), %d warning(s), %d info@."
+              label (Netlist.Design.num_cells d) e w i;
+            if e > 0 then failed := true)
+      targets;
+    if !failed && mode = Analysis.Lint.Strict then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the structural netlist lint over Verilog files and/or cores")
+    Term.(const run $ fast $ mode $ verbose $ cores $ files)
 
 (* ---------------- export --------------------------------------------- *)
 
@@ -261,4 +358,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; reduce_cmd; export_cmd; table1_cmd; table2_cmd ]))
+          [ list_cmd; run_cmd; reduce_cmd; export_cmd; lint_cmd; table1_cmd;
+            table2_cmd ]))

@@ -1,0 +1,17 @@
+// One combinational ALU bit-slice: select between AND/OR and XOR.
+module alu_slice (input a, input b, input s0, output y, output cout);
+  wire t_and;
+  wire t_or;
+  wire t_xor;
+  wire m0;
+  wire y0;
+  wire c0;
+  AND2_X1 u0 (.A1(a), .A2(b), .Z(t_and));
+  OR2_X1  u1 (.A1(a), .A2(b), .Z(t_or));
+  MUX2_X1 u2 (.S(s0), .A(t_and), .B(t_or), .Z(m0));
+  XOR2_X1 u3 (.A1(a), .A2(b), .ZN(t_xor));
+  MUX2_X1 u4 (.S(s0), .A(m0), .B(t_xor), .Z(y0));
+  AND2_X1 u5 (.A1(t_and), .A2(s0), .Z(c0));
+  assign y = y0;
+  assign cout = c0;
+endmodule

@@ -1,0 +1,10 @@
+// 4-bit parity tap: exercises the bus-grouping lint rule on data[3:0].
+module bus_tap (input data[0], input data[1], input data[2], input data[3], output parity);
+  wire p0;
+  wire p1;
+  wire p2;
+  XOR2_X1 u0 (.A1(data[0]), .A2(data[1]), .ZN(p0));
+  XOR2_X1 u1 (.A1(data[2]), .A2(data[3]), .ZN(p1));
+  XOR2_X1 u2 (.A1(p0), .A2(p1), .ZN(p2));
+  assign parity = p2;
+endmodule

@@ -1,0 +1,16 @@
+// 2-bit counter with enable: q0 toggles on en, q1 on carry-out of q0.
+// A minimal clean netlist for `pdat lint` (see also the CI lint job).
+module counter (input CLK, input en, output q0, output q1);
+  wire d0;
+  wire d1;
+  wire t1;
+  wire q0w;
+  wire q1w;
+  XOR2_X1 g0 (.A1(q0w), .A2(en), .ZN(d0));
+  AND2_X1 g1 (.A1(q0w), .A2(en), .Z(t1));
+  XOR2_X1 g2 (.A1(q1w), .A2(t1), .ZN(d1));
+  (* init = 0 *) DFF_X1 r0 (.CK(CLK), .D(d0), .Q(q0w));
+  (* init = 0 *) DFF_X1 r1 (.CK(CLK), .D(d1), .Q(q1w));
+  assign q0 = q0w;
+  assign q1 = q1w;
+endmodule

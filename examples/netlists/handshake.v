@@ -1,0 +1,17 @@
+// Request/acknowledge latch: busy rises on req, clears on clr.
+module handshake (input CLK, input req, input clr, output ack, output busy);
+  wire nclr;
+  wire set;
+  wire hold;
+  wire d;
+  wire qw;
+  wire ackw;
+  INV_X1  u0 (.A(clr), .ZN(nclr));
+  AND2_X1 u1 (.A1(req), .A2(nclr), .Z(set));
+  AND2_X1 u2 (.A1(qw), .A2(nclr), .Z(hold));
+  OR2_X1  u3 (.A1(set), .A2(hold), .Z(d));
+  (* init = 0 *) DFF_X1 r0 (.CK(CLK), .D(d), .Q(qw));
+  BUF_X1  u4 (.A(qw), .Z(ackw));
+  assign ack = ackw;
+  assign busy = qw;
+endmodule

@@ -1,0 +1,36 @@
+(** The rewire-certificate audit — a static re-validation of the
+    rewiring stage.
+
+    Soundness argument: {!run} accepts iff (1) every certificate edit's
+    justification is a member of the proved invariant set and actually
+    justifies that edit (right net, right gate shape, right target);
+    (2) replaying the certificate against the {e original} netlist —
+    re-inserting the recorded inverter cells and re-substituting —
+    reproduces the rewired netlist {e exactly}, cell for cell; and
+    (3) the rewired netlist introduces no Error-severity lint finding
+    the original did not already have.  (1) and (2) together mean the
+    rewired netlist differs from the original only in ways certified by
+    proved invariants: a corrupted proved set, a forged justification,
+    or a netlist edit that bypassed {!Core.Rewire} all produce a
+    located [Error] diagnostic without running a single simulation
+    cycle.  The audit shares no code with [Rewire.apply_certified]
+    beyond the published edit semantics, so a bug must appear in both
+    implementations to go unnoticed — same independence argument as
+    the differential validator. *)
+
+val run :
+  ?pre_lint:Diag.t list ->
+  original:Netlist.Design.t ->
+  rewired:Netlist.Design.t ->
+  proved:Engine.Candidate.t list ->
+  certificate:Certificate.t ->
+  unit ->
+  Diag.t list
+(** Empty result = certificate accepted.  Rules emitted, all [Error]:
+    [cert-unjustified] (justification not in [proved]),
+    [cert-mismatch] (justification does not support the edit, duplicate
+    edit, or inverter replay inconsistency), [cert-netlist-mismatch]
+    (replayed netlist differs from [rewired]), and [lint-regression]
+    (new Error-severity structural lint finding post-rewire).
+    [?pre_lint] supplies the original's lint findings if already
+    computed, to skip re-linting it. *)

@@ -1,0 +1,34 @@
+type via =
+  | Direct
+  | Fresh_inv of { cell : int; out : Netlist.Design.net; input : Netlist.Design.net }
+
+type edit = {
+  net : Netlist.Design.net;
+  target : Netlist.Design.net;
+  via : via;
+  justification : Engine.Candidate.t;
+}
+
+type t = { edits : edit list }
+
+let empty = { edits = [] }
+let length t = List.length t.edits
+
+let pp_edit d ppf e =
+  let net n = Fmt.pf ppf "%s(%d)" (Netlist.Design.net_name d n) n in
+  Fmt.pf ppf "@[<h>";
+  net e.net;
+  Fmt.pf ppf " -> ";
+  net e.target;
+  (match e.via with
+  | Direct -> ()
+  | Fresh_inv { cell; input; _ } ->
+      Fmt.pf ppf " [inv cell %d over " cell;
+      net input;
+      Fmt.pf ppf "]");
+  Fmt.pf ppf " by %a@]" (Engine.Candidate.pp d) e.justification
+
+let pp d ppf t =
+  Fmt.pf ppf "@[<v>%d edit(s)@,%a@]" (length t)
+    (Fmt.list ~sep:Fmt.cut (pp_edit d))
+    t.edits

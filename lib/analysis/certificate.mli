@@ -1,0 +1,40 @@
+(** Rewire certificates.
+
+    The rewiring stage does not just return a new netlist: it also
+    emits a certificate — one {!edit} per redirected net, each citing
+    the proved invariant that justifies it and, for the inverting
+    gates, the fresh inverter cell it inserted.  The certificate is a
+    complete, replayable description of the transformation: {!Audit}
+    re-derives the rewired netlist from (original, certificate) alone
+    and compares structurally, so a netlist edit with no certified
+    justification cannot go unnoticed. *)
+
+type via =
+  | Direct
+      (** The consuming reads of [net] were redirected straight to
+          [target] (constant rail, or the surviving input of an
+          [And2]/[Or2] collapse). *)
+  | Fresh_inv of { cell : int; out : Netlist.Design.net; input : Netlist.Design.net }
+      (** A [Nand2]/[Nor2] collapse: inverter cell [cell] with output
+          [out] over [input] was appended, and [target = out]. *)
+
+type edit = {
+  net : Netlist.Design.net;  (** The net whose reads are redirected. *)
+  target : Netlist.Design.net;  (** Where they now point (pre-chaining). *)
+  via : via;
+  justification : Engine.Candidate.t;
+      (** The proved invariant this edit rests on.  A [Const] justifies
+          a rail tie of its own net; an [Implies] justifies collapsing
+          its own cell's output. *)
+}
+
+type t = { edits : edit list }
+(** Edits in application order: constant ties first (one per net, the
+    surviving claim), then implication collapses in candidate order —
+    the order {!Audit} replays them in. *)
+
+val empty : t
+val length : t -> int
+
+val pp : Netlist.Design.t -> Format.formatter -> t -> unit
+(** Renders each edit with design net/cell names. *)

@@ -3,6 +3,16 @@ module C = Netlist.Cell
 
 type kind = Flip_constant | Bogus_invariant | Miswire | Perturb_cell
 
+type structural = Multi_driven | Comb_cycle | Undriven_input
+
+type seeded = {
+  seeded : D.t;
+  rule : string;
+  net : D.net option;
+  cell : int option;
+  description : string;
+}
+
 type t = {
   kind : kind;
   seed : int;
@@ -54,6 +64,100 @@ let output_cone d =
 let pick rng = function
   | [] -> None
   | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+let structural_all = [ Multi_driven; Comb_cycle; Undriven_input ]
+
+let structural_name = function
+  | Multi_driven -> "multi-driven"
+  | Comb_cycle -> "comb-cycle"
+  | Undriven_input -> "undriven-input"
+
+(* Seed one structural fault of the class the lint rules must reject.
+   Like the stage corruptors these are pure (they corrupt a copy) and
+   return the exact rule id and net/cell location the linter is
+   expected to report. *)
+let seed_structural which ~seed design =
+  let rng = Random.State.make [| seed |] in
+  let comb_sites pred =
+    let acc = ref [] in
+    D.iter_cells design (fun i c ->
+        if
+          i > 1
+          && (not (C.is_sequential c.D.kind))
+          && Array.length c.D.ins > 0
+          && pred c
+        then acc := i :: !acc);
+    !acc
+  in
+  match which with
+  | Multi_driven -> (
+      let nets = ref [] in
+      D.iter_cells design (fun i c ->
+          if i > 1 && c.D.out > D.net_true then nets := c.D.out :: !nets);
+      match pick rng !nets with
+      | None -> None
+      | Some n ->
+          let d = D.copy design in
+          D.unsafe_add_cell_out d C.Buf [| D.net_true |] ~out:n;
+          Some
+            {
+              seeded = d;
+              rule = structural_name Multi_driven;
+              net = Some n;
+              cell = None;
+              description =
+                Printf.sprintf
+                  "seeded second driver (BUF of rail-1) onto net %d (%s)" n
+                  (D.net_name design n);
+            })
+  | Comb_cycle -> (
+      match pick rng (comb_sites (fun _ -> true)) with
+      | None -> None
+      | Some i ->
+          let d = D.copy design in
+          let c = D.cell d i in
+          let ins = Array.copy c.D.ins in
+          let pin = Random.State.int rng (Array.length ins) in
+          ins.(pin) <- c.D.out;
+          D.replace_cell d i c.D.kind ins;
+          Some
+            {
+              seeded = d;
+              rule = structural_name Comb_cycle;
+              net = None;
+              cell = Some i;
+              description =
+                Printf.sprintf
+                  "seeded combinational self-loop: cell %d (%s) pin %d fed \
+                   its own output"
+                  i (C.name c.D.kind) pin;
+            })
+  | Undriven_input -> (
+      let sites = ref [] in
+      D.iter_cells design (fun i c ->
+          if i > 1 && Array.length c.D.ins > 0 then sites := i :: !sites);
+      match pick rng !sites with
+      | None -> None
+      | Some i ->
+          let d = D.copy design in
+          let floating = D.new_net d in
+          let c = D.cell d i in
+          let ins = Array.copy c.D.ins in
+          let pin = Random.State.int rng (Array.length ins) in
+          ins.(pin) <- floating;
+          D.replace_cell d i c.D.kind ins;
+          Some
+            {
+              seeded = d;
+              rule = structural_name Undriven_input;
+              net = Some floating;
+              cell = Some i;
+              description =
+                Printf.sprintf
+                  "seeded floating input: cell %d (%s) pin %d fed fresh \
+                   undriven net %d"
+                  i (C.name c.D.kind) pin floating;
+            })
 
 let corrupt_proved t ~design proved =
   let rng = Random.State.make [| t.seed |] in

@@ -31,6 +31,34 @@ val of_name : string -> kind option
 (** ["flip-constant"], ["bogus-invariant"], ["miswire"],
     ["perturb-cell"] (underscores also accepted). *)
 
+(** {1 Structural faults}
+
+    Where the four stage faults corrupt pipeline {e data}, structural
+    faults corrupt the {e netlist shape} itself — the malformations
+    the lint rules exist to reject. *)
+
+type structural =
+  | Multi_driven     (** add a second driver onto an internal net *)
+  | Comb_cycle       (** feed a combinational cell its own output *)
+  | Undriven_input   (** feed a cell pin from a fresh floating net *)
+
+type seeded = {
+  seeded : Netlist.Design.t;  (** corrupted copy; the input is untouched *)
+  rule : string;  (** lint rule id expected to fire, e.g. ["multi-driven"] *)
+  net : Netlist.Design.net option;  (** expected diagnostic net, if any *)
+  cell : int option;  (** expected diagnostic cell, if any *)
+  description : string;
+}
+
+val structural_all : structural list
+val structural_name : structural -> string
+
+val seed_structural :
+  structural -> seed:int -> Netlist.Design.t -> seeded option
+(** [None] when the design has no eligible site (e.g. no internal
+    cells).  The seeded fault is always observable by the lint rules:
+    tests assert that [Analysis.Lint.run] reports [rule] at [net]/[cell]. *)
+
 val corrupt_proved :
   t ->
   design:Netlist.Design.t ->

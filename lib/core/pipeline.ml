@@ -1,3 +1,13 @@
+exception Rejected of Analysis.Diag.t list
+
+let () =
+  Printexc.register_printer (function
+    | Rejected diags ->
+        Some
+          ("Pipeline.Rejected: "
+          ^ String.concat "; " (List.map Analysis.Diag.to_string diags))
+    | _ -> None)
+
 type report = {
   variant : string;
   mined : int;
@@ -13,6 +23,10 @@ type report = {
   validated : bool;
   fallback_reason : string option;
   injected_fault : string option;
+  lint_gate : Analysis.Lint.gate;
+  input_lint : Analysis.Diag.t list;
+  certificate_edits : int;
+  audit : Analysis.Diag.t list;
 }
 
 type result = {
@@ -44,7 +58,7 @@ let stage_weights ~validate =
 
 let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
     ?(validate = false) ?validate_config ?validate_stimulus ?time_budget
-    ?inject ~design ~env () =
+    ?(lint = Analysis.Lint.Off) ?inject ~design ~env () =
   let t0 = Unix.gettimeofday () in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let budget =
@@ -97,6 +111,24 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
         | None -> None)
     | Some _ | None -> None
   in
+  (* Static gate 1: the input netlist.  Basic well-formedness (net
+     ranges, arities) is checked whatever the gate — a cell referencing
+     a nonexistent net must surface as a located diagnostic, not as an
+     array-bounds crash three stages later.  With the gate on, the full
+     rule set runs; Strict additionally refuses any Error finding. *)
+  let input_lint =
+    timed "lint" (fun () ->
+        match Analysis.Lint.well_formed design with
+        | _ :: _ as errs -> raise (Rejected errs)
+        | [] -> (
+            match lint with
+            | Analysis.Lint.Off -> []
+            | Analysis.Lint.Warn | Analysis.Lint.Strict ->
+                Analysis.Lint.run design))
+  in
+  (match (lint, Analysis.Diag.errors input_lint) with
+  | Analysis.Lint.Strict, (_ :: _ as errs) -> raise (Rejected errs)
+  | _ -> ());
   let candidates =
     timed "mine" (fun () ->
         Property_library.mine ?config:rsim ?deadline:(stage_deadline "mine")
@@ -137,18 +169,39 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
           ~assume:env.Environment.assume env.Environment.model candidates)
   in
   Option.iter Engine.Proof_cache.flush cache;
+  (* the audit must judge certificates against what was actually
+     proved, not against a possibly-corrupted hand-off *)
+  let genuine_proved = proved in
   let proved =
     match try_fault (fun f -> Faults.corrupt_proved f ~design proved) with
     | Some proved' -> proved'
     | None -> proved
   in
-  let rewired = timed "rewire" (fun () -> Rewire.apply design proved) in
+  let rewired, certificate =
+    timed "rewire" (fun () -> Rewire.apply_certified design proved)
+  in
   let rewired =
     match
       try_fault (fun f -> Faults.corrupt_rewired f ~original:design ~rewired)
     with
     | Some d -> d
     | None -> rewired
+  in
+  (* Static gate 2: the rewiring stage.  Every edit must be justified
+     by a *genuinely* proved invariant and replaying the certificate
+     must reproduce the rewired netlist — so a corrupted proved set, a
+     forged edit or an out-of-band netlist change is caught here,
+     before a single validation cycle is simulated. *)
+  let audit_diags =
+    match lint with
+    | Analysis.Lint.Off -> []
+    | Analysis.Lint.Warn | Analysis.Lint.Strict ->
+        timed "audit" (fun () ->
+            Analysis.Audit.run ~pre_lint:input_lint ~original:design ~rewired
+              ~proved:genuine_proved ~certificate ())
+  in
+  let audit_failed =
+    lint = Analysis.Lint.Strict && Analysis.Diag.errors audit_diags <> []
   in
   let reduced =
     timed "resynth" (fun () -> fst (Synthkit.Optimize.run rewired))
@@ -160,7 +213,17 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
   in
   let base_design, before = timed "baseline" (fun () -> baseline design) in
   let validation, reduced, validated, fallback_reason =
-    if not validate then (None, reduced, false, None)
+    if audit_failed then
+      (* statically rejected: the reduction never ships, no simulation
+         needed to know it is wrong *)
+      ( None,
+        base_design,
+        false,
+        Some
+          (Printf.sprintf "audit: %s"
+             (Analysis.Diag.to_string
+                (List.hd (Analysis.Diag.errors audit_diags)))) )
+    else if not validate then (None, reduced, false, None)
     else
       let outcome =
         timed "validate" (fun () ->
@@ -194,6 +257,10 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
         validated;
         fallback_reason;
         injected_fault = !injected;
+        lint_gate = lint;
+        input_lint;
+        certificate_edits = Analysis.Certificate.length certificate;
+        audit = audit_diags;
       };
   }
 
@@ -201,16 +268,18 @@ type self_test_entry = {
   fault : Faults.kind;
   injected : string option;
   caught : bool;
+  caught_statically : bool;
 }
 
 let self_test ?rsim ?refine ?induction ?jobs ?cache ?validate_config
-    ?validate_stimulus ?(seed = 7) ~design ~env () =
+    ?validate_stimulus ?(lint = Analysis.Lint.Strict) ?(seed = 7) ~design ~env
+    () =
   List.map
     (fun kind ->
       let r =
         run ?rsim ?refine ?induction ?jobs ?cache ~validate:true
-          ?validate_config ?validate_stimulus ~inject:{ Faults.kind; seed }
-          ~design ~env ()
+          ?validate_config ?validate_stimulus ~lint
+          ~inject:{ Faults.kind; seed } ~design ~env ()
       in
       {
         fault = kind;
@@ -219,6 +288,7 @@ let self_test ?rsim ?refine ?induction ?jobs ?cache ?validate_config
           r.report.injected_fault <> None
           && (not r.report.validated)
           && r.report.fallback_reason <> None;
+        caught_statically = Analysis.Diag.errors r.report.audit <> [];
       })
     Faults.all
 
@@ -243,6 +313,19 @@ let pp_report fmt r =
   (match r.injected_fault with
   | Some s -> Format.fprintf fmt "@,fault injected: %s" s
   | None -> ());
+  (if r.lint_gate <> Analysis.Lint.Off then begin
+     let e, w, i = Analysis.Diag.count r.input_lint in
+     Format.fprintf fmt "@,lint (%s): %d error(s), %d warning(s), %d info"
+       (Analysis.Lint.gate_name r.lint_gate)
+       e w i;
+     match Analysis.Diag.errors r.audit with
+     | [] ->
+         Format.fprintf fmt "@,audit: certificate ok (%d edit(s))"
+           r.certificate_edits
+     | err :: _ ->
+         Format.fprintf fmt "@,audit: REJECTED — %s"
+           (Analysis.Diag.to_string err)
+   end);
   (match r.validation with
   | Some o -> Format.fprintf fmt "@,validation: %a" Validate.pp o
   | None -> ());

@@ -27,7 +27,22 @@
       mining and an out-of-time prover only drop candidates, which is
       conservative;
     - {b fault injection} ([~inject]): corrupts one stage hand-off so
-      the validator's catch rate can be tested ({!self_test}). *)
+      the validator's catch rate can be tested ({!self_test});
+    - {b static analysis} ([~lint]): the input netlist is linted
+      ({!Analysis.Lint}) and the rewiring stage emits a certificate
+      that is audited against the genuinely proved invariant set
+      ({!Analysis.Audit}).  [Warn] records the findings in the report;
+      [Strict] raises {!Rejected} on an Error-severity input finding
+      and falls back to {!baseline} on an audit rejection.  Basic
+      well-formedness (net ranges, arities) is checked even with the
+      gate [Off], so a malformed input always surfaces as a located
+      {!Rejected}, never as a bare exception from deep inside a
+      stage. *)
+
+exception Rejected of Analysis.Diag.t list
+(** The input netlist was refused by the static gate.  The payload is
+    never empty and every diagnostic is located (rule id plus
+    net/cell/port).  A printer is registered with [Printexc]. *)
 
 type report = {
   variant : string;
@@ -53,6 +68,13 @@ type report = {
       (** when set, [reduced] is the baseline design, not a reduction *)
   injected_fault : string option;
       (** description of the applied fault, in self-test mode *)
+  lint_gate : Analysis.Lint.gate;  (** the [~lint] setting of the run *)
+  input_lint : Analysis.Diag.t list;
+      (** input-netlist lint findings; [[]] when the gate is [Off] *)
+  certificate_edits : int;
+      (** number of certified edits the rewiring stage performed *)
+  audit : Analysis.Diag.t list;
+      (** certificate-audit findings; [[]] = accepted (or gate [Off]) *)
 }
 
 type result = {
@@ -73,6 +95,7 @@ val run :
   ?validate_config:Validate.config ->
   ?validate_stimulus:Engine.Stimulus.t ->
   ?time_budget:float ->
+  ?lint:Analysis.Lint.gate ->
   ?inject:Faults.t ->
   design:Netlist.Design.t ->
   env:Environment.t ->
@@ -98,13 +121,21 @@ val run :
     run; stages check it at safe points, so the total can overshoot by
     one SAT call or simulation cycle.
 
+    [lint] (default [Off]) is the static-analysis gate described above.
+
     [inject] corrupts one stage boundary (see {!Faults}); intended for
-    validator self-tests only. *)
+    validator self-tests only.
+
+    @raise Rejected on a malformed input netlist (always), or on any
+    Error-severity input lint finding when [lint = Strict]. *)
 
 type self_test_entry = {
   fault : Faults.kind;
   injected : string option;  (** [None] if no eligible corruption site *)
   caught : bool;             (** validation failed and fell back *)
+  caught_statically : bool;
+      (** the certificate audit rejected the run — the fault was caught
+          with zero simulation cycles, before the validator ran *)
 }
 
 val self_test :
@@ -115,15 +146,19 @@ val self_test :
   ?cache:Engine.Proof_cache.t ->
   ?validate_config:Validate.config ->
   ?validate_stimulus:Engine.Stimulus.t ->
+  ?lint:Analysis.Lint.gate ->
   ?seed:int ->
   design:Netlist.Design.t ->
   env:Environment.t ->
   unit ->
   self_test_entry list
 (** Runs the full pipeline once per fault class with validation on and
-    reports whether each injected fault was caught.  An entry with
-    [injected = None] means the class had no eligible site in this
-    design (e.g. nothing was proved constant). *)
+    the static gate at [lint] (default [Strict]), reporting whether
+    each injected fault was caught — and whether the certificate audit
+    caught it statically, which it must for every pre-resynthesis
+    fault class ([Flip_constant], [Bogus_invariant], [Miswire]).  An
+    entry with [injected = None] means the class had no eligible site
+    in this design (e.g. nothing was proved constant). *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -3,18 +3,44 @@ module C = Netlist.Cell
 
 (* Substitutions can chain (an implication redirects a gate output to
    an input that is itself proved constant), so resolve the map
-   transitively before substituting. *)
-let apply d cands =
+   transitively before substituting.  Alongside the rewired netlist we
+   record a certificate: one edit per redirected net, citing the proved
+   invariant that justifies it, so the static audit can replay and
+   re-validate the whole transformation. *)
+let apply_certified d cands =
   let d = D.copy d in
   let target = Hashtbl.create 64 in
-  (* constants win over implications on the same net *)
+  let const_just = Hashtbl.create 16 in
+  (* constants win over implications on the same net; the last claim on
+     a net wins, as Hashtbl.replace does *)
   List.iter
     (fun cand ->
       match cand with
       | Engine.Candidate.Const (n, b) ->
-          Hashtbl.replace target n (if b then D.net_true else D.net_false)
+          Hashtbl.replace target n (if b then D.net_true else D.net_false);
+          Hashtbl.replace const_just n cand
       | Engine.Candidate.Implies _ -> ())
     cands;
+  (* one certificate edit per tied net, emitted in first-claim order
+     with the surviving (last) claim as justification *)
+  let emitted = Hashtbl.create 16 in
+  let const_edits =
+    List.filter_map
+      (fun cand ->
+        match cand with
+        | Engine.Candidate.Const (n, _) when not (Hashtbl.mem emitted n) ->
+            Hashtbl.add emitted n ();
+            Some
+              {
+                Analysis.Certificate.net = n;
+                target = Hashtbl.find target n;
+                via = Analysis.Certificate.Direct;
+                justification = Hashtbl.find const_just n;
+              }
+        | _ -> None)
+      cands
+  in
+  let implies_edits = ref [] in
   List.iter
     (fun cand ->
       match cand with
@@ -24,21 +50,37 @@ let apply d cands =
             invalid_arg "Rewire.apply: unknown cell";
           let c = D.cell d cell in
           if not (Hashtbl.mem target c.D.out) then begin
-            (* a -> b on this gate *)
-            let redirect =
-              match c.D.kind with
-              | C.And2 -> Some a               (* a & b = a *)
-              | C.Or2 -> Some b                (* a | b = b *)
-              | C.Nand2 -> Some (D.add_cell d C.Inv [| a |])
-              | C.Nor2 -> Some (D.add_cell d C.Inv [| b |])
-              | C.Const0 | C.Const1 | C.Buf | C.Inv | C.Xor2 | C.Xnor2
-              | C.And3 | C.Or3 | C.Nand3 | C.Nor3 | C.And4 | C.Or4 | C.Mux2
-              | C.Aoi21 | C.Oai21 | C.Dff ->
-                  None
+            let record t via =
+              Hashtbl.replace target c.D.out t;
+              implies_edits :=
+                {
+                  Analysis.Certificate.net = c.D.out;
+                  target = t;
+                  via;
+                  justification = cand;
+                }
+                :: !implies_edits
             in
-            match redirect with
-            | Some n -> Hashtbl.replace target c.D.out n
-            | None -> ()
+            (* a -> b on this gate *)
+            match c.D.kind with
+            | C.And2 -> record a Analysis.Certificate.Direct (* a & b = a *)
+            | C.Or2 -> record b Analysis.Certificate.Direct (* a | b = b *)
+            | C.Nand2 ->
+                let inv_cell = D.num_cells d in
+                let o = D.add_cell d C.Inv [| a |] in
+                record o
+                  (Analysis.Certificate.Fresh_inv
+                     { cell = inv_cell; out = o; input = a })
+            | C.Nor2 ->
+                let inv_cell = D.num_cells d in
+                let o = D.add_cell d C.Inv [| b |] in
+                record o
+                  (Analysis.Certificate.Fresh_inv
+                     { cell = inv_cell; out = o; input = b })
+            | C.Const0 | C.Const1 | C.Buf | C.Inv | C.Xor2 | C.Xnor2
+            | C.And3 | C.Or3 | C.Nand3 | C.Nor3 | C.And4 | C.Or4 | C.Mux2
+            | C.Aoi21 | C.Oai21 | C.Dff ->
+                ()
           end)
     cands;
   let rec resolve seen n =
@@ -46,4 +88,7 @@ let apply d cands =
     | Some n' when not (List.mem n' seen) -> resolve (n :: seen) n'
     | Some _ | None -> n
   in
-  D.substitute d (fun n -> resolve [] n)
+  ( D.substitute d (fun n -> resolve [] n),
+    { Analysis.Certificate.edits = const_edits @ List.rev !implies_edits } )
+
+let apply d cands = fst (apply_certified d cands)

@@ -8,6 +8,15 @@
     drivers are left for the resynthesis stage, exactly as in the
     paper. *)
 
+val apply_certified :
+  Netlist.Design.t ->
+  Engine.Candidate.t list ->
+  Netlist.Design.t * Analysis.Certificate.t
+(** The rewired netlist plus a certificate with one edit per redirected
+    net, each citing its justifying invariant — the input of
+    {!Analysis.Audit.run}.  Candidates must have been proved on (a
+    model of) this design; instances referring to unknown cells raise
+    [Invalid_argument]. *)
+
 val apply : Netlist.Design.t -> Engine.Candidate.t list -> Netlist.Design.t
-(** Candidates must have been proved on (a model of) this design;
-    instances referring to unknown cells raise [Invalid_argument]. *)
+(** [apply d cands] = [fst (apply_certified d cands)]. *)

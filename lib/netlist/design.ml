@@ -78,6 +78,15 @@ let add_cell_out d ?(init = false) kind ins ~out =
   Vec.set d.drivers out (Vec.length d.cells);
   Vec.push d.cells { kind; ins = Array.copy ins; out; init }
 
+let unsafe_add_cell_out d ?(init = false) kind ins ~out =
+  check_ins d kind ins;
+  if out < 0 || out >= d.n_nets then
+    invalid_arg "Design.unsafe_add_cell_out: output net out of range";
+  (* Unlike [add_cell_out] this never raises on an already-driven net;
+     the driver index keeps the first driver so reads stay deterministic. *)
+  if Vec.get d.drivers out = -1 then Vec.set d.drivers out (Vec.length d.cells);
+  Vec.push d.cells { kind; ins = Array.copy ins; out; init }
+
 let add_cell d kind ins =
   let out = new_net d in
   add_cell_out d kind ins ~out;
@@ -107,6 +116,14 @@ let driver d n =
     match Vec.get d.drivers n with
     | -1 | -2 -> None
     | i -> Some i
+
+let driver_kind d n =
+  if n < 0 || n >= d.n_nets then `Floating
+  else
+    match Vec.get d.drivers n with
+    | -1 -> `Floating
+    | -2 -> `Input
+    | i -> `Cell i
 
 let add_input d nm =
   let n = new_net d in

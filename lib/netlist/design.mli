@@ -48,6 +48,13 @@ val add_cell_out : t -> ?init:bool -> Cell.kind -> net array -> out:net -> unit
 val add_dff : t -> ?init:bool -> d:net -> unit -> net
 (** Flip-flop convenience wrapper around {!add_cell_out}. *)
 
+val unsafe_add_cell_out : t -> ?init:bool -> Cell.kind -> net array -> out:net -> unit
+(** Like {!add_cell_out} but skips the single-driver check, so it can
+    construct deliberately malformed netlists (multi-driven nets) for
+    the lint tests and the structural fault seeder.  The driver index
+    keeps the {e first} driver.  Never use this in transformation
+    passes. *)
+
 val cell : t -> int -> cell
 (** Cell by dense id, [0 <= id < num_cells]. *)
 
@@ -64,6 +71,10 @@ val fold_cells : t -> ('a -> int -> cell -> 'a) -> 'a -> 'a
 
 val driver : t -> net -> int option
 (** Cell id driving the net; [None] for primary inputs and dangling nets. *)
+
+val driver_kind : t -> net -> [ `Cell of int | `Input | `Floating ]
+(** Like {!driver} but distinguishes a primary input from a genuinely
+    undriven (floating) net — the distinction the lint rules need. *)
 
 val add_input : t -> string -> net
 (** Declares a single-bit primary input and returns its fresh net. *)

@@ -10,7 +10,9 @@ let () =
 
 let error ~line ~token reason = raise (Parse_error { line; token; reason })
 
-let parse src =
+type warning = { line : int; token : string; reason : string }
+
+let parse ?(on_warning = fun (_ : warning) -> ()) src =
   let n_vars = ref 0 in
   let header_seen = ref false in
   let clauses = ref [] in
@@ -53,13 +55,21 @@ let parse src =
                      error ~line ~token:tok
                        (Printf.sprintf
                           "literal exceeds the %d declared variables" !n_vars);
-                   current := Lit.of_int v :: !current))
+                   let lit = Lit.of_int v in
+                   if List.mem lit !current then
+                     on_warning
+                       {
+                         line;
+                         token = tok;
+                         reason = "duplicate literal in clause, dropped";
+                       }
+                   else current := lit :: !current))
     lines;
   if !current <> [] then clauses := List.rev !current :: !clauses;
   (!n_vars, List.rev !clauses)
 
-let load solver src =
-  let n_vars, clauses = parse src in
+let load ?on_warning solver src =
+  let n_vars, clauses = parse ?on_warning src in
   for _ = 1 to n_vars do
     ignore (Solver.new_var solver)
   done;

@@ -5,13 +5,22 @@ exception Parse_error of { line : int; token : string; reason : string }
     whole line for problem-line errors) and a human-readable reason.  A
     printer is registered with [Printexc]. *)
 
-val parse : string -> int * Lit.t list list
+type warning = { line : int; token : string; reason : string }
+(** A recoverable oddity in otherwise well-formed input.  Currently the
+    only producer is a duplicate literal inside one clause, which the
+    parser drops (the clause is logically unchanged) and reports.
+    [Analysis.Diag.of_dimacs_warning] lifts this into the shared
+    diagnostic type. *)
+
+val parse : ?on_warning:(warning -> unit) -> string -> int * Lit.t list list
 (** [parse src] is [(n_vars, clauses)].  The problem line is required
     before the first clause, and every literal must stay within the
-    declared variable count.
+    declared variable count.  Duplicate literals within a clause are
+    deduplicated and reported through [on_warning] (ignored by
+    default).
     @raise Parse_error on malformed input. *)
 
-val load : Solver.t -> string -> unit
+val load : ?on_warning:(warning -> unit) -> Solver.t -> string -> unit
 (** Parses and loads into a solver, declaring variables as needed. *)
 
 val to_string : int * Lit.t list list -> string

@@ -156,6 +156,29 @@ let test_topo_flop_breaks_cycle () =
   ignore (Netlist.Topo.schedule d);
   check "ok" true true
 
+let test_topo_self_loop_register () =
+  (* q -> D of the same flop, no combinational logic at all: the flop
+     output is a source, so the schedule must succeed *)
+  let d = D.create "t" in
+  let q = D.new_net d in
+  D.add_cell_out d C.Dff [| q |] ~out:q;
+  D.add_output d "q" q;
+  let s = Netlist.Topo.schedule d in
+  Alcotest.(check int) "one flop" 1 (Array.length s.Netlist.Topo.flops);
+  (* the combinational order holds exactly the two rail ties *)
+  Alcotest.(check int) "ties only" 2 (Array.length s.Netlist.Topo.order);
+  Alcotest.(check int) "flop output is a source" 0
+    s.Netlist.Topo.level.(q)
+
+let test_topo_empty_design () =
+  let d = D.create "empty" in
+  let s = Netlist.Topo.schedule d in
+  Alcotest.(check int) "rail ties scheduled" 2
+    (Array.length s.Netlist.Topo.order);
+  Alcotest.(check int) "no flops" 0 (Array.length s.Netlist.Topo.flops);
+  Alcotest.(check int) "constants sit at level 0" 0
+    (Netlist.Topo.max_level s)
+
 (* --- sim -------------------------------------------------------------- *)
 
 let test_sim_toggle_flop () =
@@ -365,6 +388,9 @@ let () =
           Alcotest.test_case "fanin first" `Quick test_topo_orders_fanin_first;
           Alcotest.test_case "cycle detection" `Quick test_topo_detects_cycle;
           Alcotest.test_case "flop breaks cycle" `Quick test_topo_flop_breaks_cycle;
+          Alcotest.test_case "self-loop register" `Quick
+            test_topo_self_loop_register;
+          Alcotest.test_case "empty design" `Quick test_topo_empty_design;
         ] );
       ( "sim",
         [

@@ -314,8 +314,69 @@ let test_pipeline_fault_matrix () =
       let nm = Pdat.Faults.name e.Pdat.Pipeline.fault in
       check (nm ^ " found an injection site") true
         (e.Pdat.Pipeline.injected <> None);
-      check (nm ^ " caught by the validator") true e.Pdat.Pipeline.caught)
+      check (nm ^ " caught by the validator") true e.Pdat.Pipeline.caught;
+      (* every pre-resynthesis fault must be caught by the certificate
+         audit alone — zero simulation cycles; Perturb_cell corrupts
+         after the certified stage, so only the validator can see it *)
+      let expect_static = e.Pdat.Pipeline.fault <> Pdat.Faults.Perturb_cell in
+      check
+        (nm
+        ^
+        if expect_static then " caught statically by the audit"
+        else " is differential-only")
+        expect_static e.Pdat.Pipeline.caught_statically)
     entries
+
+let test_pipeline_strict_lint_clean_run () =
+  (* a clean design under the Strict gate: linted, certified, audited —
+     and the reduction itself is untouched by the analysis layer *)
+  let d = guard_design () in
+  let r =
+    Pdat.Pipeline.run ~validate:true ~lint:Analysis.Lint.Strict ~design:d
+      ~env:(en0_env d) ()
+  in
+  let rep = r.Pdat.Pipeline.report in
+  check "validated" true rep.Pdat.Pipeline.validated;
+  check "no fallback" true (rep.Pdat.Pipeline.fallback_reason = None);
+  check "gate recorded" true
+    (rep.Pdat.Pipeline.lint_gate = Analysis.Lint.Strict);
+  check "no error-severity input findings" true
+    (Analysis.Diag.errors rep.Pdat.Pipeline.input_lint = []);
+  check "audit accepted the certificate" true (rep.Pdat.Pipeline.audit = []);
+  check "rewiring emitted certified edits" true
+    (rep.Pdat.Pipeline.certificate_edits > 0);
+  check "lint stage timed" true
+    (List.mem_assoc "lint" rep.Pdat.Pipeline.stage_seconds);
+  check "audit stage timed" true
+    (List.mem_assoc "audit" rep.Pdat.Pipeline.stage_seconds);
+  (* the static gate must not change the reduction *)
+  let r0 = Pdat.Pipeline.run ~design:d ~env:(en0_env d) () in
+  check "area/gate deltas unchanged by the static gate" true
+    (rep.Pdat.Pipeline.after = r0.Pdat.Pipeline.report.Pdat.Pipeline.after)
+
+let test_pipeline_rejects_malformed_input () =
+  (* satellite: a cell referencing a nonexistent net surfaces as a
+     located Rejected from the always-on well-formedness precheck —
+     never a bare Invalid_argument from deep inside a stage — even
+     with the lint gate Off *)
+  let d = guard_design () in
+  let en = Option.get (D.find_input d "en") in
+  let bad = D.substitute d (fun n -> if n = en then D.num_nets d + 41 else n) in
+  match Pdat.Pipeline.run ~design:bad ~env:(en0_env bad) () with
+  | _ -> Alcotest.fail "pipeline accepted a design with out-of-range nets"
+  | exception Pdat.Pipeline.Rejected ds ->
+      check "diagnostics present" true (ds <> []);
+      check "every finding is net-out-of-range" true
+        (List.for_all
+           (fun x -> x.Analysis.Diag.rule = "net-out-of-range")
+           ds);
+      check "findings are located at cells" true
+        (List.exists
+           (fun x ->
+             match x.Analysis.Diag.loc with
+             | Analysis.Diag.Cell _ -> true
+             | _ -> false)
+           ds)
 
 let test_pipeline_fallback_reports_reason () =
   let d = guard_design () in
@@ -376,7 +437,10 @@ let test_pipeline_fault_matrix_parallel () =
       check (nm ^ " found an injection site (jobs=4)") true
         (e.Pdat.Pipeline.injected <> None);
       check (nm ^ " caught by the validator (jobs=4)") true
-        e.Pdat.Pipeline.caught)
+        e.Pdat.Pipeline.caught;
+      let expect_static = e.Pdat.Pipeline.fault <> Pdat.Faults.Perturb_cell in
+      check (nm ^ " static catch as expected (jobs=4)") expect_static
+        e.Pdat.Pipeline.caught_statically)
     entries
 
 let test_validate_divergence_fields_parallel () =
@@ -544,6 +608,10 @@ let () =
             test_pipeline_fault_matrix_parallel;
           Alcotest.test_case "divergence coordinates under jobs=2" `Quick
             test_validate_divergence_fields_parallel;
+          Alcotest.test_case "strict lint gate on a clean run" `Quick
+            test_pipeline_strict_lint_clean_run;
+          Alcotest.test_case "malformed input rejected with location" `Quick
+            test_pipeline_rejects_malformed_input;
           Alcotest.test_case "fallback reports reason" `Quick
             test_pipeline_fallback_reports_reason;
           Alcotest.test_case "time budget degrades gracefully" `Quick

@@ -59,7 +59,21 @@ let test_differential () =
       Engine.Rsim.mine ~config:mine_config d Engine.Stimulus.unconstrained
     in
     let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
-    if serial <> [] then incr nonempty;
+    if serial <> [] then begin
+      incr nonempty;
+      (* the certified rewiring of the serial proof set must pass the
+         static audit on every random netlist, not just the flagship *)
+      let rewired, cert = Pdat.Rewire.apply_certified d serial in
+      match
+        Analysis.Audit.run ~original:d ~rewired ~proved:serial
+          ~certificate:cert ()
+      with
+      | [] -> ()
+      | diag :: _ ->
+          Alcotest.failf "seed %d: audit rejected an honest certificate: %s"
+            seed
+            (Analysis.Diag.to_string diag)
+    end;
     List.iter
       (fun jobs ->
         let par, stats =
@@ -323,7 +337,60 @@ let test_ibex_parallel_identity () =
   check "warm proved set identical" true (same_set p1 pw);
   check "warm run skips >= 95% of SAT calls" true
     (float_of_int sw.Engine.Induction.sat_calls
-    <= 0.05 *. float_of_int (max 1 s4.Engine.Induction.sat_calls))
+    <= 0.05 *. float_of_int (max 1 s4.Engine.Induction.sat_calls));
+  (* --- the rv32i certificate audit (acceptance criterion) --------------
+     every Rewire edit on the reduced Ibex must carry a certificate the
+     auditor validates against the proved set, and a deliberately
+     corrupted certificate (one wrong invariant id) must be rejected *)
+  let rewired, cert = Pdat.Rewire.apply_certified d p1 in
+  check "certificate covers the whole rewiring" true
+    (Analysis.Certificate.length cert > 0);
+  check "every edit cites a proved invariant" true
+    (List.for_all
+       (fun (e : Analysis.Certificate.edit) ->
+         List.exists
+           (Engine.Candidate.equal e.Analysis.Certificate.justification)
+           p1)
+       cert.Analysis.Certificate.edits);
+  (match
+     Analysis.Audit.run ~original:d ~rewired ~proved:p1 ~certificate:cert ()
+   with
+  | [] -> ()
+  | diag :: _ ->
+      Alcotest.failf "audit rejected the honest ibex certificate: %s"
+        (Analysis.Diag.to_string diag));
+  (* corrupt one justification to an invariant id nobody proved *)
+  let corruptible (e : Analysis.Certificate.edit) =
+    match e.Analysis.Certificate.justification with
+    | Engine.Candidate.Const (n, b) ->
+        let wrong = Engine.Candidate.Const (n, not b) in
+        if List.exists (Engine.Candidate.equal wrong) p1 then None
+        else Some { e with Analysis.Certificate.justification = wrong }
+    | Engine.Candidate.Implies _ -> None
+  in
+  let corrupted = ref false in
+  let edits' =
+    List.map
+      (fun e ->
+        if !corrupted then e
+        else
+          match corruptible e with
+          | Some e' ->
+              corrupted := true;
+              e'
+          | None -> e)
+      cert.Analysis.Certificate.edits
+  in
+  check "found an edit to corrupt" true !corrupted;
+  let audit' =
+    Analysis.Audit.run ~original:d ~rewired ~proved:p1
+      ~certificate:{ Analysis.Certificate.edits = edits' } ()
+  in
+  check "corrupted certificate rejected" true (audit' <> []);
+  check "rejection cites cert-unjustified" true
+    (List.exists
+       (fun (x : Analysis.Diag.t) -> x.Analysis.Diag.rule = "cert-unjustified")
+       audit')
 
 let () =
   Random.self_init ();

@@ -133,6 +133,39 @@ let test_dimacs_roundtrip () =
   Alcotest.(check int) "vars rt" n n';
   Alcotest.(check bool) "clauses rt" true (clauses = clauses')
 
+let test_dimacs_duplicate_literals () =
+  let warnings = ref [] in
+  let n, clauses =
+    Sat.Dimacs.parse
+      ~on_warning:(fun w -> warnings := w :: !warnings)
+      "p cnf 2 2\n1 1 -2 0\n-1 2 0\n"
+  in
+  Alcotest.(check int) "vars" 2 n;
+  Alcotest.(check int) "clauses kept" 2 (List.length clauses);
+  (* the duplicate is dropped, the clause is otherwise intact *)
+  Alcotest.(check int) "deduped clause width" 2
+    (List.length (List.hd clauses));
+  (match !warnings with
+  | [ w ] ->
+      Alcotest.(check int) "warning line" 2 w.Sat.Dimacs.line;
+      Alcotest.(check string) "warning token" "1" w.Sat.Dimacs.token;
+      Alcotest.(check bool) "reason mentions the duplicate" true
+        (String.length w.Sat.Dimacs.reason > 0)
+  | ws -> Alcotest.failf "expected exactly one warning, got %d" (List.length ws));
+  (* opposite-polarity literals are not duplicates *)
+  let warnings = ref [] in
+  let _, tauto =
+    Sat.Dimacs.parse
+      ~on_warning:(fun w -> warnings := w :: !warnings)
+      "p cnf 1 1\n1 -1 0\n"
+  in
+  Alcotest.(check int) "tautology untouched" 2
+    (List.length (List.hd tauto));
+  Alcotest.(check int) "no warning for x or !x" 0 (List.length !warnings);
+  (* default callback: duplicates are still silently deduplicated *)
+  let _, silent = Sat.Dimacs.parse "p cnf 2 1\n2 2 2 1 0\n" in
+  Alcotest.(check int) "silent dedup" 2 (List.length (List.hd silent))
+
 let expect_parse_error ?token src ~line =
   match Sat.Dimacs.parse src with
   | _ -> Alcotest.fail (Printf.sprintf "parser accepted malformed input %S" src)
@@ -273,6 +306,8 @@ let () =
           Alcotest.test_case "wall-clock deadline" `Quick test_deadline;
           Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "dimacs located errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "dimacs duplicate literals" `Quick
+            test_dimacs_duplicate_literals;
           Alcotest.test_case "vs brute force" `Quick test_vs_brute_force;
           Alcotest.test_case "assumptions vs brute force" `Quick
             test_assumptions_vs_brute_force;
