@@ -19,8 +19,8 @@ let fast =
 let jobs_arg =
   let doc =
     "Worker processes for the proof stage (defaults to \\$(b,PDAT_JOBS) or \
-     1). The parallel prover's join round makes the proved set identical to \
-     a serial run."
+     1; always clamped to the online core count). The parallel prover's \
+     join round makes the proved set identical to a serial run."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
 
@@ -176,12 +176,22 @@ let lint_gate_arg =
            Analysis.Lint.Warn
        & info [ "lint" ] ~doc ~docv:"MODE")
 
+let trace_arg =
+  let doc =
+    "Write an execution trace to $(docv): one span per pipeline stage and \
+     per proof worker, each carrying its SAT/rsim/cache counters. A \
+     $(b,.jsonl) path selects JSON-lines; anything else is Chrome \
+     trace-event JSON (open in chrome://tracing or Perfetto). The \
+     $(b,PDAT_TRACE) environment variable is the flagless equivalent."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
 let reduce_cmd =
   let port_flag =
     Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
   in
   let run fast jobs cache_dir core subset_name port out validate time_budget
-      lint inject_kind =
+      lint inject_kind trace =
     if inject_kind <> None && not validate then begin
       Format.eprintf "--inject requires --validate to mean anything@.";
       exit 1
@@ -216,7 +226,8 @@ let reduce_cmd =
     let result =
       match
         Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
-          ?time_budget ~lint ?inject ~design ~env ()
+          ?time_budget ~lint ?inject
+          ?trace:(Option.map Obs.sink_of_path trace) ~design ~env ()
       with
       | r -> r
       | exception Pdat.Pipeline.Rejected diags ->
@@ -248,7 +259,7 @@ let reduce_cmd =
        ~doc:"Reduce a core for an ISA subset and optionally export Verilog")
     Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ core_arg $ subset_arg
           $ port_flag $ out_arg $ validate_flag $ time_budget_arg
-          $ lint_gate_arg $ inject_arg)
+          $ lint_gate_arg $ inject_arg $ trace_arg)
 
 (* ---------------- lint ------------------------------------------------ *)
 

@@ -17,6 +17,7 @@ type report = {
   after : Netlist.Stats.t;
   seconds : float;
   stage_seconds : (string * float) list;
+  counters : (string * float) list;
   jobs : int;
   proof_budget_s : float;
   validation : Validate.outcome option;
@@ -41,13 +42,20 @@ let baseline d =
 let default_refine =
   { Engine.Rsim.default with Engine.Rsim.cycles = 2048; runs = 4 }
 
+(* Requested worker counts are clamped to the cores actually online:
+   forking more provers than cores just adds scheduler churn and was
+   the root cause of the PR-2 "parallel" prover running at half serial
+   speed on a 1-core box. *)
+let clamp_jobs requested = max 1 (min requested (Obs.Hw.online_cores ()))
+
 let default_jobs () =
-  match Sys.getenv_opt "PDAT_JOBS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some j when j > 0 -> j
-      | _ -> 1)
-  | None -> 1
+  clamp_jobs
+    (match Sys.getenv_opt "PDAT_JOBS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some j when j > 0 -> j
+        | _ -> 1)
+    | None -> 1)
 
 (* Budgeted stages and their relative weights.  The validate entry only
    participates when validation is on, so with it off the proof stage's
@@ -58,9 +66,29 @@ let stage_weights ~validate =
 
 let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
     ?(validate = false) ?validate_config ?validate_stimulus ?time_budget
-    ?(lint = Analysis.Lint.Off) ?inject ~design ~env () =
-  let t0 = Unix.gettimeofday () in
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    ?(lint = Analysis.Lint.Off) ?inject ?trace ~design ~env () =
+  let trace =
+    match trace with
+    | Some _ as t -> t
+    | None -> (
+        match Sys.getenv_opt "PDAT_TRACE" with
+        | Some p when String.trim p <> "" -> Some (Obs.sink_of_path p)
+        | Some _ | None -> None)
+  in
+  let was_enabled = Obs.is_enabled () in
+  if trace <> None then Obs.enable ();
+  let counters0 = Obs.counters () in
+  let finish_trace () =
+    (match trace with
+    | Some sink -> Obs.write_sink sink (Obs.drain () @ Obs.counter_events ())
+    | None -> ());
+    if not was_enabled then Obs.disable ()
+  in
+  Fun.protect ~finally:finish_trace @@ fun () ->
+  let t0 = Obs.Clock.now_s () in
+  let jobs =
+    match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
+  in
   let budget =
     match time_budget with Some b when b > 0. -> Some b | Some _ | None -> None
   in
@@ -75,7 +103,7 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
     match budget with
     | None -> None
     | Some b ->
-        let now = Unix.gettimeofday () in
+        let now = Obs.Clock.now_s () in
         (* may be <= 0: an exhausted budget yields already-expired
            deadlines, so every stage degrades to its empty result *)
         let remaining = t0 +. b -. now in
@@ -91,13 +119,12 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
         split weights
   in
   let stage_deadline name =
-    Option.map (fun a -> Unix.gettimeofday () +. a) (stage_alloc name)
+    Option.map (fun a -> Obs.Clock.now_s () +. a) (stage_alloc name)
   in
   let stage_seconds = ref [] in
   let timed name f =
-    let s = Unix.gettimeofday () in
-    let r = f () in
-    stage_seconds := (name, Unix.gettimeofday () -. s) :: !stage_seconds;
+    let r, dt = Obs.with_span_timed ~cat:"stage" name f in
+    stage_seconds := (name, dt) :: !stage_seconds;
     r
   in
   let injected = ref None in
@@ -249,8 +276,9 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
         induction = istats;
         before;
         after;
-        seconds = Unix.gettimeofday () -. t0;
+        seconds = Obs.Clock.now_s () -. t0;
         stage_seconds = List.rev !stage_seconds;
+        counters = Obs.counters_delta ~since:counters0;
         jobs;
         proof_budget_s = Float.max 0. (Option.value proof_alloc ~default:0.);
         validation;

@@ -56,7 +56,13 @@ type report = {
       (** wall-clock per stage, in execution order: ["mine"],
           ["refine"], ["prove"], ["rewire"], ["resynth"], ["baseline"],
           and ["validate"] when enabled *)
-  jobs : int;  (** worker processes the proof stage was allowed *)
+  counters : (string * float) list;
+      (** {!Obs} counters this run moved (SAT decisions/conflicts/
+          propagations, simulated rsim cycles, proof-cache hits/misses),
+          as deltas against the counter state at [run] entry *)
+  jobs : int;
+      (** worker processes the proof stage was allowed, after clamping
+          the request to the online core count *)
   proof_budget_s : float;
       (** wall-clock granted to the proof stage by the budget allocator;
           [0.] when the run had no [~time_budget] *)
@@ -85,6 +91,12 @@ type result = {
 val baseline : Netlist.Design.t -> Netlist.Design.t * Netlist.Stats.t
 (** Plain synthesis of the input, the paper's "Full" variant. *)
 
+val default_jobs : unit -> int
+(** The proof-stage worker count used when [run] gets no [?jobs]: the
+    [PDAT_JOBS] environment variable (default 1), clamped to
+    {!Obs.Hw.online_cores} — forking more provers than cores only adds
+    scheduler churn.  An explicit [?jobs] is clamped the same way. *)
+
 val run :
   ?rsim:Engine.Rsim.config ->
   ?refine:Engine.Rsim.config ->
@@ -97,6 +109,7 @@ val run :
   ?time_budget:float ->
   ?lint:Analysis.Lint.gate ->
   ?inject:Faults.t ->
+  ?trace:Obs.sink ->
   design:Netlist.Design.t ->
   env:Environment.t ->
   unit ->
@@ -125,6 +138,15 @@ val run :
 
     [inject] corrupts one stage boundary (see {!Faults}); intended for
     validator self-tests only.
+
+    [trace] writes an execution trace of the run to the given {!Obs}
+    sink: one span per stage, one span per forked proof worker (under
+    the worker's own pid), each carrying the SAT/rsim/cache counters it
+    moved, plus final counter totals.  Chrome sinks load directly in
+    [chrome://tracing] / Perfetto.  When [trace] is absent, a non-empty
+    [PDAT_TRACE] environment variable selects a sink by path
+    ([.jsonl] → JSONL, anything else → Chrome JSON).  Tracing state is
+    restored (and the file written) even when the run raises.
 
     @raise Rejected on a malformed input netlist (always), or on any
     Error-severity input lint finding when [lint = Strict]. *)

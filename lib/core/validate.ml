@@ -49,7 +49,7 @@ let lowest_bit x =
 let expired deadline =
   match deadline with
   | None -> false
-  | Some t -> Unix.gettimeofday () >= t
+  | Some t -> Obs.Clock.now_s () >= t
 
 exception Next_run
 

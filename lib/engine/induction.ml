@@ -25,6 +25,8 @@ type stats = {
   deadline_exceeded : bool;
   workers : int;
   workers_failed : int;
+  worker_failures : (int * string) list;
+  worker_times : (int * float * float) list;
   shard_sizes : int list;
   cache_hits : int;
   cache_misses : int;
@@ -44,6 +46,8 @@ let blank_stats =
     deadline_exceeded = false;
     workers = 0;
     workers_failed = 0;
+    worker_failures = [];
+    worker_times = [];
     shard_sizes = [];
     cache_hits = 0;
     cache_misses = 0;
@@ -62,8 +66,12 @@ let pp_stats fmt s =
       (String.concat ";" (List.map string_of_int s.shard_sizes))
       s.worker_seconds;
     if s.workers_failed > 0 then
-      Format.fprintf fmt " (%d worker%s lost)" s.workers_failed
+      Format.fprintf fmt " (%d worker%s lost: %s)" s.workers_failed
         (if s.workers_failed = 1 then "" else "s")
+        (String.concat "; "
+           (List.map
+              (fun (i, why) -> Printf.sprintf "#%d %s" i why)
+              s.worker_failures))
   end;
   if s.cache_hits + s.cache_misses > 0 then
     Format.fprintf fmt " cache=%d/%d hits" s.cache_hits
@@ -217,7 +225,7 @@ let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~deadline
     in
     let r = S.solve ~assumptions ~conflict_budget:budget ?deadline solver in
     (match (r, deadline) with
-    | S.Unknown, Some t when Unix.gettimeofday () >= t -> deadline_hit := true
+    | S.Unknown, Some t when Obs.Clock.now_s () >= t -> deadline_hit := true
     | _ -> ());
     let spent = S.num_conflicts solver - before in
     (match !budget_left with
@@ -337,7 +345,7 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
   in
   let deadline =
     if options.time_budget_s > 0. then
-      Some (Unix.gettimeofday () +. options.time_budget_s)
+      Some (Obs.Clock.now_s () +. options.time_budget_s)
     else None
   in
   let deadline_hit = ref false in
@@ -401,6 +409,37 @@ let kill_worker_index () =
   | Some s -> int_of_string_opt (String.trim s)
   | None -> None
 
+(* Test hook: PDAT_SLOW_WORKER="<i>:<seconds>" delays worker [i] before
+   it starts proving, forcing out-of-order completion so the
+   select-based drain path is exercised deterministically. *)
+let slow_worker_delay idx =
+  match Sys.getenv_opt "PDAT_SLOW_WORKER" with
+  | Some s -> (
+      match String.split_on_char ':' (String.trim s) with
+      | [ i; sec ] when int_of_string_opt i = Some idx -> (
+          match float_of_string_opt sec with
+          | Some d when d > 0. -> Unix.sleepf d
+          | _ -> ())
+      | _ -> ())
+  | None -> ()
+
+(* Everything a worker ships back through its result pipe: the proof
+   outcome plus its own telemetry, so the coordinator's trace shows the
+   worker as a first-class span with its counters attached. *)
+type worker_result = {
+  w_proved : Candidate.t list;
+  w_stats : stats;
+  w_wall_s : float;
+  w_cpu_s : float;  (* user + system CPU, from [Unix.times] *)
+  w_events : Obs.event list;
+  w_counters : (string * float) list;
+}
+
+let status_str = function
+  | Unix.WEXITED n -> Printf.sprintf "exit status %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
 let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
     ~assume d candidate_list =
   let sc =
@@ -433,7 +472,9 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
       (fun a b -> compare (Hashtbl.find position a) (Hashtbl.find position b))
       l
   in
-  let finish ~proved ~st ~workers ~workers_failed ~shard_sizes ~worker_seconds =
+  let finish ~proved ~st ~workers ~worker_failures ~worker_times ~shard_sizes
+      ~worker_seconds =
+    let workers_failed = List.length worker_failures in
     (* verdicts are recorded only for runs that completed cleanly: a
        candidate dropped because a budget ran out or a worker died is
        not a refutation and must stay re-provable *)
@@ -459,6 +500,8 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
         n_proved = List.length all_proved;
         workers;
         workers_failed;
+        worker_failures;
+        worker_times;
         shard_sizes;
         cache_hits = !hits;
         cache_misses = !misses;
@@ -467,12 +510,12 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
   in
   let serial () =
     let proved, st = prove ~options ?cex ~known ~assume d fresh in
-    finish ~proved ~st ~workers:0 ~workers_failed:0 ~shard_sizes:[]
-      ~worker_seconds:0.
+    finish ~proved ~st ~workers:0 ~worker_failures:[] ~worker_times:[]
+      ~shard_sizes:[] ~worker_seconds:0.
   in
   if fresh = [] then
-    finish ~proved:[] ~st:blank_stats ~workers:0 ~workers_failed:0
-      ~shard_sizes:[] ~worker_seconds:0.
+    finish ~proved:[] ~st:blank_stats ~workers:0 ~worker_failures:[]
+      ~worker_times:[] ~shard_sizes:[] ~worker_seconds:0.
   else if jobs <= 1 then serial ()
   else begin
     let shards = Shard.partition d ~jobs fresh in
@@ -486,7 +529,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
             total_conflict_budget =
               max 1000 (options.total_conflict_budget * shard_n / n_fresh) }
       in
-      let t_fork = Unix.gettimeofday () in
+      let t_fork = Obs.Clock.now_s () in
       let spawn idx shard =
         let shard_tbl = Hashtbl.create 64 in
         List.iter (fun cand -> Hashtbl.replace shard_tbl cand ()) shard;
@@ -500,21 +543,39 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
         | 0 ->
             (* child: prove the shard (no cex propagation — workers must
                be deterministic and kill only on real violations), ship
-               the result through the pipe, and die without running the
-               parent's at_exit machinery *)
+               the result + telemetry through the pipe, and die without
+               running the parent's at_exit machinery *)
             (try
                Unix.close rd;
+               Obs.reset ();
                (match kill_worker_index () with
                | Some k when k = idx -> Unix._exit 3
                | _ -> ());
+               let t0 = Obs.Clock.now_s () in
+               let tm0 = Unix.times () in
+               slow_worker_delay idx;
                let payload =
                  try
                    let proved, st =
-                     prove
-                       ~options:(worker_options (List.length shard))
-                       ~known ~hypotheses ~assume d shard
+                     Obs.with_span ~cat:"worker"
+                       (Printf.sprintf "worker-%d" idx)
+                       (fun () ->
+                         prove
+                           ~options:(worker_options (List.length shard))
+                           ~known ~hypotheses ~assume d shard)
                    in
-                   Ok (proved, st)
+                   let tm1 = Unix.times () in
+                   Ok
+                     {
+                       w_proved = proved;
+                       w_stats = st;
+                       w_wall_s = Obs.Clock.now_s () -. t0;
+                       w_cpu_s =
+                         tm1.Unix.tms_utime -. tm0.Unix.tms_utime
+                         +. tm1.Unix.tms_stime -. tm0.Unix.tms_stime;
+                       w_events = Obs.drain ();
+                       w_counters = Obs.counters ();
+                     }
                  with e -> Error (Printexc.to_string e)
                in
                let oc = Unix.out_channel_of_descr wr in
@@ -524,41 +585,102 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
             Unix._exit 0
         | pid ->
             Unix.close wr;
-            (pid, rd)
+            (idx, pid, rd)
       in
       let spawned = List.mapi spawn shards in
-      let collect (pid, rd) =
-        let ic = Unix.in_channel_of_descr rd in
-        let payload =
-          try
-            Some
-              (Marshal.from_channel ic
-                : (Candidate.t list * stats, string) result)
-          with _ -> None
+      (* Drain every worker pipe as data arrives, not in spawn order: a
+         slow worker 0 must not leave workers 1..n-1 blocked on a full
+         pipe buffer (the PR-2 prover serialized exactly that way). *)
+      let slots =
+        List.map
+          (fun (idx, pid, fd) ->
+            (idx, pid, fd, Buffer.create 4096, ref false))
+          spawned
+      in
+      let chunk = Bytes.create 65536 in
+      let rec drain_pipes () =
+        let open_fds =
+          List.filter_map
+            (fun (_, _, fd, _, eof) -> if !eof then None else Some fd)
+            slots
         in
-        close_in_noerr ic;
+        if open_fds <> [] then begin
+          let readable, _, _ =
+            try Unix.select open_fds [] [] (-1.)
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun fd ->
+              let _, _, _, buf, eof =
+                List.find (fun (_, _, f, _, _) -> f = fd) slots
+              in
+              let n =
+                try Unix.read fd chunk 0 (Bytes.length chunk)
+                with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+              in
+              if n = 0 then begin
+                eof := true;
+                Unix.close fd
+              end
+              else if n > 0 then Buffer.add_subbytes buf chunk 0 n)
+            readable;
+          drain_pipes ()
+        end
+      in
+      drain_pipes ();
+      (* Pipes are drained to EOF, so every child has written (or died);
+         reap them and decode, attributing each failure precisely:
+         non-zero exit and garbled payload are different bugs. *)
+      let collect (idx, pid, _, buf, _) =
         let rec wait () =
           try snd (Unix.waitpid [] pid)
           with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
         in
-        match (payload, wait ()) with
-        | Some (Ok r), Unix.WEXITED 0 -> Some r
-        | _ ->
-            (* crashed, killed, or garbled pipe: drop the shard —
-               incomplete, never unsound *)
-            None
+        let status = wait () in
+        let data = Buffer.contents buf in
+        let payload =
+          if String.length data = 0 then Error "empty pipe"
+          else
+            try Ok (Marshal.from_string data 0 : (worker_result, string) result)
+            with Failure _ | End_of_file -> Error "garbled pipe"
+        in
+        let outcome =
+          match (payload, status) with
+          | Ok (Ok r), Unix.WEXITED 0 -> Ok r
+          | Ok (Error msg), _ -> Error ("worker raised: " ^ msg)
+          | Error why, Unix.WEXITED 0 -> Error why
+          | (Ok (Ok _) | Error _), st -> Error (status_str st)
+        in
+        (idx, outcome)
       in
-      let results = List.map collect spawned in
-      let worker_seconds = Unix.gettimeofday () -. t_fork in
+      let results = List.map collect slots in
+      let worker_seconds = Obs.Clock.now_s () -. t_fork in
       let workers = List.length shards in
-      let workers_failed =
-        List.length (List.filter (( = ) None) results)
+      let worker_failures =
+        List.filter_map
+          (function idx, Error why -> Some (idx, why) | _, Ok _ -> None)
+          results
       in
+      let worker_times =
+        List.filter_map
+          (function
+            | idx, Ok r -> Some (idx, r.w_wall_s, r.w_cpu_s) | _ -> None)
+          results
+      in
+      (* fold worker telemetry into this process: spans appear under the
+         worker's own pid in the trace, counters into the global table *)
+      List.iter
+        (function
+          | _, Ok r ->
+              Obs.inject r.w_events;
+              Obs.merge_counters r.w_counters
+          | _, Error _ -> ())
+        results;
       let surv_tbl = Hashtbl.create 64 in
       List.iter
         (function
-          | Some (p, _) -> List.iter (fun c -> Hashtbl.replace surv_tbl c ()) p
-          | None -> ())
+          | _, Ok r -> List.iter (fun c -> Hashtbl.replace surv_tbl c ()) r.w_proved
+          | _, Error _ -> ())
         results;
       let survivors = List.filter (Hashtbl.mem surv_tbl) fresh in
       (* join round: one serial mutual-induction fixpoint over the union
@@ -567,15 +689,18 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
          superset of the serial fixpoint; the greatest fixpoint of a
          superset that still contains it is the same set, so this round
          restores exact agreement with the serial prover. *)
-      let joined, jst = prove ~options ?cex ~known ~assume d survivors in
+      let joined, jst =
+        Obs.with_span ~cat:"prove" "join-round" (fun () ->
+            prove ~options ?cex ~known ~assume d survivors)
+      in
       let sum f =
         List.fold_left
-          (fun acc r -> match r with Some (_, st) -> acc + f st | None -> acc)
+          (fun acc -> function _, Ok r -> acc + f r.w_stats | _ -> acc)
           0 results
       in
       let any f =
         List.exists
-          (function Some (_, st) -> f st | None -> false)
+          (function _, Ok r -> f r.w_stats | _ -> false)
           results
       in
       let st =
@@ -592,7 +717,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
             jst.deadline_exceeded || any (fun s -> s.deadline_exceeded);
         }
       in
-      finish ~proved:joined ~st ~workers ~workers_failed
+      finish ~proved:joined ~st ~workers ~worker_failures ~worker_times
         ~shard_sizes:(List.map List.length shards) ~worker_seconds
     end
   end

@@ -38,6 +38,13 @@ type stats = {
   deadline_exceeded : bool;  (** the wall-clock budget cut the proof short *)
   workers : int;          (** forked workers (0 = ran serially) *)
   workers_failed : int;   (** workers that crashed; their shards dropped *)
+  worker_failures : (int * string) list;
+      (** (worker index, reason) per lost worker — a non-zero exit
+          status, a fatal signal, and a garbled result pipe are
+          distinguished so the failure is diagnosable from stats alone *)
+  worker_times : (int * float * float) list;
+      (** (worker index, wall seconds, CPU seconds) per surviving
+          worker, measured inside the worker on the monotonic clock *)
   shard_sizes : int list; (** candidates per shard, parallel runs only *)
   cache_hits : int;       (** candidates resolved from the proof cache *)
   cache_misses : int;     (** candidates the cache had no verdict for *)
@@ -96,8 +103,11 @@ val prove_parallel :
       [jobs] forked workers, each assuming the other shards' candidates
       as step-side [hypotheses] (workers run without [cex] so their
       kills are deterministic and exact),
+    - worker result pipes are drained with [Unix.select] as data
+      arrives, so a slow worker never blocks collection of the others,
     - a worker that crashes or writes a garbled result only loses its
-      shard (incomplete, never unsound),
+      shard (incomplete, never unsound) and is reported in
+      [worker_failures] with the reason,
     - one serial mutual-induction join round over the union of shard
       survivors restores the greatest fixpoint of the whole set.
 

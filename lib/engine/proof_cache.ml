@@ -143,6 +143,7 @@ let scope_state t sc =
             try load_file path sc
             with _ ->
               t.corrupt <- t.corrupt + 1;
+              Obs.add_int "cache.corrupt_files" 1;
               Hashtbl.create 16)
         | Some _ | None -> Hashtbl.create 16
       in
@@ -160,9 +161,11 @@ let find t sc cand =
   match Hashtbl.find_opt st.entries (candidate_key cand) with
   | Some v ->
       t.hits <- t.hits + 1;
+      Obs.add_int "cache.hits" 1;
       Some v
   | None ->
       t.misses <- t.misses + 1;
+      Obs.add_int "cache.misses" 1;
       None
 
 let record t sc cand verdict =
@@ -171,7 +174,8 @@ let record t sc cand verdict =
   if Hashtbl.find_opt st.entries key <> Some verdict then begin
     Hashtbl.replace st.entries key verdict;
     st.dirty <- true;
-    t.stored <- t.stored + 1
+    t.stored <- t.stored + 1;
+    Obs.add_int "cache.stored" 1
   end
 
 let flush t =

@@ -15,7 +15,7 @@ let default = { cycles = 512; runs = 4; seed = 0xC0FFEE }
 let expired deadline =
   match deadline with
   | None -> false
-  | Some t -> Unix.gettimeofday () >= t
+  | Some t -> Obs.Clock.now_s () >= t
 
 (* Per-net accumulators: bits ever seen 1 / ever seen 0.  Per-eligible-
    cell accumulators: violation masks for a->b and b->a. *)
@@ -76,6 +76,7 @@ let mine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus =
       incr observed_lanes
     end
   in
+  let simulated = ref 0 in
   (try
      for _run = 1 to config.runs do
        Netlist.Sim64.reset sim;
@@ -90,10 +91,12 @@ let mine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus =
          List.iter (fun (n, v) -> Netlist.Sim64.set_input sim n v) driven;
          Netlist.Sim64.eval sim;
          observe (Netlist.Sim64.read sim assume);
-         Netlist.Sim64.step sim
+         Netlist.Sim64.step sim;
+         incr simulated
        done
      done
    with Exit -> ());
+  Obs.add_int "rsim.cycles" !simulated;
   if !observed_lanes = 0 then
     if expired deadline then
       (* out of time before observing anything: no candidates is the
@@ -140,11 +143,13 @@ let refine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus cands
          (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
          (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 60))
   in
+  let simulated = ref 0 in
   (try
   for _run = 1 to config.runs do
     Netlist.Sim64.reset sim;
     for _cycle = 1 to config.cycles do
       if expired deadline then raise Exit;
+      incr simulated;
       let driven = stimulus.Stimulus.drive rng in
       let driven_nets = List.map fst driven in
       List.iter
@@ -176,6 +181,7 @@ let refine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus cands
     done
   done
   with Exit -> ());
+  Obs.add_int "rsim.cycles" !simulated;
   let out = ref [] in
   for i = Array.length cands - 1 downto 0 do
     if alive.(i) then out := cands.(i) :: !out

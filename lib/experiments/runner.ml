@@ -104,7 +104,7 @@ let run_full ?(fast = false) ?jobs ?cache (v : Variants.t) =
   let cache =
     match cache with Some c -> Some c | None -> Some (Lazy.force shared_cache)
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_s () in
   let design = design_of ~fast v in
   let base = baseline_stats design in
   match v.Variants.make_env design ~cut_nets:(cut_nets_of v) with
@@ -116,7 +116,7 @@ let run_full ?(fast = false) ?jobs ?cache (v : Variants.t) =
           baseline_area = base.Netlist.Stats.area;
           baseline_gates = Netlist.Stats.gate_count base;
           proved = 0;
-          seconds = Unix.gettimeofday () -. t0;
+          seconds = Obs.Clock.now_s () -. t0;
         },
         None )
   | Some env ->
@@ -133,7 +133,7 @@ let run_full ?(fast = false) ?jobs ?cache (v : Variants.t) =
           baseline_area = base.Netlist.Stats.area;
           baseline_gates = Netlist.Stats.gate_count base;
           proved = r.Pdat.Pipeline.proved;
-          seconds = Unix.gettimeofday () -. t0;
+          seconds = Obs.Clock.now_s () -. t0;
         },
         Some result )
 

@@ -1,0 +1,281 @@
+(* Tracing + metrics.  Counters are always on (one Hashtbl update per
+   batched instrumentation point); spans are recorded only while
+   enabled.  Everything here is single-threaded and fork-aware: a
+   worker calls [reset] right after the fork and ships its events and
+   counter deltas back through its result pipe. *)
+
+module Clock = struct
+  (* Monotonic fallback on gettimeofday: accumulate only plausible
+     positive deltas, so a stepped wall clock (NTP, manual set) can
+     neither run time backwards nor bill a huge phantom interval to
+     whatever is being timed. *)
+  let max_step_s = 3600.
+  let last_raw = ref (Unix.gettimeofday ())
+  let mono = ref 0.
+
+  let now_s () =
+    let raw = Unix.gettimeofday () in
+    let d = raw -. !last_raw in
+    last_raw := raw;
+    if d > 0. && d < max_step_s then mono := !mono +. d;
+    !mono
+
+  let wall_s = Unix.gettimeofday
+end
+
+module Hw = struct
+  let from_getconf () =
+    try
+      let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      ignore (Unix.close_process_in ic);
+      match line with
+      | Some l -> int_of_string_opt (String.trim l)
+      | None -> None
+    with _ -> None
+
+  let from_proc_cpuinfo () =
+    try
+      let ic = open_in "/proc/cpuinfo" in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.length line >= 9 && String.sub line 0 9 = "processor"
+               then incr n
+             done
+           with End_of_file -> ());
+          if !n > 0 then Some !n else None)
+    with _ -> None
+
+  let detect () =
+    match from_getconf () with
+    | Some n when n >= 1 -> n
+    | _ -> ( match from_proc_cpuinfo () with Some n -> n | None -> 1)
+
+  let cached = ref (-1)
+
+  let online_cores () =
+    match Sys.getenv_opt "PDAT_FORCE_CORES" with
+    | Some s when String.trim s <> "" -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ ->
+            if !cached < 0 then cached := detect ();
+            !cached)
+    | _ ->
+        if !cached < 0 then cached := detect ();
+        !cached
+end
+
+(* ---------------- recorder state ------------------------------------ *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type phase = Complete | Instant | Counter
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_us : float;
+  dur_us : float;
+  pid : int;
+  args : (string * arg) list;
+}
+
+let enabled = ref false
+let events : event list ref = ref [] (* newest first *)
+let tbl : (string, float) Hashtbl.t = Hashtbl.create 64
+let cur_pid = ref (Unix.getpid ())
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let reset () =
+  events := [];
+  Hashtbl.reset tbl;
+  cur_pid := Unix.getpid ()
+
+(* ---------------- counters ------------------------------------------ *)
+
+let add name v =
+  match Hashtbl.find_opt tbl name with
+  | Some old -> Hashtbl.replace tbl name (old +. v)
+  | None -> Hashtbl.replace tbl name v
+
+let add_int name v = if v <> 0 then add name (float_of_int v)
+
+let counters () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters_delta ~since =
+  counters ()
+  |> List.filter_map (fun (k, v) ->
+         let d =
+           match List.assoc_opt k since with Some v0 -> v -. v0 | None -> v
+         in
+         if d <> 0. then Some (k, d) else None)
+
+let merge_counters l = List.iter (fun (k, v) -> add k v) l
+
+(* ---------------- spans --------------------------------------------- *)
+
+let record e = events := e :: !events
+
+let instant ?(cat = "instant") ?(args = []) name =
+  if !enabled then
+    record
+      {
+        name;
+        cat;
+        ph = Instant;
+        ts_us = Clock.now_s () *. 1e6;
+        dur_us = 0.;
+        pid = !cur_pid;
+        args;
+      }
+
+let with_span ?(cat = "span") ?args name f =
+  if not !enabled then f ()
+  else begin
+    let snap = counters () in
+    let t0 = Clock.now_s () in
+    let close () =
+      let t1 = Clock.now_s () in
+      let extra =
+        match args with
+        | None -> []
+        | Some thunk -> ( try thunk () with _ -> [])
+      in
+      record
+        {
+          name;
+          cat;
+          ph = Complete;
+          ts_us = t0 *. 1e6;
+          dur_us = (t1 -. t0) *. 1e6;
+          pid = !cur_pid;
+          args =
+            extra
+            @ List.map (fun (k, v) -> (k, Float v)) (counters_delta ~since:snap);
+        }
+    in
+    match f () with
+    | r ->
+        close ();
+        r
+    | exception e ->
+        close ();
+        raise e
+  end
+
+let with_span_timed ?cat ?args name f =
+  let t0 = Clock.now_s () in
+  let r = with_span ?cat ?args name f in
+  (r, Clock.now_s () -. t0)
+
+let drain () =
+  (* recorded order is completion order (a nested span closes before its
+     parent); chronological means start-time order, so sort — stable, so
+     simultaneous events keep their recording order *)
+  let l =
+    List.stable_sort
+      (fun a b -> compare a.ts_us b.ts_us)
+      (List.rev !events)
+  in
+  events := [];
+  l
+
+let inject evs =
+  if !enabled then List.iter record evs
+
+let counter_events () =
+  let ts = Clock.now_s () *. 1e6 in
+  List.map
+    (fun (name, v) ->
+      {
+        name;
+        cat = "counter";
+        ph = Counter;
+        ts_us = ts;
+        dur_us = 0.;
+        pid = !cur_pid;
+        args = [ ("value", Float v) ];
+      })
+    (counters ())
+
+(* ---------------- JSON emission ------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_json f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f -> float_json f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Bool b -> string_of_bool b
+
+let args_json = function
+  | [] -> ""
+  | args ->
+      Printf.sprintf ",\"args\":{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (arg_json v))
+              args))
+
+let event_json e =
+  let ph, extra =
+    match e.ph with
+    | Complete -> ("X", Printf.sprintf ",\"dur\":%.3f" e.dur_us)
+    | Instant -> ("i", ",\"s\":\"p\"")
+    | Counter -> ("C", "")
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f%s,\"pid\":%d,\"tid\":0%s}"
+    (escape e.name) (escape e.cat) ph e.ts_us extra e.pid (args_json e.args)
+
+let write_chrome oc evs =
+  output_string oc "{\"traceEvents\":[\n";
+  output_string oc (String.concat ",\n" (List.map event_json evs));
+  output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let write_jsonl oc evs =
+  List.iter
+    (fun e ->
+      output_string oc (event_json e);
+      output_char oc '\n')
+    evs
+
+type sink = Chrome of string | Jsonl of string
+
+let sink_of_path path =
+  if Filename.check_suffix path ".jsonl" then Jsonl path else Chrome path
+
+let write_sink sink evs =
+  let path, writer =
+    match sink with
+    | Chrome p -> (p, write_chrome)
+    | Jsonl p -> (p, write_jsonl)
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> writer oc evs)

@@ -1,0 +1,136 @@
+(** Observability: tracing spans, named counters and a monotonic clock
+    for the whole PDAT stack.
+
+    The layer has two halves with different costs:
+
+    - {b counters} are always on.  Every [add] updates one hash-table
+      cell; instrumentation points (SAT calls, simulated cycles, cache
+      probes) batch their updates so the overhead stays far below the
+      work being counted.
+    - {b spans} are recorded only while tracing is {!enable}d.  A span
+      is a named interval on the monotonic clock; at exit it
+      automatically attaches the delta of every counter that moved
+      while it was open, so a ["prove"] stage span carries the SAT
+      conflicts/decisions/propagations and cache hits it caused.
+
+    Recorded events serialize as Chrome trace-event JSON (load the file
+    in [chrome://tracing] / Perfetto) or as JSONL.  Events are plain
+    marshalable values: a forked worker records its own events and
+    ships them back through its result pipe, and the parent {!inject}s
+    them into the session, so workers appear as spans under their own
+    pid next to the coordinator's stages. *)
+
+module Clock : sig
+  val now_s : unit -> float
+  (** Monotonic seconds since process start (shared with forked
+      children, so parent and child timestamps are comparable).  Built
+      on [Unix.gettimeofday] guarded against clock steps: a backwards
+      step contributes zero elapsed time instead of a negative one, and
+      an implausibly large forward step (> 1 h between two observations
+      of a busy process) is dropped rather than billed to whatever span
+      was open.  All deadline arithmetic in the repo is on this scale:
+      a deadline is [now_s () +. budget], never a wall-clock date, so
+      an NTP correction can neither fire a budget early nor park it in
+      the future. *)
+
+  val wall_s : unit -> float
+  (** [Unix.gettimeofday], for timestamps that must mean calendar time.
+      Never used for deadlines. *)
+end
+
+module Hw : sig
+  val online_cores : unit -> int
+  (** Detected online CPU count: [getconf _NPROCESSORS_ONLN], falling
+      back to counting [processor] lines in [/proc/cpuinfo], falling
+      back to 1.  Cached after the first call.  The [PDAT_FORCE_CORES]
+      environment variable overrides the detection (checked on every
+      call; intended for tests that need a deterministic clamp). *)
+end
+
+(** {1 Counters} *)
+
+val add : string -> float -> unit
+(** [add name v] accumulates [v] into the named counter.  Always on. *)
+
+val add_int : string -> int -> unit
+
+val counters : unit -> (string * float) list
+(** Current cumulative counter values, sorted by name. *)
+
+val counters_delta : since:(string * float) list -> (string * float) list
+(** Counters that moved since a previous {!counters} snapshot, with
+    their deltas. *)
+
+val merge_counters : (string * float) list -> unit
+(** Accumulate another process' counter deltas (e.g. a worker's) into
+    this process' counters. *)
+
+(** {1 Spans and events} *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type phase = Complete | Instant | Counter
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_us : float;   (** start time, µs on the {!Clock.now_s} scale *)
+  dur_us : float;  (** [Complete] spans only *)
+  pid : int;       (** recording process *)
+  args : (string * arg) list;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Clear recorded events and all counters, and re-read the pid.  A
+    forked child must call this first so it records only its own work
+    under its own pid. *)
+
+val with_span :
+  ?cat:string -> ?args:(unit -> (string * arg) list) -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span (recorded only when
+    enabled).  [args] is evaluated at span exit — it may read state [f]
+    produced.  Counter deltas are attached automatically.  The span is
+    closed (and recorded) even when [f] raises. *)
+
+val with_span_timed :
+  ?cat:string -> ?args:(unit -> (string * arg) list) -> string ->
+  (unit -> 'a) -> 'a * float
+(** Like {!with_span} but additionally returns the wall-clock duration
+    in seconds, measured on {!Clock.now_s} whether or not tracing is
+    enabled — the pipeline's per-stage timing is this value. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+(** Record a point event (when enabled). *)
+
+val drain : unit -> event list
+(** All recorded events in chronological order; clears the buffer. *)
+
+val inject : event list -> unit
+(** Append events recorded elsewhere (a worker's {!drain} shipped back
+    over a pipe).  Dropped when tracing is disabled. *)
+
+val counter_events : unit -> event list
+(** One [Counter] event per current counter, timestamped now — append
+    to a drained event list so the final totals appear in the trace. *)
+
+(** {1 Sinks} *)
+
+type sink = Chrome of string | Jsonl of string
+
+val sink_of_path : string -> sink
+(** [.jsonl] paths select {!Jsonl}, everything else {!Chrome}. *)
+
+val write_chrome : out_channel -> event list -> unit
+(** Chrome trace-event format: [{"traceEvents": [...]}]. *)
+
+val write_jsonl : out_channel -> event list -> unit
+(** One JSON event object per line. *)
+
+val write_sink : sink -> event list -> unit
+(** Write (creating/overwriting) the sink's file. *)

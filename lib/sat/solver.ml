@@ -524,10 +524,10 @@ let analyze_final s seed_lit =
   done;
   List.iter (fun v -> s.seen.(v) <- false) !marked
 
-let solve ?(assumptions = []) ?(conflict_budget = -1) ?deadline s =
+let solve_body ?(assumptions = []) ?(conflict_budget = -1) ?deadline s =
   let deadline = match deadline with Some t -> t | None -> infinity in
   if not s.ok then Unsat
-  else if deadline < infinity && Unix.gettimeofday () >= deadline then begin
+  else if deadline < infinity && Obs.Clock.now_s () >= deadline then begin
     s.failed <- [];
     Unknown
   end
@@ -559,7 +559,7 @@ let solve ?(assumptions = []) ?(conflict_budget = -1) ?deadline s =
             cla_decay s;
             if (conflict_budget >= 0
                 && s.conflicts - budget_start >= conflict_budget)
-               || (deadline < infinity && Unix.gettimeofday () >= deadline)
+               || (deadline < infinity && Obs.Clock.now_s () >= deadline)
             then begin
               result := Unknown;
               finished := true
@@ -607,6 +607,15 @@ let solve ?(assumptions = []) ?(conflict_budget = -1) ?deadline s =
     cancel_until s 0;
     !result
   end
+
+let solve ?assumptions ?conflict_budget ?deadline s =
+  let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
+  let r = solve_body ?assumptions ?conflict_budget ?deadline s in
+  Obs.add_int "sat.calls" 1;
+  Obs.add_int "sat.conflicts" (s.conflicts - c0);
+  Obs.add_int "sat.decisions" (s.decisions - d0);
+  Obs.add_int "sat.propagations" (s.propagations - p0);
+  r
 
 type snapshot = {
   vars : int;

@@ -30,11 +30,16 @@ val solve :
   ?assumptions:Lit.t list -> ?conflict_budget:int -> ?deadline:float -> t ->
   result
 (** [conflict_budget < 0] (default) means no budget.  [deadline] is an
-    absolute wall-clock time ([Unix.gettimeofday] scale); the check
-    runs once per conflict, so a call returns [Unknown] at the first
-    conflict past the deadline (or immediately if already past).  A
-    timed-out call leaves the solver fully usable, exactly like an
-    exhausted conflict budget. *)
+    absolute time on the monotonic [Obs.Clock.now_s] scale (i.e.
+    [Obs.Clock.now_s () +. budget]; an NTP step cannot fire or defer
+    it); the check runs once per conflict, so a call returns [Unknown]
+    at the first conflict past the deadline (or immediately if already
+    past).  A timed-out call leaves the solver fully usable, exactly
+    like an exhausted conflict budget.
+
+    Every call also feeds the [sat.calls] / [sat.conflicts] /
+    [sat.decisions] / [sat.propagations] counters in {!Obs}, so any
+    enclosing trace span carries the SAT work it caused. *)
 
 val value : t -> int -> bool
 (** Model value of a variable after {!solve} returned [Sat].

@@ -61,7 +61,7 @@ let test_induction_proves_true_invariants () =
 
 let test_rsim_deadline () =
   let d, _, _, _, _, _ = demo_design () in
-  let past = Unix.gettimeofday () -. 1. in
+  let past = Obs.Clock.now_s () -. 1. in
   (* an expired deadline before any observation degrades to "no
      candidates", never to an exception *)
   check "mine returns empty" true

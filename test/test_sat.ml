@@ -115,14 +115,14 @@ let test_deadline () =
   (* an already-expired deadline yields Unknown without burning time;
      the solver stays usable afterwards *)
   let s = pigeonhole 7 in
-  (match Sat.Solver.solve ~deadline:(Unix.gettimeofday () -. 1.) s with
+  (match Sat.Solver.solve ~deadline:(Obs.Clock.now_s () -. 1.) s with
   | Sat.Solver.Unknown -> ()
   | Sat.Solver.Sat | Sat.Solver.Unsat ->
       Alcotest.fail "expired deadline must report Unknown");
   (* a generous deadline must not change the verdict *)
   let s4 = pigeonhole 4 in
   check_result "php(4) still unsat under a far deadline" true
-    (is_unsat (Sat.Solver.solve ~deadline:(Unix.gettimeofday () +. 3600.) s4))
+    (is_unsat (Sat.Solver.solve ~deadline:(Obs.Clock.now_s () +. 3600.) s4))
 
 let test_dimacs_roundtrip () =
   let src = "c example\np cnf 3 2\n1 -2 0\n2 3 0\n" in
