@@ -47,11 +47,32 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* p50/p95/max of every named latency distribution accumulated so far
+   (e.g. per-SAT-call wall time) — the same summaries the run report
+   prints, here in machine-readable form. *)
+let histograms_json () =
+  String.concat ", "
+    (List.map
+       (fun (name, h) ->
+         Printf.sprintf
+           "\"%s\": {\"count\": %d, \"p50\": %g, \"p95\": %g, \"max\": %g}"
+           (json_escape name) h.Obs.count h.Obs.p50 h.Obs.p95 h.Obs.max_v)
+       (Obs.histograms ()))
+
 let write_bench_json target fields_of_entries =
   let path = Printf.sprintf "BENCH_%s.json" target in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"target\": \"%s\",\n  \"fast\": %b,\n%s}\n"
-    (json_escape target) fast fields_of_entries;
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": %d,\n\
+    \  \"commit\": \"%s\",\n\
+    \  \"target\": \"%s\",\n\
+    \  \"fast\": %b,\n\
+    \  \"histograms\": {%s},\n\
+     %s}\n"
+    Report.Meta.schema_version
+    (json_escape (Report.Meta.git_commit ()))
+    (json_escape target) fast (histograms_json ()) fields_of_entries;
   close_out oc;
   Format.printf "wrote %s@." path
 

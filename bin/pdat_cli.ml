@@ -6,6 +6,8 @@
      reduce --core C --subset S [--port|--cutpoint] [-o out.v]
                                custom reduction with Verilog export
      export --core C -o out.v  dump a core's baseline netlist
+     report --core C --subset S [--dump-cex DIR] [--out-dir DIR]
+                               provenance-tracked run + REPORT_<core>.{json,md}
      lint [FILE.v ...] [--core C ...]
                                static netlist lint; exit 1 on errors
      table1 | table2           paper tables *)
@@ -127,6 +129,31 @@ let out_arg =
   let doc = "Write the resulting netlist as structural Verilog." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
 
+(* Environment construction shared by `reduce' and `report'. *)
+let make_env ~port core subset_name design cut_nets =
+  match core with
+  | `Ibex | `Ridecore -> (
+      let subset =
+        try List.assoc subset_name riscv_subsets
+        with Not_found ->
+          Format.eprintf "unknown RISC-V subset %s@." subset_name;
+          exit 1
+      in
+      let rv32e = subset_name = "rv32e" in
+      match cut_nets with
+      | Some nets when not port ->
+          Pdat.Environment.riscv_cutpoint ~rv32e design ~nets subset
+      | _ ->
+          Pdat.Environment.riscv_port ~rv32e design ~port:"instr_rdata" subset)
+  | `Cm0 ->
+      let subset =
+        try List.assoc subset_name arm_subsets
+        with Not_found ->
+          Format.eprintf "unknown ARM subset %s@." subset_name;
+          exit 1
+      in
+      Pdat.Environment.arm_port design ~port:"instr_rdata" subset
+
 (* ---------------- reduce --------------------------------------------- *)
 
 let validate_flag =
@@ -197,29 +224,7 @@ let reduce_cmd =
       exit 1
     end;
     let design, cut_nets = build_core ~fast core in
-    let env =
-      match core with
-      | `Ibex | `Ridecore -> (
-          let subset =
-            try List.assoc subset_name riscv_subsets
-            with Not_found ->
-              Format.eprintf "unknown RISC-V subset %s@." subset_name;
-              exit 1
-          in
-          let rv32e = subset_name = "rv32e" in
-          match cut_nets with
-          | Some nets when not port ->
-              Pdat.Environment.riscv_cutpoint ~rv32e design ~nets subset
-          | _ -> Pdat.Environment.riscv_port ~rv32e design ~port:"instr_rdata" subset)
-      | `Cm0 ->
-          let subset =
-            try List.assoc subset_name arm_subsets
-            with Not_found ->
-              Format.eprintf "unknown ARM subset %s@." subset_name;
-              exit 1
-          in
-          Pdat.Environment.arm_port design ~port:"instr_rdata" subset
-    in
+    let env = make_env ~port core subset_name design cut_nets in
     let inject =
       Option.map (fun kind -> { Pdat.Faults.kind; seed = 7 }) inject_kind
     in
@@ -351,6 +356,74 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export a core's synthesized baseline netlist")
     Term.(const run $ fast $ core_arg $ out_arg)
 
+(* ---------------- report ---------------------------------------------- *)
+
+let report_cmd =
+  let port_flag =
+    Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
+  in
+  let dump_cex_arg =
+    let doc =
+      "Write replayable VCD counterexample waveforms for refuted candidates \
+       into $(docv) (created if missing); the report's waveform index \
+       references them by file name."
+    in
+    Arg.(value & opt (some string) None & info [ "dump-cex" ] ~doc ~docv:"DIR")
+  in
+  let out_dir_arg =
+    let doc =
+      "Directory receiving $(b,REPORT_<core>.json) and $(b,REPORT_<core>.md)."
+    in
+    Arg.(value & opt string "." & info [ "out-dir" ] ~doc ~docv:"DIR")
+  in
+  let run fast jobs cache_dir core subset_name port validate time_budget
+      dump_cex out_dir =
+    let design, cut_nets = build_core ~fast core in
+    let env = make_env ~port core subset_name design cut_nets in
+    let prov = Report.Provenance.create () in
+    let result =
+      match
+        Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
+          ?time_budget ~lint:Analysis.Lint.Warn ~provenance:prov ?dump_cex
+          ~design ~env ()
+      with
+      | r -> r
+      | exception Pdat.Pipeline.Rejected diags ->
+          Format.eprintf "input netlist rejected by the static gate:@.";
+          List.iter
+            (fun d -> Format.eprintf "  %s@." (Analysis.Diag.to_string d))
+            diags;
+          exit 1
+    in
+    let target = core_label core in
+    (try Unix.mkdir out_dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let json = Report.Render.json ~target prov in
+    let md =
+      Report.Render.markdown ~target
+        ~timings:result.Pdat.Pipeline.report.Pdat.Pipeline.stage_seconds
+        ~histograms:(Obs.histograms ())
+        ~commit:(Report.Meta.git_commit ()) prov
+    in
+    let write path s =
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Format.eprintf "wrote %s@." path
+    in
+    write (Filename.concat out_dir ("REPORT_" ^ target ^ ".json")) json;
+    write (Filename.concat out_dir ("REPORT_" ^ target ^ ".md")) md;
+    print_string md
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run the pipeline with full provenance tracking and emit the \
+          machine-readable and human run reports")
+    Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ core_arg $ subset_arg
+          $ port_flag $ validate_flag $ time_budget_arg $ dump_cex_arg
+          $ out_dir_arg)
+
 (* ---------------- tables ---------------------------------------------- *)
 
 let table1_cmd =
@@ -369,5 +442,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; reduce_cmd; export_cmd; lint_cmd; table1_cmd;
-            table2_cmd ]))
+          [ list_cmd; run_cmd; reduce_cmd; report_cmd; export_cmd; lint_cmd;
+            table1_cmd; table2_cmd ]))

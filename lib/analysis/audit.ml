@@ -6,9 +6,17 @@ let err rule loc msg = Diag.make ~rule ~severity:Diag.Error ~loc msg
 let rail b = if b then D.net_true else D.net_false
 
 (* (1) Every edit must cite a proved invariant that really supports it. *)
-let check_edits original proved (cert : Certificate.t) =
+let check_edits ?prov_id original proved (cert : Certificate.t) =
   let diags = ref [] in
   let emit rule loc msg = diags := err rule loc msg :: !diags in
+  let cite cand =
+    match prov_id with
+    | None -> ""
+    | Some f -> (
+        match f cand with
+        | Some id -> Printf.sprintf " (inv#%d)" id
+        | None -> " (no provenance record)")
+  in
   let seen_nets = Hashtbl.create 16 in
   List.iter
     (fun (e : Certificate.edit) ->
@@ -18,8 +26,9 @@ let check_edits original proved (cert : Certificate.t) =
       Hashtbl.replace seen_nets e.net ();
       if not (List.exists (Engine.Candidate.equal e.justification) proved) then
         emit "cert-unjustified" loc
-          (Fmt.str "justification %a is not in the proved invariant set"
-             (Engine.Candidate.pp original) e.justification)
+          (Fmt.str "justification %a%s is not in the proved invariant set"
+             (Engine.Candidate.pp original) e.justification
+             (cite e.justification))
       else
         match e.justification with
         | Engine.Candidate.Const (n, b) ->
@@ -60,9 +69,9 @@ let check_edits original proved (cert : Certificate.t) =
                 if not ok then
                   emit "cert-mismatch" loc
                     (Printf.sprintf
-                       "implication on a %s gate does not support redirecting \
-                        net %d to net %d"
-                       (C.name c.D.kind) e.net e.target))
+                       "implication%s on a %s gate does not support \
+                        redirecting net %d to net %d"
+                       (cite e.justification) (C.name c.D.kind) e.net e.target))
     cert.Certificate.edits;
   List.rev !diags
 
@@ -176,8 +185,8 @@ let lint_regression ?pre_lint original rewired =
       else None)
     post
 
-let run ?pre_lint ~original ~rewired ~proved ~certificate () =
-  let justified = check_edits original proved certificate in
+let run ?pre_lint ?prov_id ~original ~rewired ~proved ~certificate () =
+  let justified = check_edits ?prov_id original proved certificate in
   let structural =
     match replay original certificate with
     | Error ds -> ds

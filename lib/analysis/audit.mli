@@ -20,6 +20,7 @@
 
 val run :
   ?pre_lint:Diag.t list ->
+  ?prov_id:(Engine.Candidate.t -> int option) ->
   original:Netlist.Design.t ->
   rewired:Netlist.Design.t ->
   proved:Engine.Candidate.t list ->
@@ -33,4 +34,7 @@ val run :
     (replayed netlist differs from [rewired]), and [lint-regression]
     (new Error-severity structural lint finding post-rewire).
     [?pre_lint] supplies the original's lint findings if already
-    computed, to skip re-linting it. *)
+    computed, to skip re-linting it.  [?prov_id] resolves a candidate
+    to its provenance id; when given, justification diagnostics cite
+    the invariant as [inv#<id>] so a report reader can cross-reference
+    the audit finding against the run report. *)

@@ -64,9 +64,54 @@ let stage_weights ~validate =
   [ ("mine", 1.0); ("refine", 1.0); ("prove", 2.5) ]
   @ (if validate then [ ("validate", 0.7) ] else [])
 
+(* Replayable counterexamples for refuted candidates.  At most
+   [max_cex_dumps] waveforms are written per run — enough to explain a
+   refutation without turning the dump directory into a VCD landfill;
+   records are visited in provenance-id order so the sample is
+   deterministic. *)
+let max_cex_dumps = 8
+
+let dump_counterexamples ~model prov dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let dumped = ref 0 in
+  List.iter
+    (fun (r : Report.Provenance.cand_record) ->
+      if !dumped < max_cex_dumps then
+        let cex =
+          match r.Report.Provenance.refine_kill with
+          | Some { Engine.Rsim.k_cex = Some c; _ } -> Some c
+          | Some _ | None -> (
+              match r.Report.Provenance.attribution with
+              | Some
+                  {
+                    Engine.Induction.verdict =
+                      Engine.Induction.V_refuted { cex = Some c; _ };
+                    _;
+                  } ->
+                  Some c
+              | _ -> None)
+        in
+        match cex with
+        | None -> ()
+        | Some c -> (
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "cex_inv%d.vcd" r.Report.Provenance.id)
+            in
+            try
+              Engine.Cex.dump
+                ~extra:
+                  (Engine.Cex.nets_of_candidate model r.Report.Provenance.cand)
+                ~path model c;
+              Report.Provenance.set_cex_file prov r.Report.Provenance.cand path;
+              incr dumped
+            with Sys_error _ -> ()))
+    (Report.Provenance.records prov)
+
 let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
     ?(validate = false) ?validate_config ?validate_stimulus ?time_budget
-    ?(lint = Analysis.Lint.Off) ?inject ?trace ~design ~env () =
+    ?(lint = Analysis.Lint.Off) ?inject ?provenance ?dump_cex ?trace ~design
+    ~env () =
   let trace =
     match trace with
     | Some _ as t -> t
@@ -85,6 +130,14 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
     if not was_enabled then Obs.disable ()
   in
   Fun.protect ~finally:finish_trace @@ fun () ->
+  (* [--dump-cex] without an explicit database still needs somewhere to
+     record which candidate each waveform explains *)
+  let prov =
+    match (provenance, dump_cex) with
+    | (Some _ as p), _ -> p
+    | None, Some _ -> Some (Report.Provenance.create ())
+    | None, None -> None
+  in
   let t0 = Obs.Clock.now_s () in
   let jobs =
     match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
@@ -156,21 +209,33 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
   (match (lint, Analysis.Diag.errors input_lint) with
   | Analysis.Lint.Strict, (_ :: _ as errs) -> raise (Rejected errs)
   | _ -> ());
+  let mine_attr = Option.map (fun _ -> ref []) prov in
   let candidates =
     timed "mine" (fun () ->
         Property_library.mine ?config:rsim ?deadline:(stage_deadline "mine")
-          ~model:env.Environment.model ~assume:env.Environment.assume
-          ~stimulus:env.Environment.stimulus ()
+          ?attribution:mine_attr ~model:env.Environment.model
+          ~assume:env.Environment.assume ~stimulus:env.Environment.stimulus ()
         |> Property_library.restrict_to_original ~original:design)
   in
+  (* only post-restrict candidates get provenance ids; set_mined_rounds
+     silently skips attribution entries for the dropped ones *)
+  (match (prov, mine_attr) with
+  | Some p, Some attr ->
+      Report.Provenance.register p candidates;
+      Report.Provenance.set_mined_rounds p !attr
+  | _ -> ());
   (* a long, candidate-focused simulation pass kills most false
      candidates far more cheaply than SAT counterexamples would *)
+  let refine_kills = Option.map (fun _ -> ref []) prov in
   let candidates =
     timed "refine" (fun () ->
         Engine.Rsim.refine ~config:refine ?deadline:(stage_deadline "refine")
-          ~assume:env.Environment.assume env.Environment.model
-          env.Environment.stimulus candidates)
+          ?kills:refine_kills ~assume:env.Environment.assume
+          env.Environment.model env.Environment.stimulus candidates)
   in
+  (match (prov, refine_kills) with
+  | Some p, Some k -> Report.Provenance.set_refine_kills p !k
+  | _ -> ());
   let proof_alloc = stage_alloc "prove" in
   let induction_options =
     let base =
@@ -189,13 +254,22 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
           Engine.Induction.time_budget_s =
             (if b > 0. then Float.min b alloc else alloc) }
   in
+  let attributions = Option.map (fun _ -> Hashtbl.create 128) prov in
   let proved, istats =
     timed "prove" (fun () ->
         Engine.Induction.prove_parallel ~options:induction_options
-          ~cex:(env.Environment.stimulus, 24) ~jobs ?cache
+          ?attributions ~cex:(env.Environment.stimulus, 24) ~jobs ?cache
           ~assume:env.Environment.assume env.Environment.model candidates)
   in
   Option.iter Engine.Proof_cache.flush cache;
+  (match (prov, attributions) with
+  | Some p, Some tbl -> Report.Provenance.set_attributions p tbl
+  | _ -> ());
+  (match (prov, dump_cex) with
+  | Some p, Some dir ->
+      timed "dump-cex" (fun () ->
+          dump_counterexamples ~model:env.Environment.model p dir)
+  | _ -> ());
   (* the audit must judge certificates against what was actually
      proved, not against a possibly-corrupted hand-off *)
   let genuine_proved = proved in
@@ -207,6 +281,9 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
   let rewired, certificate =
     timed "rewire" (fun () -> Rewire.apply_certified design proved)
   in
+  Option.iter
+    (fun p -> Report.Provenance.record_certificate p certificate)
+    prov;
   let rewired =
     match
       try_fault (fun f -> Faults.corrupt_rewired f ~original:design ~rewired)
@@ -224,8 +301,10 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
     | Analysis.Lint.Off -> []
     | Analysis.Lint.Warn | Analysis.Lint.Strict ->
         timed "audit" (fun () ->
-            Analysis.Audit.run ~pre_lint:input_lint ~original:design ~rewired
-              ~proved:genuine_proved ~certificate ())
+            Analysis.Audit.run ~pre_lint:input_lint
+              ?prov_id:
+                (Option.map (fun p c -> Report.Provenance.id_of p c) prov)
+              ~original:design ~rewired ~proved:genuine_proved ~certificate ())
   in
   let audit_failed =
     lint = Analysis.Lint.Strict && Analysis.Diag.errors audit_diags <> []
@@ -266,6 +345,11 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
           (Some outcome, base_design, false, Some (Validate.describe outcome))
   in
   let after = Netlist.Stats.of_design reduced in
+  Option.iter
+    (fun p ->
+      Report.Provenance.record_designs p ~original:design ~rewired ~reduced
+        ~baseline:base_design)
+    prov;
   {
     reduced;
     report =
@@ -297,17 +381,26 @@ type self_test_entry = {
   injected : string option;
   caught : bool;
   caught_statically : bool;
+  cex_files : string list;
 }
 
 let self_test ?rsim ?refine ?induction ?jobs ?cache ?validate_config
-    ?validate_stimulus ?(lint = Analysis.Lint.Strict) ?(seed = 7) ~design ~env
-    () =
+    ?validate_stimulus ?(lint = Analysis.Lint.Strict) ?(seed = 7) ?dump_cex
+    ~design ~env () =
+  (match dump_cex with
+  | Some d -> (
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | None -> ());
   List.map
     (fun kind ->
+      let prov = Report.Provenance.create () in
+      let sub =
+        Option.map (fun d -> Filename.concat d (Faults.name kind)) dump_cex
+      in
       let r =
         run ?rsim ?refine ?induction ?jobs ?cache ~validate:true
-          ?validate_config ?validate_stimulus ~lint
-          ~inject:{ Faults.kind; seed } ~design ~env ()
+          ?validate_config ?validate_stimulus ~lint ~provenance:prov
+          ?dump_cex:sub ~inject:{ Faults.kind; seed } ~design ~env ()
       in
       {
         fault = kind;
@@ -317,6 +410,11 @@ let self_test ?rsim ?refine ?induction ?jobs ?cache ?validate_config
           && (not r.report.validated)
           && r.report.fallback_reason <> None;
         caught_statically = Analysis.Diag.errors r.report.audit <> [];
+        cex_files =
+          List.filter_map
+            (fun (cr : Report.Provenance.cand_record) ->
+              cr.Report.Provenance.cex_file)
+            (Report.Provenance.records prov);
       })
     Faults.all
 

@@ -97,6 +97,10 @@ val default_jobs : unit -> int
     {!Obs.Hw.online_cores} — forking more provers than cores only adds
     scheduler churn.  An explicit [?jobs] is clamped the same way. *)
 
+val max_cex_dumps : int
+(** Cap on waveforms written per run by [?dump_cex] (records are
+    visited in provenance-id order, so the sample is deterministic). *)
+
 val run :
   ?rsim:Engine.Rsim.config ->
   ?refine:Engine.Rsim.config ->
@@ -109,6 +113,8 @@ val run :
   ?time_budget:float ->
   ?lint:Analysis.Lint.gate ->
   ?inject:Faults.t ->
+  ?provenance:Report.Provenance.t ->
+  ?dump_cex:string ->
   ?trace:Obs.sink ->
   design:Netlist.Design.t ->
   env:Environment.t ->
@@ -139,6 +145,22 @@ val run :
     [inject] corrupts one stage boundary (see {!Faults}); intended for
     validator self-tests only.
 
+    [provenance], when given, is filled as the run progresses: every
+    post-restrict mined candidate is registered and annotated with its
+    mining round, refinement kill (with replayable counterexample),
+    prover verdict/shard/cache-hit, the rewire certificate with
+    per-edit invariant citations and attributed dead cells, and the
+    four design snapshots (original, rewired, reduced, baseline) —
+    everything {!Report.Render} needs.  Audit diagnostics then cite
+    provenance ids ([inv#N]).
+
+    [dump_cex] names a directory (created if missing) into which the
+    first {!max_cex_dumps} refuted candidates' counterexamples are
+    written as [cex_inv<id>.vcd] waveforms, replayed from reset through
+    the environment model with the candidate's nets included as extra
+    signals.  [dump_cex] without [provenance] uses a private database
+    internally, so the dump works on its own.
+
     [trace] writes an execution trace of the run to the given {!Obs}
     sink: one span per stage, one span per forked proof worker (under
     the worker's own pid), each carrying the SAT/rsim/cache counters it
@@ -158,6 +180,9 @@ type self_test_entry = {
   caught_statically : bool;
       (** the certificate audit rejected the run — the fault was caught
           with zero simulation cycles, before the validator ran *)
+  cex_files : string list;
+      (** counterexample waveforms dumped for this run's refuted
+          candidates; [[]] unless [?dump_cex] was given *)
 }
 
 val self_test :
@@ -170,6 +195,7 @@ val self_test :
   ?validate_stimulus:Engine.Stimulus.t ->
   ?lint:Analysis.Lint.gate ->
   ?seed:int ->
+  ?dump_cex:string ->
   design:Netlist.Design.t ->
   env:Environment.t ->
   unit ->
@@ -180,7 +206,11 @@ val self_test :
     caught it statically, which it must for every pre-resynthesis
     fault class ([Flip_constant], [Bogus_invariant], [Miswire]).  An
     entry with [injected = None] means the class had no eligible site
-    in this design (e.g. nothing was proved constant). *)
+    in this design (e.g. nothing was proved constant).  [dump_cex]
+    gives each fault run its own subdirectory (named after the fault)
+    of refuted-candidate waveforms, listed in the entry's [cex_files]
+    — so a failing self-test ships with the waveform that explains
+    which candidates the engine itself rejected. *)
 
 val pp_report : Format.formatter -> report -> unit
 

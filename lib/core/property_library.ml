@@ -39,8 +39,8 @@ let catalog =
     };
   ]
 
-let mine ?config ?deadline ~model ~assume ~stimulus () =
-  Engine.Rsim.mine ?config ?deadline ~assume model stimulus
+let mine ?config ?deadline ?attribution ~model ~assume ~stimulus () =
+  Engine.Rsim.mine ?config ?deadline ?attribution ~assume model stimulus
 
 let restrict_to_original ~original cands =
   let max_net = Netlist.Design.num_nets original in

@@ -25,6 +25,7 @@ val catalog : property_class list
 val mine :
   ?config:Engine.Rsim.config ->
   ?deadline:float ->
+  ?attribution:(Engine.Candidate.t * int) list ref ->
   model:Netlist.Design.t ->
   assume:Netlist.Design.net ->
   stimulus:Engine.Stimulus.t ->
@@ -32,7 +33,8 @@ val mine :
   Engine.Candidate.t list
 (** Instantiates the library against a design: returns every property
     instance that survived constrained simulation.  [deadline]
-    truncates the simulation window (see {!Engine.Rsim.mine}). *)
+    truncates the simulation window, [attribution] receives per-
+    candidate mining rounds for provenance (see {!Engine.Rsim.mine}). *)
 
 val restrict_to_original :
   original:Netlist.Design.t ->

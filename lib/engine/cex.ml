@@ -1,0 +1,67 @@
+module D = Netlist.Design
+
+type t = {
+  inputs : D.net array;
+  frames : bool array array;
+}
+
+let length t = Array.length t.frames
+
+let of_inputs d frames =
+  let inputs = Array.of_list (List.map snd (D.inputs d)) in
+  Array.iteri
+    (fun c frame ->
+      if Array.length frame <> Array.length inputs then
+        invalid_arg
+          (Printf.sprintf "Cex.of_inputs: frame %d has %d values for %d inputs"
+             c (Array.length frame) (Array.length inputs)))
+    frames;
+  { inputs; frames }
+
+(* Drive the trace into an already-reset simulator.  Booleans broadcast
+   to all 64 lanes; no [step] after the last frame so the caller reads
+   the violating cycle. *)
+let drive ?on_frame sim t =
+  let last = Array.length t.frames - 1 in
+  Array.iteri
+    (fun c frame ->
+      Array.iteri
+        (fun i b ->
+          Netlist.Sim64.set_input sim t.inputs.(i) (if b then -1L else 0L))
+        frame;
+      Netlist.Sim64.eval sim;
+      (match on_frame with Some f -> f sim c | None -> ());
+      if c < last then Netlist.Sim64.step sim)
+    t.frames
+
+let replay ?on_frame d t =
+  let sim = Netlist.Sim64.create d in
+  Netlist.Sim64.reset sim;
+  drive ?on_frame sim t;
+  sim
+
+let violates d t cand =
+  Array.length t.frames > 0
+  &&
+  let sim = replay d t in
+  not (Candidate.holds_in_values (Netlist.Sim64.read sim) cand)
+
+let nets_of_candidate d cand =
+  let label n = D.net_name d n in
+  match cand with
+  | Candidate.Const (n, _) -> [ (label n, [| n |]) ]
+  | Candidate.Implies { a; b; _ } ->
+      [ (label a, [| a |]); (label b, [| b |]) ]
+
+let dump ?(extra = []) ~path d t =
+  let sim = Netlist.Sim64.create d in
+  let nets =
+    Array.to_list (Array.map (fun n -> (D.net_name d n, [| n |])) t.inputs)
+    @ extra
+  in
+  let vcd = Netlist.Vcd.create sim ~path ~nets in
+  Fun.protect
+    ~finally:(fun () -> Netlist.Vcd.close vcd)
+    (fun () ->
+      Netlist.Sim64.reset sim;
+      drive ~on_frame:(fun _ _ -> Netlist.Vcd.sample vcd) sim t)

@@ -1,0 +1,49 @@
+(** Replayable counterexamples.
+
+    A counterexample is an input trace from reset: one boolean per
+    primary input per cycle.  It is solver-independent — the refinement
+    stage extracts one from the killing simulation lane, the induction
+    stage from a SAT model of the base case — and replayable: driving
+    the trace into {!Netlist.Sim64} from reset reproduces the violation
+    deterministically, and {!dump} renders it as a VCD waveform that
+    shows {e why} a candidate invariant was refuted. *)
+
+type t = {
+  inputs : Netlist.Design.net array;
+      (** primary inputs, in driving order; [frames.(c).(i)] drives
+          [inputs.(i)] on cycle [c] *)
+  frames : bool array array;
+}
+
+val length : t -> int
+(** Number of cycles in the trace (at least 1 for a valid trace). *)
+
+val of_inputs : Netlist.Design.t -> bool array array -> t
+(** Pair a frame matrix with the design's primary inputs (in
+    {!Netlist.Design.inputs} order).  @raise Invalid_argument if a
+    frame's width does not match the input count. *)
+
+val replay :
+  ?on_frame:(Netlist.Sim64.t -> int -> unit) -> Netlist.Design.t -> t ->
+  Netlist.Sim64.t
+(** Simulate the trace from reset.  Each boolean is broadcast to all
+    64 lanes; per cycle: drive inputs, [eval], call [on_frame sim c],
+    then clock ([step]) — except after the last frame, so the returned
+    simulator is settled {e at} the final cycle, where the violation
+    (if any) is visible. *)
+
+val violates : Netlist.Design.t -> t -> Candidate.t -> bool
+(** Does replaying the trace end in a state refuting the candidate?
+    The ground-truth check used by tests and by the self-test harness
+    before trusting a counterexample enough to report it. *)
+
+val dump :
+  ?extra:(string * Netlist.Design.net array) list ->
+  path:string -> Netlist.Design.t -> t -> unit
+(** Replay and write a VCD waveform: all primary inputs plus the
+    [extra] labelled nets (e.g. the nets of the refuted candidate),
+    one sample per cycle.  Creates/overwrites [path]. *)
+
+val nets_of_candidate : Netlist.Design.t -> Candidate.t -> (string * Netlist.Design.net array) list
+(** The candidate's nets as labelled 1-bit signals, ready to pass as
+    [extra] to {!dump} so the waveform shows the violated relation. *)

@@ -77,6 +77,27 @@ let pp_stats fmt s =
     Format.fprintf fmt " cache=%d/%d hits" s.cache_hits
       (s.cache_hits + s.cache_misses)
 
+(* Per-candidate fate, for the provenance layer.  Only [V_refuted]
+   carries a counterexample: a base-side SAT model is a trace from
+   reset, so it replays exactly in the simulator; a step-side kill
+   starts from a free state and proves nothing about reachability. *)
+type verdict =
+  | V_proved of { k : int }
+  | V_refuted of { frame : int; cex : Cex.t option }
+  | V_sim_killed
+  | V_not_inductive
+  | V_dropped of string
+  | V_cached of Proof_cache.verdict
+
+let verdict_label = function
+  | V_proved _ -> "proved"
+  | V_refuted _ -> "refuted"
+  | V_sim_killed -> "sim-killed"
+  | V_not_inductive -> "not-inductive"
+  | V_dropped _ -> "dropped"
+  | V_cached Proof_cache.Proved -> "cached-proved"
+  | V_cached Proof_cache.Disproved -> "cached-disproved"
+
 (* A candidate's claim at a given frame, as (clause to assert it under a
    guard) and (literal implying its violation). *)
 let claim_clause u ~frame ~guard = function
@@ -184,7 +205,7 @@ exception Out_of_budget
    side until UNSAT (all alive jointly hold).  Returns true if any
    candidate was killed. *)
 let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~deadline
-    ~deadline_hit ~on_kill =
+    ~deadline_hit ~on_kill ~record_kill =
   let solver = Unroll.solver side.u in
   let killed_any = ref false in
   let alive_indices () =
@@ -209,6 +230,7 @@ let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~deadline
           in
           if not ok then begin
             alive.(i) <- false;
+            record_kill i `Model;
             incr n_killed
           end)
       alive;
@@ -262,13 +284,17 @@ let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~deadline
           match budgeted_solve (side.viol.(i) :: assumptions_base ()) with
           | S.Sat ->
               ignore (kill_from_model ());
-              alive.(i) <- false;
+              if alive.(i) then begin
+                alive.(i) <- false;
+                record_kill i `Model
+              end;
               killed_any := true;
               on_kill ()
           | S.Unsat -> ()
           | S.Unknown ->
               (* inconclusive: conservatively drop *)
               alive.(i) <- false;
+              record_kill i `Inconclusive;
               killed_any := true)
       idxs
   in
@@ -276,11 +302,50 @@ let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~deadline
   !killed_any
 
 let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
-    ~assume d candidate_list =
+    ?fates ~assume d candidate_list =
   let candidates = Array.of_list candidate_list in
   let n = Array.length candidates in
   let alive = Array.make n true in
   let sat_calls = ref 0 in
+  (* Fate tracking (optional, for provenance): each candidate's first
+     cause of death, or its proof.  [fate.(i)] is write-once. *)
+  let want_fates = fates <> None in
+  let fate : verdict option array = Array.make (if want_fates then n else 0) None in
+  let set_fate i v = if want_fates && fate.(i) = None then fate.(i) <- Some v in
+  let inputs_arr = lazy (Array.of_list (List.map snd (D.inputs d))) in
+  (* Called immediately after a Sat answer, while the model is live:
+     find the first check frame where candidate [i] fails and pull the
+     input literals of frames [0..f] out of the model. *)
+  let extract_cex side i =
+    let u = side.u in
+    let solver = Unroll.solver u in
+    match
+      List.find_opt
+        (fun f -> not (holds_in_model u ~frame:f candidates.(i)))
+        (List.sort compare side.check_frames)
+    with
+    | None -> None
+    | Some f ->
+        let inputs = Lazy.force inputs_arr in
+        let frames =
+          Array.init (f + 1) (fun frame ->
+              Array.map
+                (fun nnet -> S.lit_value solver (Unroll.lit u ~frame nnet))
+                inputs)
+        in
+        Some (f, { Cex.inputs; frames })
+  in
+  let record_kill side ~is_base i why =
+    if want_fates then
+      match why with
+      | `Inconclusive -> set_fate i (V_dropped "inconclusive")
+      | `Model ->
+          if is_base then
+            match extract_cex side i with
+            | Some (frame, c) -> set_fate i (V_refuted { frame; cex = Some c })
+            | None -> set_fate i (V_dropped "spurious-model")
+          else set_fate i V_not_inductive
+  in
   (* counterexample propagation: replay each CEX state forward in the
      bit-parallel simulator to mass-kill non-inductive candidates that
      would otherwise each cost their own SAT query *)
@@ -332,7 +397,10 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
                           (Int64.logand (Netlist.Sim64.read sim a)
                              (Int64.lognot (Netlist.Sim64.read sim b)))
                   in
-                  if viol <> 0L then alive.(i) <- false)
+                  if viol <> 0L then begin
+                    alive.(i) <- false;
+                    set_fate i V_sim_killed
+                  end)
               candidates;
           Netlist.Sim64.step sim
         done
@@ -368,20 +436,40 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
        let kb =
          run_pass base ~alive ~candidates ~opts:options ~sat_calls ~budget_left
            ~deadline ~deadline_hit ~on_kill:(cex_propagate base)
+           ~record_kill:(record_kill base ~is_base:true)
        in
        let ks =
          run_pass step ~alive ~candidates ~opts:options ~sat_calls ~budget_left
            ~deadline ~deadline_hit ~on_kill:(cex_propagate step)
+           ~record_kill:(record_kill step ~is_base:false)
        in
        continue := kb || ks
      done
    with Out_of_budget ->
      exhausted := true;
+     if want_fates then
+       Array.iteri
+         (fun i a -> if a then set_fate i (V_dropped "conflict-budget"))
+         alive;
      Array.fill alive 0 n false);
   let proved = ref [] in
   for i = n - 1 downto 0 do
     if alive.(i) then proved := candidates.(i) :: !proved
   done;
+  (match fates with
+  | None -> ()
+  | Some tbl ->
+      Array.iteri
+        (fun i a ->
+          let v =
+            if a then V_proved { k }
+            else
+              match fate.(i) with
+              | Some v -> v
+              | None -> V_dropped "unaccounted"
+          in
+          Hashtbl.replace tbl candidates.(i) v)
+        alive);
   let snap_base = S.snapshot (Unroll.solver base.u) in
   let snap_step = S.snapshot (Unroll.solver step.u) in
   ( !proved,
@@ -433,6 +521,8 @@ type worker_result = {
   w_cpu_s : float;  (* user + system CPU, from [Unix.times] *)
   w_events : Obs.event list;
   w_counters : (string * float) list;
+  w_fates : (Candidate.t * verdict) list;  (* empty unless requested *)
+  w_hists : (string * float array) list;   (* histogram samples *)
 }
 
 let status_str = function
@@ -440,8 +530,20 @@ let status_str = function
   | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
 
+type attribution = {
+  verdict : verdict;
+  shard : int option;  (* worker index, parallel fresh candidates only *)
+  cache_hit : bool;
+}
+
 let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
-    ~assume d candidate_list =
+    ?attributions ~assume d candidate_list =
+  let want_fates = attributions <> None in
+  let attribute cand verdict shard cache_hit =
+    match attributions with
+    | None -> ()
+    | Some tbl -> Hashtbl.replace tbl cand { verdict; shard; cache_hit }
+  in
   let sc =
     Option.map (fun c -> (c, Proof_cache.scope c ~design:d ~assume)) cache
   in
@@ -456,8 +558,11 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
           match Proof_cache.find c scope cand with
           | Some Proof_cache.Proved ->
               incr hits;
+              attribute cand (V_cached Proof_cache.Proved) None true;
               cached_proved := cand :: !cached_proved
-          | Some Proof_cache.Disproved -> incr hits
+          | Some Proof_cache.Disproved ->
+              incr hits;
+              attribute cand (V_cached Proof_cache.Disproved) None true
           | None ->
               incr misses;
               fresh := cand :: !fresh))
@@ -509,7 +614,11 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
       } )
   in
   let serial () =
-    let proved, st = prove ~options ?cex ~known ~assume d fresh in
+    let fates = if want_fates then Some (Hashtbl.create 64) else None in
+    let proved, st = prove ~options ?cex ~known ?fates ~assume d fresh in
+    (match fates with
+    | None -> ()
+    | Some f -> Hashtbl.iter (fun cand v -> attribute cand v None false) f);
     finish ~proved ~st ~workers:0 ~worker_failures:[] ~worker_times:[]
       ~shard_sizes:[] ~worker_seconds:0.
   in
@@ -556,13 +665,16 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                slow_worker_delay idx;
                let payload =
                  try
+                   let fates =
+                     if want_fates then Some (Hashtbl.create 64) else None
+                   in
                    let proved, st =
                      Obs.with_span ~cat:"worker"
                        (Printf.sprintf "worker-%d" idx)
                        (fun () ->
                          prove
                            ~options:(worker_options (List.length shard))
-                           ~known ~hypotheses ~assume d shard)
+                           ~known ~hypotheses ?fates ~assume d shard)
                    in
                    let tm1 = Unix.times () in
                    Ok
@@ -575,6 +687,12 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                          +. tm1.Unix.tms_stime -. tm0.Unix.tms_stime;
                        w_events = Obs.drain ();
                        w_counters = Obs.counters ();
+                       w_fates =
+                         (match fates with
+                         | None -> []
+                         | Some f ->
+                             Hashtbl.fold (fun c v acc -> (c, v) :: acc) f []);
+                       w_hists = Obs.histogram_samples ();
                      }
                  with e -> Error (Printexc.to_string e)
                in
@@ -668,14 +786,40 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
           results
       in
       (* fold worker telemetry into this process: spans appear under the
-         worker's own pid in the trace, counters into the global table *)
+         worker's own pid in the trace, counters into the global table,
+         histogram samples into the matching distributions *)
       List.iter
         (function
           | _, Ok r ->
               Obs.inject r.w_events;
-              Obs.merge_counters r.w_counters
+              Obs.merge_counters r.w_counters;
+              Obs.merge_histogram_samples r.w_hists
           | _, Error _ -> ())
         results;
+      (* provenance: each fresh candidate's fate, tagged with the shard
+         that decided it.  A lost worker's shard is dropped wholesale —
+         record that as the (honest) verdict for its candidates. *)
+      if want_fates then begin
+        List.iter
+          (function
+            | idx, Ok r ->
+                List.iter
+                  (fun (cand, v) -> attribute cand v (Some idx) false)
+                  r.w_fates
+            | _, Error _ -> ())
+          results;
+        let shard_arr = Array.of_list shards in
+        List.iter
+          (fun (idx, why) ->
+            if idx >= 0 && idx < Array.length shard_arr then
+              List.iter
+                (fun cand ->
+                  attribute cand
+                    (V_dropped ("worker lost: " ^ why))
+                    (Some idx) false)
+                shard_arr.(idx))
+          worker_failures
+      end;
       let surv_tbl = Hashtbl.create 64 in
       List.iter
         (function
@@ -689,10 +833,24 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
          superset of the serial fixpoint; the greatest fixpoint of a
          superset that still contains it is the same set, so this round
          restores exact agreement with the serial prover. *)
+      let join_fates = if want_fates then Some (Hashtbl.create 64) else None in
       let joined, jst =
         Obs.with_span ~cat:"prove" "join-round" (fun () ->
-            prove ~options ?cex ~known ~assume d survivors)
+            prove ~options ?cex ~known ?fates:join_fates ~assume d survivors)
       in
+      (* the join round has the final word on shard survivors; keep the
+         shard tag from the worker that carried the candidate there *)
+      (match (join_fates, attributions) with
+      | Some jf, Some tbl ->
+          Hashtbl.iter
+            (fun cand v ->
+              match Hashtbl.find_opt tbl cand with
+              | Some prev -> Hashtbl.replace tbl cand { prev with verdict = v }
+              | None ->
+                  Hashtbl.replace tbl cand
+                    { verdict = v; shard = None; cache_hit = false })
+            jf
+      | _ -> ());
       let sum f =
         List.fold_left
           (fun acc -> function _, Ok r -> acc + f r.w_stats | _ -> acc)

@@ -53,11 +53,47 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** {1 Per-candidate verdicts}
+
+    Fate of one candidate through the prover, for the provenance
+    layer.  Only a base-side SAT kill carries a counterexample: the
+    base case unrolls from reset, so its model is a concrete input
+    trace that replays in {!Netlist.Sim64} ({!Cex.replay}) and refutes
+    the candidate on real hardware states.  A step-side kill starts
+    from an unconstrained state and proves nothing about
+    reachability. *)
+type verdict =
+  | V_proved of { k : int }  (** survived mutual induction at depth [k] *)
+  | V_refuted of { frame : int; cex : Cex.t option }
+      (** violated at [frame] of the base case; [cex] is the replayable
+          refuting input trace from reset *)
+  | V_sim_killed
+      (** evicted by counterexample propagation (simulator replay of
+          another candidate's kill state) *)
+  | V_not_inductive  (** killed on the induction step side *)
+  | V_dropped of string
+      (** conservatively dropped without a refutation: an inconclusive
+          SAT call, an exhausted budget, a lost worker — the reason
+          string says which *)
+  | V_cached of Proof_cache.verdict  (** settled by the proof cache *)
+
+val verdict_label : verdict -> string
+(** Short stable tag ("proved", "refuted", ...) for reports. *)
+
+type attribution = {
+  verdict : verdict;
+  shard : int option;
+      (** worker index that decided it; [None] for cache hits, serial
+          runs and join-round-only candidates *)
+  cache_hit : bool;
+}
+
 val prove :
   ?options:options ->
   ?cex:Stimulus.t * int ->
   ?known:Candidate.t list ->
   ?hypotheses:Candidate.t list ->
+  ?fates:(Candidate.t, verdict) Hashtbl.t ->
   assume:Netlist.Design.net ->
   Netlist.Design.t ->
   Candidate.t list ->
@@ -83,13 +119,19 @@ val prove :
     candidate set assumes its own members: frames [0..k-1] of the step
     side, never the base side.  Survivors of a run with hypotheses are
     only proved relative to them — {!prove_parallel}'s join round
-    discharges that relativity. *)
+    discharges that relativity.
+
+    [fates], when given, is filled with one {!verdict} per candidate.
+    Fate tracking costs nothing on the proof path except counterexample
+    extraction at each base-side kill (one literal read per input per
+    frame, while the SAT model is live). *)
 
 val prove_parallel :
   ?options:options ->
   ?cex:Stimulus.t * int ->
   ?jobs:int ->
   ?cache:Proof_cache.t ->
+  ?attributions:(Candidate.t, attribution) Hashtbl.t ->
   assume:Netlist.Design.net ->
   Netlist.Design.t ->
   Candidate.t list ->
@@ -120,4 +162,13 @@ val prove_parallel :
     cleanly (no budget/deadline exhaustion, no failed workers); the
     caller is responsible for {!Proof_cache.flush}.  [jobs <= 1] (the
     default), a single shard, or a fully cache-resolved candidate list
-    short-circuit to the serial path with no forking. *)
+    short-circuit to the serial path with no forking.
+
+    [attributions], when given, receives one {!attribution} per input
+    candidate: cache hits as [V_cached], fresh candidates with the
+    verdict from the worker (or join round) that decided them tagged
+    with the shard index, and a lost worker's candidates as
+    [V_dropped].  Workers marshal their fates — including
+    counterexamples — back through the result pipe, and their
+    histogram samples (e.g. per-SAT-call latency) are merged into the
+    coordinator's {!Obs} distributions either way. *)

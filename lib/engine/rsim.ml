@@ -19,7 +19,8 @@ let expired deadline =
 
 (* Per-net accumulators: bits ever seen 1 / ever seen 0.  Per-eligible-
    cell accumulators: violation masks for a->b and b->a. *)
-let mine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus =
+let mine ?(config = default) ?(assume = D.net_true) ?deadline ?attribution d
+    stimulus =
   let sim = Netlist.Sim64.create d in
   let n_nets = D.num_nets d in
   let seen1 = Array.make n_nets 0L in
@@ -56,12 +57,22 @@ let mine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus =
      (They may still steer the state; that only widens behaviour, which
      is conservative for candidate mining.) *)
   let observed_lanes = ref 0 in
-  let observe mask =
+  (* Attribution (optional, for provenance): the run in which each
+     net's observed-value set last grew.  A surviving candidate is
+     attributed to the latest such run over its support nets — the
+     round that contributed its final piece of evidence. *)
+  let attributing = attribution <> None in
+  let net_round = Array.make (if attributing then n_nets else 0) 0 in
+  let observe run mask =
     if mask <> 0L then begin
       for n = 0 to n_nets - 1 do
         let v = Netlist.Sim64.read sim n in
-        seen1.(n) <- Int64.logor seen1.(n) (Int64.logand v mask);
-        seen0.(n) <- Int64.logor seen0.(n) (Int64.logand (Int64.lognot v) mask)
+        let s1 = Int64.logor seen1.(n) (Int64.logand v mask) in
+        let s0 = Int64.logor seen0.(n) (Int64.logand (Int64.lognot v) mask) in
+        if attributing && (s1 <> seen1.(n) || s0 <> seen0.(n)) then
+          net_round.(n) <- run;
+        seen1.(n) <- s1;
+        seen0.(n) <- s0
       done;
       Array.iteri
         (fun i (_, a, b) ->
@@ -78,7 +89,7 @@ let mine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus =
   in
   let simulated = ref 0 in
   (try
-     for _run = 1 to config.runs do
+     for run = 1 to config.runs do
        Netlist.Sim64.reset sim;
        for _cycle = 1 to config.cycles do
          if expired deadline then raise Exit;
@@ -90,7 +101,7 @@ let mine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus =
            inputs;
          List.iter (fun (n, v) -> Netlist.Sim64.set_input sim n v) driven;
          Netlist.Sim64.eval sim;
-         observe (Netlist.Sim64.read sim assume);
+         observe run (Netlist.Sim64.read sim assume);
          Netlist.Sim64.step sim;
          incr simulated
        done
@@ -127,10 +138,34 @@ let mine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus =
           implications := Candidate.Implies { cell; a = b; b = a } :: !implications
       end)
     eligible;
-    !consts @ !implications
+    let result = !consts @ !implications in
+    (match attribution with
+    | None -> ()
+    | Some r ->
+        let round_of = function
+          | Candidate.Const (n, _) -> net_round.(n)
+          | Candidate.Implies { a; b; _ } -> max net_round.(a) net_round.(b)
+        in
+        r := List.map (fun c -> (c, round_of c)) result);
+    result
   end
 
-let refine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus cands =
+type kill = {
+  k_run : int;
+  k_cycle : int;
+  k_lane : int;
+  k_cex : Cex.t option;
+}
+
+let lane_of_mask m =
+  let rec go m i =
+    if Int64.logand m 1L <> 0L then i
+    else go (Int64.shift_right_logical m 1) (i + 1)
+  in
+  go m 0
+
+let refine ?(config = default) ?(assume = D.net_true) ?deadline ?kills d
+    stimulus cands =
   let sim = Netlist.Sim64.create d in
   let rng = Random.State.make [| config.seed lxor 0x5EED |] in
   let inputs = D.inputs d in
@@ -143,11 +178,32 @@ let refine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus cands
          (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 30)
          (Int64.shift_left (Int64.of_int (Random.State.bits rng)) 60))
   in
+  (* Kill attribution (optional): keep the current run's input history
+     (one word per input per cycle) so a kill can be converted into a
+     single-lane replayable trace from reset — the refuting assignment,
+     captured where it was found. *)
+  let capturing = kills <> None in
+  let inputs_arr = Array.of_list (List.map snd inputs) in
+  let history = ref [] (* newest cycle first *) in
+  let cex_of_lane lane =
+    let frames =
+      List.rev_map
+        (fun words ->
+          Array.map
+            (fun w ->
+              Int64.logand (Int64.shift_right_logical w lane) 1L <> 0L)
+            words)
+        !history
+    in
+    { Cex.inputs = inputs_arr; frames = Array.of_list frames }
+  in
+  let killed = ref [] in
   let simulated = ref 0 in
   (try
-  for _run = 1 to config.runs do
+  for run = 1 to config.runs do
     Netlist.Sim64.reset sim;
-    for _cycle = 1 to config.cycles do
+    history := [];
+    for cycle = 1 to config.cycles do
       if expired deadline then raise Exit;
       incr simulated;
       let driven = stimulus.Stimulus.drive rng in
@@ -159,6 +215,9 @@ let refine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus cands
         inputs;
       List.iter (fun (n, v) -> Netlist.Sim64.set_input sim n v) driven;
       Netlist.Sim64.eval sim;
+      if capturing then
+        history :=
+          Array.map (fun n -> Netlist.Sim64.read sim n) inputs_arr :: !history;
       let mask = Netlist.Sim64.read sim assume in
       if mask <> 0L then
         Array.iteri
@@ -175,12 +234,27 @@ let refine ?(config = default) ?(assume = D.net_true) ?deadline d stimulus cands
                       (Int64.logand (Netlist.Sim64.read sim a)
                          (Int64.lognot (Netlist.Sim64.read sim b)))
               in
-              if viol <> 0L then alive.(i) <- false)
+              if viol <> 0L then begin
+                alive.(i) <- false;
+                if capturing then begin
+                  let lane = lane_of_mask viol in
+                  killed :=
+                    ( cand,
+                      {
+                        k_run = run;
+                        k_cycle = cycle;
+                        k_lane = lane;
+                        k_cex = Some (cex_of_lane lane);
+                      } )
+                    :: !killed
+                end
+              end)
           cands;
       Netlist.Sim64.step sim
     done
   done
   with Exit -> ());
+  (match kills with None -> () | Some r -> r := List.rev !killed);
   Obs.add_int "rsim.cycles" !simulated;
   let out = ref [] in
   for i = Array.length cands - 1 downto 0 do

@@ -19,6 +19,7 @@ val mine :
   ?config:config ->
   ?assume:Netlist.Design.net ->
   ?deadline:float ->
+  ?attribution:(Candidate.t * int) list ref ->
   Netlist.Design.t ->
   Stimulus.t ->
   Candidate.t list
@@ -32,12 +33,29 @@ val mine :
     the simulation: a shorter observation window only produces more
     false candidates for the prover to kill, never unsoundness.  If the
     deadline expires before any cycle was observed, the result is the
-    empty candidate list rather than [Failure]. *)
+    empty candidate list rather than [Failure].
+
+    [attribution], when given, is filled with one [(candidate, round)]
+    pair per returned candidate: the 1-based simulation run that
+    contributed the last new observation on the candidate's support
+    nets — the mining round the provenance layer credits it to.  Costs
+    one extra comparison per net per observed cycle; free when
+    omitted. *)
+
+type kill = {
+  k_run : int;    (** 1-based run the violation occurred in *)
+  k_cycle : int;  (** 1-based cycle within that run *)
+  k_lane : int;   (** simulation lane that violated *)
+  k_cex : Cex.t option;
+      (** the violating lane's input trace from reset up to and
+          including [k_cycle], replayable via {!Cex.replay} *)
+}
 
 val refine :
   ?config:config ->
   ?assume:Netlist.Design.net ->
   ?deadline:float ->
+  ?kills:(Candidate.t * kill) list ref ->
   Netlist.Design.t ->
   Stimulus.t ->
   Candidate.t list ->
@@ -45,4 +63,9 @@ val refine :
 (** Much cheaper per cycle than {!mine} (it only watches the candidate
     nets), so it can run an order of magnitude more cycles to weed out
     false candidates before the SAT stage — every candidate killed here
-    saves a counterexample query. *)
+    saves a counterexample query.
+
+    [kills], when given, receives one entry per killed candidate with
+    the refuting lane extracted as a replayable {!Cex.t}.  Capturing
+    records the per-cycle input words of the current run, so it costs
+    one array copy per cycle; free when omitted. *)

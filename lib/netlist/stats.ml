@@ -33,6 +33,77 @@ let gate_count t = total_cells t
 let delta_pct ~baseline v =
   if baseline = 0.0 then 0.0 else 100.0 *. (baseline -. v) /. baseline
 
+(* ---------------- hierarchical breakdowns --------------------------- *)
+
+let kind_class = function
+  | Cell.Const0 | Cell.Const1 -> "tie"
+  | Cell.Buf -> "buffer"
+  | Cell.Dff -> "sequential"
+  | Cell.Inv | Cell.And2 | Cell.Or2 | Cell.Nand2 | Cell.Nor2 | Cell.Xor2
+  | Cell.Xnor2 | Cell.And3 | Cell.Or3 | Cell.Nand3 | Cell.Nor3 | Cell.And4
+  | Cell.Or4 | Cell.Mux2 | Cell.Aoi21 | Cell.Oai21 ->
+      "combinational"
+
+let classes = [ "combinational"; "sequential"; "buffer"; "tie" ]
+
+type group = {
+  label : string;
+  count : int;
+  area : float;
+  kinds : (Cell.kind * int * float) list;
+}
+
+let count_of t k =
+  match List.assoc_opt k t.by_kind with Some c -> c | None -> 0
+
+let groups t =
+  List.filter_map
+    (fun label ->
+      let kinds =
+        List.filter_map
+          (fun (k, c) ->
+            if kind_class k = label then
+              Some (k, c, float_of_int c *. Cell.area k)
+            else None)
+          t.by_kind
+        (* declaration order of {!Cell.kind}, for deterministic output *)
+        |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      in
+      if kinds = [] then None
+      else
+        Some
+          {
+            label;
+            count = List.fold_left (fun acc (_, c, _) -> acc + c) 0 kinds;
+            area = List.fold_left (fun acc (_, _, a) -> acc +. a) 0. kinds;
+            kinds;
+          })
+    classes
+
+type delta_row = {
+  kind : Cell.kind;
+  count_before : int;
+  count_after : int;
+  area_before : float;
+  area_after : float;
+}
+
+let delta_by_kind ~before ~after =
+  List.filter_map
+    (fun k ->
+      let cb = count_of before k and ca = count_of after k in
+      if cb = 0 && ca = 0 then None
+      else
+        Some
+          {
+            kind = k;
+            count_before = cb;
+            count_after = ca;
+            area_before = float_of_int cb *. Cell.area k;
+            area_after = float_of_int ca *. Cell.area k;
+          })
+    Cell.all
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>gates=%d buffers=%d flops=%d area=%.1f um^2@,"
     t.gates t.buffers t.flops t.area;

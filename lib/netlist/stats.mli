@@ -23,3 +23,42 @@ val pp : Format.formatter -> t -> unit
 val delta_pct : baseline:float -> float -> float
 (** [delta_pct ~baseline v] is the percent reduction of [v] versus
     [baseline]; positive when [v] is smaller. *)
+
+(** {1 Hierarchical breakdowns}
+
+    The run-report layer wants stats one level deeper than the flat
+    totals above: cells grouped into classes (combinational /
+    sequential / buffer / tie), each class broken down by cell kind
+    with its Liberty area contribution, and a per-kind before/after
+    delta table.  All orderings are deterministic — kinds sort in
+    {!Cell.kind} declaration order — so reports built from these are
+    byte-stable across runs. *)
+
+val kind_class : Cell.kind -> string
+(** ["combinational"], ["sequential"], ["buffer"] or ["tie"]. *)
+
+val count_of : t -> Cell.kind -> int
+(** Cells of that kind; [0] for a kind absent from the design. *)
+
+type group = {
+  label : string;  (** class name, see {!kind_class} *)
+  count : int;
+  area : float;    (** um^2, count x per-kind Liberty area *)
+  kinds : (Cell.kind * int * float) list;  (** (kind, count, area) *)
+}
+
+val groups : t -> group list
+(** Non-empty classes in the fixed order combinational, sequential,
+    buffer, tie; within a class, kinds in declaration order. *)
+
+type delta_row = {
+  kind : Cell.kind;
+  count_before : int;
+  count_after : int;
+  area_before : float;
+  area_after : float;
+}
+
+val delta_by_kind : before:t -> after:t -> delta_row list
+(** One row per kind present in either design, in {!Cell.kind}
+    declaration order. *)

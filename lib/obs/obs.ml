@@ -96,9 +96,12 @@ let enable () = enabled := true
 let disable () = enabled := false
 let is_enabled () = !enabled
 
+let reset_hists = ref (fun () -> ())
+
 let reset () =
   events := [];
   Hashtbl.reset tbl;
+  !reset_hists ();
   cur_pid := Unix.getpid ()
 
 (* ---------------- counters ------------------------------------------ *)
@@ -123,6 +126,101 @@ let counters_delta ~since =
          if d <> 0. then Some (k, d) else None)
 
 let merge_counters l = List.iter (fun (k, v) -> add k v) l
+
+(* ---------------- histograms ---------------------------------------- *)
+
+(* Named sample distributions (per-SAT-call latency, per-run simulation
+   time, ...).  Always on, like counters: one dynamic-array push per
+   observation.  Summaries (p50/p95/...) are computed on demand by
+   sorting a copy — observation stays O(1), reporting pays the sort.
+   Past [hist_cap] samples, new observations overwrite a slot chosen by
+   a deterministic LCG: a bounded-memory reservoir that keeps the
+   summary representative without making two identical runs diverge. *)
+
+let hist_cap = 65_536
+
+type hist_state = {
+  mutable samples : float array;
+  mutable n : int;        (* filled slots, <= Array.length samples *)
+  mutable total : int;    (* observations ever, for the reservoir *)
+  mutable lcg : int;
+}
+
+let hists : (string, hist_state) Hashtbl.t = Hashtbl.create 16
+
+let observe name v =
+  let h =
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+        let h = { samples = Array.make 64 0.; n = 0; total = 0; lcg = 0x5EED } in
+        Hashtbl.replace hists name h;
+        h
+  in
+  h.total <- h.total + 1;
+  if h.n < hist_cap then begin
+    if h.n = Array.length h.samples then begin
+      let bigger = Array.make (min hist_cap (2 * h.n)) 0. in
+      Array.blit h.samples 0 bigger 0 h.n;
+      h.samples <- bigger
+    end;
+    h.samples.(h.n) <- v;
+    h.n <- h.n + 1
+  end
+  else begin
+    h.lcg <- ((h.lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    h.samples.(h.lcg mod hist_cap) <- v
+  end
+
+type histogram = {
+  count : int;    (* observations ever, not just retained samples *)
+  sum : float;    (* over retained samples *)
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+}
+
+let summarize h =
+  let s = Array.sub h.samples 0 h.n in
+  Array.sort compare s;
+  let pct p =
+    (* nearest-rank on the retained sample set *)
+    s.(min (h.n - 1) (int_of_float (ceil (p *. float_of_int h.n)) - 1 |> max 0))
+  in
+  {
+    count = h.total;
+    sum = Array.fold_left ( +. ) 0. s;
+    min_v = s.(0);
+    max_v = s.(h.n - 1);
+    p50 = pct 0.50;
+    p90 = pct 0.90;
+    p95 = pct 0.95;
+  }
+
+let histogram name =
+  match Hashtbl.find_opt hists name with
+  | Some h when h.n > 0 -> Some (summarize h)
+  | Some _ | None -> None
+
+let histograms () =
+  Hashtbl.fold
+    (fun k h acc -> if h.n > 0 then (k, summarize h) :: acc else acc)
+    hists []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histogram_samples () =
+  Hashtbl.fold
+    (fun k h acc ->
+      if h.n > 0 then (k, Array.sub h.samples 0 h.n) :: acc else acc)
+    hists []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_histogram_samples l =
+  List.iter (fun (name, s) -> Array.iter (observe name) s) l
+
+let () = reset_hists := fun () -> Hashtbl.reset hists
 
 (* ---------------- spans --------------------------------------------- *)
 

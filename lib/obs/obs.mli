@@ -65,6 +65,42 @@ val merge_counters : (string * float) list -> unit
 (** Accumulate another process' counter deltas (e.g. a worker's) into
     this process' counters. *)
 
+(** {1 Histograms}
+
+    Named sample distributions, always on like counters: {!observe} is
+    one dynamic-array push.  Percentiles are computed on demand
+    (nearest-rank over the retained samples).  Each distribution
+    retains at most 65 536 samples; past that, new observations
+    overwrite deterministically-chosen slots (a fixed-seed reservoir),
+    so [count] keeps counting every observation while memory stays
+    bounded.  {!reset} clears distributions along with counters. *)
+
+val observe : string -> float -> unit
+(** [observe name v] records one sample into the named distribution. *)
+
+type histogram = {
+  count : int;    (** observations ever, including overwritten ones *)
+  sum : float;    (** over the retained samples *)
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+}
+
+val histogram : string -> histogram option
+(** [None] if the distribution has no samples. *)
+
+val histograms : unit -> (string * histogram) list
+(** All non-empty distributions, sorted by name. *)
+
+val histogram_samples : unit -> (string * float array) list
+(** Raw retained samples, sorted by name — how a forked worker ships
+    its distributions back to the coordinator. *)
+
+val merge_histogram_samples : (string * float array) list -> unit
+(** Re-observe another process' samples into this process. *)
+
 (** {1 Spans and events} *)
 
 type arg = Int of int | Float of float | Str of string | Bool of bool

@@ -1,0 +1,20 @@
+let schema_version = 1
+
+let detect_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null" in
+    let line = try Some (input_line ic) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some l when String.trim l <> "" -> String.trim l
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let cached = ref None
+
+let git_commit () =
+  match !cached with
+  | Some c -> c
+  | None ->
+      let c = detect_commit () in
+      cached := Some c;
+      c

@@ -1,0 +1,11 @@
+(** Report/bench metadata stamps. *)
+
+val schema_version : int
+(** Version of both the [REPORT_*.json] and [BENCH_*.json] schemas;
+    bump on any field rename or semantic change. *)
+
+val git_commit : unit -> string
+(** Short hash of the checked-out commit, or ["unknown"] outside a git
+    checkout.  Cached after the first call.  Never goes into the
+    deterministic report JSON — only into bench output and the
+    markdown footer. *)

@@ -1,0 +1,26 @@
+(** Report generation from a {!Provenance} database.
+
+    Two renderings of the same data:
+
+    - {!json}: the machine-readable [REPORT_<target>.json].  Schema-
+      versioned ({!Meta.schema_version}) and fully deterministic — it
+      contains no wall-clock timings and no commit hash, all lists are
+      emitted in stable orders, and waveform paths are reduced to
+      their basenames — so two runs with the same seed produce
+      byte-identical files (the golden-test property).
+    - {!markdown}: the human report, reproducing the paper's table
+      shape (candidates → proved → rewired → removed → area delta per
+      stage) plus per-kind area breakdowns, the refuted-candidate
+      waveform index, and the per-edit justification table.  Timings,
+      histograms and the commit stamp are appended when provided —
+      the report is deterministic modulo those sections. *)
+
+val json : ?target:string -> Provenance.t -> string
+
+val markdown :
+  ?target:string ->
+  ?timings:(string * float) list ->
+  ?histograms:(string * Obs.histogram) list ->
+  ?commit:string ->
+  Provenance.t ->
+  string

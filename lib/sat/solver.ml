@@ -610,7 +610,9 @@ let solve_body ?(assumptions = []) ?(conflict_budget = -1) ?deadline s =
 
 let solve ?assumptions ?conflict_budget ?deadline s =
   let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
+  let t0 = Obs.Clock.now_s () in
   let r = solve_body ?assumptions ?conflict_budget ?deadline s in
+  Obs.observe "sat.call_s" (Obs.Clock.now_s () -. t0);
   Obs.add_int "sat.calls" 1;
   Obs.add_int "sat.conflicts" (s.conflicts - c0);
   Obs.add_int "sat.decisions" (s.decisions - d0);

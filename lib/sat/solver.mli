@@ -39,7 +39,9 @@ val solve :
 
     Every call also feeds the [sat.calls] / [sat.conflicts] /
     [sat.decisions] / [sat.propagations] counters in {!Obs}, so any
-    enclosing trace span carries the SAT work it caused. *)
+    enclosing trace span carries the SAT work it caused, and records
+    its wall-clock latency into the [sat.call_s] {!Obs} distribution
+    (p50/p95 of it surface in bench JSON and run reports). *)
 
 val value : t -> int -> bool
 (** Model value of a variable after {!solve} returned [Sat].

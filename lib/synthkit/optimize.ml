@@ -2,6 +2,7 @@ type report = {
   iterations : int;
   before : Netlist.Stats.t;
   after : Netlist.Stats.t;
+  removed_by_kind : Netlist.Stats.delta_row list;
 }
 
 let run ?(max_iterations = 16) d =
@@ -15,7 +16,14 @@ let run ?(max_iterations = 16) d =
     end
   in
   let d', iterations = go d 0 in
-  (d', { iterations; before; after = Netlist.Stats.of_design d' })
+  let after = Netlist.Stats.of_design d' in
+  ( d',
+    {
+      iterations;
+      before;
+      after;
+      removed_by_kind = Netlist.Stats.delta_by_kind ~before ~after;
+    } )
 
 let pp_report fmt r =
   Format.fprintf fmt "%d iterations: %d -> %d cells, %.1f -> %.1f um^2"

@@ -8,6 +8,9 @@ type report = {
   iterations : int;
   before : Netlist.Stats.t;
   after : Netlist.Stats.t;
+  removed_by_kind : Netlist.Stats.delta_row list;
+      (** per-kind before/after rows ({!Netlist.Stats.delta_by_kind}),
+          the run report's "what resynthesis removed" breakdown *)
 }
 
 val run : ?max_iterations:int -> Netlist.Design.t -> Netlist.Design.t * report

@@ -468,9 +468,58 @@ let test_pdat_trace_env_var () =
       | _ -> Alcotest.fail "jsonl line is not an object")
     lines
 
+(* --- histograms --------------------------------------------------------- *)
+
+let test_histogram_percentiles () =
+  Obs.reset ();
+  (* 1..100 in a scrambled order: percentiles must not depend on
+     insertion order *)
+  let xs = List.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1)) in
+  List.iter (Obs.observe "t.lat") xs;
+  match Obs.histogram "t.lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 100 h.Obs.count;
+      Alcotest.(check (float 1e-9)) "min" 1.0 h.Obs.min_v;
+      Alcotest.(check (float 1e-9)) "max" 100.0 h.Obs.max_v;
+      Alcotest.(check (float 1e-9)) "p50" 50.0 h.Obs.p50;
+      Alcotest.(check (float 1e-9)) "p95" 95.0 h.Obs.p95
+
+let test_histogram_empty () =
+  Obs.reset ();
+  Alcotest.(check bool) "no samples, no histogram" true
+    (Obs.histogram "never.observed" = None);
+  Alcotest.(check (list string)) "no distributions" []
+    (List.map fst (Obs.histograms ()))
+
+let test_histogram_merge () =
+  Obs.reset ();
+  Obs.observe "m.x" 1.0;
+  Obs.observe "m.x" 3.0;
+  let shipped = Obs.histogram_samples () in
+  Obs.reset ();
+  Obs.observe "m.x" 2.0;
+  Obs.merge_histogram_samples shipped;
+  (match Obs.histogram "m.x" with
+  | Some h ->
+      Alcotest.(check int) "merged count" 3 h.Obs.count;
+      Alcotest.(check (float 1e-9)) "merged p50" 2.0 h.Obs.p50
+  | None -> Alcotest.fail "merged histogram missing");
+  Obs.reset ();
+  Alcotest.(check bool) "reset clears distributions" true
+    (Obs.histogram "m.x" = None)
+
 let () =
   Alcotest.run "obs"
     [
+      ( "histograms",
+        [
+          Alcotest.test_case "percentiles over scrambled input" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "empty distributions" `Quick test_histogram_empty;
+          Alcotest.test_case "worker sample merge + reset" `Quick
+            test_histogram_merge;
+        ] );
       ( "obs",
         [
           Alcotest.test_case "monotonic clock" `Quick test_clock;

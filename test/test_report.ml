@@ -1,0 +1,228 @@
+(* Tests for the provenance & run-report layer: Netlist.Stats
+   hierarchical breakdowns, counterexample capture/replay, per-edit
+   invariant attribution, and the determinism of the rendered report
+   (the golden property: same seed, byte-identical JSON). *)
+
+module D = Netlist.Design
+module C = Netlist.Cell
+module Stats = Netlist.Stats
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Stats breakdowns --------------------------------------------------- *)
+
+let test_stats_empty_design () =
+  (* a fresh design holds only the two rail tie cells *)
+  let s = Stats.of_design (D.create "empty") in
+  check_int "no logic" 0 (Stats.gate_count s);
+  (match Stats.groups s with
+  | [ g ] ->
+      Alcotest.(check string) "only the tie group" "tie" g.Stats.label;
+      check_int "both rails" 2 g.Stats.count
+  | gs -> Alcotest.failf "expected one group, got %d" (List.length gs));
+  check_int "absent kind counts zero" 0 (Stats.count_of s C.And2);
+  check "self-delta changes nothing" true
+    (List.for_all
+       (fun r -> r.Stats.count_before = r.Stats.count_after)
+       (Stats.delta_by_kind ~before:s ~after:s))
+
+let small_design () =
+  let d = D.create "small" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let x = D.add_cell d C.And2 [| a; b |] in
+  let y = D.add_cell d C.And2 [| x; b |] in
+  let z = D.add_cell d C.Inv [| y |] in
+  let q = D.add_dff d ~d:z () in
+  D.add_output d "q" q;
+  d
+
+let test_stats_groups () =
+  let s = Stats.of_design (small_design ()) in
+  let gs = Stats.groups s in
+  check "classes in fixed order" true
+    (List.map (fun g -> g.Stats.label) gs
+    = [ "combinational"; "sequential"; "tie" ]);
+  let comb = List.hd gs in
+  check_int "two and2 + one inv" 3 comb.Stats.count;
+  check "kinds in declaration order, with counts" true
+    (List.map (fun (k, n, _) -> (k, n)) comb.Stats.kinds
+    = [ (C.Inv, 1); (C.And2, 2) ]);
+  (* group areas recompose the flat total exactly *)
+  let total = List.fold_left (fun acc g -> acc +. g.Stats.area) 0. gs in
+  Alcotest.(check (float 1e-9)) "areas sum to the total" s.Stats.area total;
+  check_int "count_of known kind" 2 (Stats.count_of s C.And2);
+  check_int "count_of kind not in design" 0 (Stats.count_of s C.Nor2)
+
+let test_stats_delta_arithmetic () =
+  let before = Stats.of_design (small_design ()) in
+  let d = D.create "after" in
+  let a = D.add_input d "a" in
+  let x = D.add_cell d C.And2 [| a; a |] in
+  D.add_output d "x" x;
+  let after = Stats.of_design d in
+  let rows = Stats.delta_by_kind ~before ~after in
+  check "rows follow Cell.all declaration order" true
+    (List.map (fun r -> r.Stats.kind) rows
+    = List.filter
+        (fun k -> List.exists (fun r -> r.Stats.kind = k) rows)
+        C.all);
+  let and2 = List.find (fun r -> r.Stats.kind = C.And2) rows in
+  check_int "and2 before" 2 and2.Stats.count_before;
+  check_int "and2 after" 1 and2.Stats.count_after;
+  Alcotest.(check (float 1e-9))
+    "and2 area scales with count" (2. *. C.area C.And2)
+    and2.Stats.area_before;
+  let dff = List.find (fun r -> r.Stats.kind = C.Dff) rows in
+  check_int "dff fully removed" 0 dff.Stats.count_after;
+  Alcotest.(check (float 1e-9)) "removed kind has zero area" 0.
+    dff.Stats.area_after;
+  check "kind absent on both sides has no row" true
+    (not (List.exists (fun r -> r.Stats.kind = C.Nor2) rows))
+
+(* --- counterexample capture and replay ---------------------------------- *)
+
+(* q latches a free input: [q == 0] survives mining for a cycle but a
+   lane with a=1 kills it, and the kill must carry a replayable trace. *)
+let test_refine_kill_carries_cex () =
+  let d = D.create "latch" in
+  let a = D.add_input d "a" in
+  let q = D.add_dff d ~d:a () in
+  D.add_output d "q" q;
+  let cand = Engine.Candidate.Const (q, false) in
+  let kills = ref [] in
+  let survivors =
+    Engine.Rsim.refine
+      ~config:{ Engine.Rsim.default with Engine.Rsim.cycles = 32; runs = 2 }
+      ~kills ~assume:D.net_true d
+      Engine.Stimulus.{ drive = (fun _ -> []) }
+      [ cand ]
+  in
+  check "candidate killed" true (survivors = []);
+  match !kills with
+  | [ (c, k) ] -> (
+      check "right candidate" true (Engine.Candidate.equal c cand);
+      check "lane in range" true (k.Engine.Rsim.k_lane >= 0 && k.Engine.Rsim.k_lane < 64);
+      match k.Engine.Rsim.k_cex with
+      | None -> Alcotest.fail "kill captured no counterexample"
+      | Some cex ->
+          check "replay violates the candidate" true
+            (Engine.Cex.violates d cex cand);
+          let path = Filename.temp_file "pdat_cex" ".vcd" in
+          Engine.Cex.dump
+            ~extra:(Engine.Cex.nets_of_candidate d cand)
+            ~path d cex;
+          let st = Unix.stat path in
+          check "waveform written" true (st.Unix.st_size > 0);
+          Sys.remove path)
+  | l -> Alcotest.failf "expected one kill, got %d" (List.length l)
+
+(* --- provenance through the pipeline ------------------------------------ *)
+
+(* the frozen-accumulator design and en=0 environment from test_pdat:
+   small, fully deterministic, and guaranteed to produce edits *)
+let acc_design () =
+  let c = Hdl.Ctx.create "acc" in
+  let en = Hdl.Ctx.input c "en" 1 in
+  let data = Hdl.Ctx.input c "data" 8 in
+  let acc = Hdl.Reg.reg_en c "acc" ~en (Hdl.Ops.( +: ) data data) in
+  Hdl.Ctx.output c "acc" acc;
+  Hdl.Ctx.output c "pass" data;
+  Hdl.Ctx.finish c
+
+let en0_env d =
+  let model = D.copy d in
+  let en_net = Option.get (D.find_input model "en") in
+  let inv = D.add_cell model C.Inv [| en_net |] in
+  {
+    Pdat.Environment.model;
+    assume = inv;
+    stimulus =
+      Engine.Stimulus.
+        { drive = (fun _ -> [ (Option.get (D.find_input d "en"), 0L) ]) };
+    cuts = [||];
+    description = "en=0";
+  }
+
+let run_with_provenance () =
+  let d = acc_design () in
+  let prov = Report.Provenance.create () in
+  let result =
+    Pdat.Pipeline.run ~lint:Analysis.Lint.Strict ~provenance:prov ~design:d
+      ~env:(en0_env d) ()
+  in
+  (prov, result)
+
+let test_edits_cite_proved_invariants () =
+  let prov, _ = run_with_provenance () in
+  let edits = Report.Provenance.edits prov in
+  check "pipeline produced edits" true (edits <> []);
+  let proved = Report.Provenance.proved_ids prov in
+  List.iter
+    (fun (er : Report.Provenance.edit_record) ->
+      check "edit cites at least one invariant" true
+        (er.Report.Provenance.e_invariants <> []);
+      List.iter
+        (fun id -> check "citation is a proved invariant" true
+            (List.mem id proved))
+        er.Report.Provenance.e_invariants)
+    edits;
+  check "every dead cell is attributed to an edit" true
+    (Report.Provenance.unattributed_dead prov = [])
+
+let test_area_matches_recomputed_stats () =
+  let prov, result = run_with_provenance () in
+  match Report.Provenance.designs prov with
+  | None -> Alcotest.fail "no design snapshots recorded"
+  | Some snap ->
+      let recomputed = Stats.of_design snap.Report.Provenance.reduced in
+      let after = result.Pdat.Pipeline.report.Pdat.Pipeline.after in
+      Alcotest.(check (float 0.)) "area identical" after.Stats.area
+        recomputed.Stats.area;
+      check_int "gate count identical" (Stats.gate_count after)
+        (Stats.gate_count recomputed)
+
+let test_report_json_golden () =
+  let prov1, _ = run_with_provenance () in
+  let prov2, _ = run_with_provenance () in
+  let j1 = Report.Render.json ~target:"acc" prov1 in
+  let j2 = Report.Render.json ~target:"acc" prov2 in
+  Alcotest.(check string) "byte-identical across runs" j1 j2;
+  check "schema-versioned" true
+    (String.length j1 > 20
+    && String.sub j1 0 19 = "{\"schema_version\":1");
+  (* the markdown renders without raising and shows the funnel *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let md = Report.Render.markdown ~target:"acc" prov1 in
+  check "markdown has the funnel table" true (contains md "candidates")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "empty design" `Quick test_stats_empty_design;
+          Alcotest.test_case "class groups" `Quick test_stats_groups;
+          Alcotest.test_case "before/after delta arithmetic" `Quick
+            test_stats_delta_arithmetic;
+        ] );
+      ( "cex",
+        [
+          Alcotest.test_case "refine kill carries a replayable trace" `Quick
+            test_refine_kill_carries_cex;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "edits cite proved invariants" `Quick
+            test_edits_cite_proved_invariants;
+          Alcotest.test_case "area matches recomputed stats" `Quick
+            test_area_matches_recomputed_stats;
+          Alcotest.test_case "report JSON golden (determinism)" `Quick
+            test_report_json_golden;
+        ] );
+    ]
