@@ -165,7 +165,7 @@ let run_ablation () =
         Pdat.Pipeline.run ~rsim
           ~induction:
             { Engine.Induction.k; call_conflict_budget = 30_000;
-              total_conflict_budget = 2_000_000; time_budget_s = -1. }
+              total_conflict_budget = 2_000_000; time_budget_s = infinity }
           ~design:d ~env:(env ()) ()
       in
       Format.printf "%-28s %a@." label Pdat.Pipeline.pp_report
@@ -270,7 +270,7 @@ let run_parallel () =
   Format.printf "%d candidates after refinement@." (List.length candidates);
   let opts =
     { Engine.Induction.k = 1; call_conflict_budget = 30_000;
-      total_conflict_budget = -1; time_budget_s = -1. }
+      total_conflict_budget = -1; time_budget_s = infinity }
   in
   let timed f =
     let t0 = Obs.Clock.now_s () in
@@ -370,12 +370,17 @@ let run_parallel () =
           \"jobs_effective\": %d,\n  \"serial_fallback\": %b,\n  \
           \"t_serial_s\": %.3f,\n  \"t_parallel_s\": %.3f,\n  \
           \"speedup\": %.3f,\n  \"workers\": %d,\n  \"workers_failed\": %d,\n  \
+          \"worker_retries\": %d,\n  \"worker_fallbacks\": %d,\n  \
+          \"resumed_shards\": %d,\n  \
           \"shard_sizes\": [%s],\n  \"worker_times\": [%s],\n  \
           \"cold_sat_calls\": %d,\n  \"warm_sat_calls\": %d,\n  \
           \"cache_skipped_pct\": %.1f\n"
          (List.length candidates) (List.length p1) identical cores
          jobs_requested jobs serial_fallback t1 t4 speedup
          s4.Engine.Induction.workers s4.Engine.Induction.workers_failed
+         s4.Engine.Induction.worker_retries
+         s4.Engine.Induction.worker_fallbacks
+         s4.Engine.Induction.resumed_shards
          (String.concat ", "
             (List.map string_of_int s4.Engine.Induction.shard_sizes))
          (String.concat ", "

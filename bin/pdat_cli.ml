@@ -10,6 +10,8 @@
                                provenance-tracked run + REPORT_<core>.{json,md}
      lint [FILE.v ...] [--core C ...]
                                static netlist lint; exit 1 on errors
+     chaos --core C --subset S [--dir D]
+                               crash-safety matrix; exit 1 on any failure
      table1 | table2           paper tables *)
 
 open Cmdliner
@@ -35,6 +37,31 @@ let cache_dir_arg =
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~doc ~docv:"DIR")
 
 let make_cache = Option.map (fun d -> Engine.Proof_cache.create ~dir:d ())
+
+let retries_arg =
+  let doc =
+    "Per-shard retry budget of the supervised proof workers (defaults to \
+     \\$(b,PDAT_RETRIES) or 2).  A shard that exhausts its retries is \
+     proved serially in-process, so no shard is ever dropped."
+  in
+  Arg.(value & opt (some int) None & info [ "retries" ] ~doc ~docv:"N")
+
+let run_dir_arg =
+  let doc =
+    "Journal the run: an append-only, checksummed $(b,journal.jsonl) in \
+     $(docv) records stage completions and per-shard proof checkpoints, \
+     making the run resumable after a crash (see $(b,--resume))."
+  in
+  Arg.(value & opt (some string) None & info [ "run-dir" ] ~doc ~docv:"DIR")
+
+let resume_flag =
+  let doc =
+    "Resume from the journal in $(b,--run-dir): completed stages and proof \
+     shards are replayed instead of recomputed; a torn tail from a crash \
+     is truncated.  Fails if the journal belongs to a different \
+     netlist/environment."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
 
 (* ---------------- list ---------------------------------------------- *)
 
@@ -218,9 +245,13 @@ let reduce_cmd =
     Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
   in
   let run fast jobs cache_dir core subset_name port out validate time_budget
-      lint inject_kind trace =
+      lint inject_kind trace run_dir resume retries =
     if inject_kind <> None && not validate then begin
       Format.eprintf "--inject requires --validate to mean anything@.";
+      exit 1
+    end;
+    if resume && run_dir = None then begin
+      Format.eprintf "--resume needs --run-dir to locate the journal@.";
       exit 1
     end;
     let design, cut_nets = build_core ~fast core in
@@ -232,7 +263,8 @@ let reduce_cmd =
       match
         Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
           ?time_budget ~lint ?inject
-          ?trace:(Option.map Obs.sink_of_path trace) ~design ~env ()
+          ?trace:(Option.map Obs.sink_of_path trace) ?run_dir ~resume
+          ?retries ~design ~env ()
       with
       | r -> r
       | exception Pdat.Pipeline.Rejected diags ->
@@ -240,6 +272,9 @@ let reduce_cmd =
           List.iter
             (fun d -> Format.eprintf "  %s@." (Analysis.Diag.to_string d))
             diags;
+          exit 1
+      | exception Pdat.Journal.Mismatch reason ->
+          Format.eprintf "cannot resume: %s@." reason;
           exit 1
     in
     Format.printf "%a@." Pdat.Pipeline.pp_report result.Pdat.Pipeline.report;
@@ -264,7 +299,8 @@ let reduce_cmd =
        ~doc:"Reduce a core for an ISA subset and optionally export Verilog")
     Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ core_arg $ subset_arg
           $ port_flag $ out_arg $ validate_flag $ time_budget_arg
-          $ lint_gate_arg $ inject_arg $ trace_arg)
+          $ lint_gate_arg $ inject_arg $ trace_arg $ run_dir_arg
+          $ resume_flag $ retries_arg)
 
 (* ---------------- lint ------------------------------------------------ *)
 
@@ -377,7 +413,11 @@ let report_cmd =
     Arg.(value & opt string "." & info [ "out-dir" ] ~doc ~docv:"DIR")
   in
   let run fast jobs cache_dir core subset_name port validate time_budget
-      dump_cex out_dir =
+      dump_cex out_dir run_dir resume retries =
+    if resume && run_dir = None then begin
+      Format.eprintf "--resume needs --run-dir to locate the journal@.";
+      exit 1
+    end;
     let design, cut_nets = build_core ~fast core in
     let env = make_env ~port core subset_name design cut_nets in
     let prov = Report.Provenance.create () in
@@ -385,7 +425,7 @@ let report_cmd =
       match
         Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
           ?time_budget ~lint:Analysis.Lint.Warn ~provenance:prov ?dump_cex
-          ~design ~env ()
+          ?run_dir ~resume ?retries ~design ~env ()
       with
       | r -> r
       | exception Pdat.Pipeline.Rejected diags ->
@@ -394,16 +434,31 @@ let report_cmd =
             (fun d -> Format.eprintf "  %s@." (Analysis.Diag.to_string d))
             diags;
           exit 1
+      | exception Pdat.Journal.Mismatch reason ->
+          Format.eprintf "cannot resume: %s@." reason;
+          exit 1
     in
     let target = core_label core in
     (try Unix.mkdir out_dir 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-    let json = Report.Render.json ~target prov in
+    let resume_prov =
+      Option.map
+        (fun ri ->
+          {
+            Report.Render.rs_journal = ri.Pdat.Pipeline.journal_path;
+            rs_resumed = ri.Pdat.Pipeline.resumed;
+            rs_stages = ri.Pdat.Pipeline.resumed_stages;
+            rs_shards = ri.Pdat.Pipeline.resumed_shards;
+            rs_dropped_lines = ri.Pdat.Pipeline.journal_dropped_lines;
+          })
+        result.Pdat.Pipeline.report.Pdat.Pipeline.resume
+    in
+    let json = Report.Render.json ~target ?resume:resume_prov prov in
     let md =
       Report.Render.markdown ~target
         ~timings:result.Pdat.Pipeline.report.Pdat.Pipeline.stage_seconds
         ~histograms:(Obs.histograms ())
-        ~commit:(Report.Meta.git_commit ()) prov
+        ~commit:(Report.Meta.git_commit ()) ?resume:resume_prov prov
     in
     let write path s =
       let oc = open_out path in
@@ -422,7 +477,43 @@ let report_cmd =
           machine-readable and human run reports")
     Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ core_arg $ subset_arg
           $ port_flag $ validate_flag $ time_budget_arg $ dump_cex_arg
-          $ out_dir_arg)
+          $ out_dir_arg $ run_dir_arg $ resume_flag $ retries_arg)
+
+(* ---------------- chaos ------------------------------------------------ *)
+
+let chaos_cmd =
+  let port_flag =
+    Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
+  in
+  let dir_arg =
+    let doc =
+      "Scratch directory for the matrix's cache and run directories \
+       (created if missing)."
+    in
+    Arg.(value & opt string "_chaos" & info [ "dir" ] ~doc ~docv:"DIR")
+  in
+  let run fast jobs retries core subset_name port dir =
+    let design, cut_nets = build_core ~fast core in
+    let env = make_env ~port core subset_name design cut_nets in
+    let scenarios =
+      Pdat.Chaos_harness.matrix ?jobs ?retries ~dir ~design ~env ()
+    in
+    List.iter
+      (fun s ->
+        Format.printf "%-16s %s  %s@." s.Pdat.Chaos_harness.name
+          (if s.Pdat.Chaos_harness.ok then "ok  " else "FAIL")
+          s.Pdat.Chaos_harness.detail)
+      scenarios;
+    if not (Pdat.Chaos_harness.all_ok scenarios) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the crash-safety chaos matrix (worker kills, cache \
+          truncation, SIGTERM + resume) and verify every scenario lands \
+          on the undisturbed run's result")
+    Term.(const run $ fast $ jobs_arg $ retries_arg $ core_arg $ subset_arg
+          $ port_flag $ dir_arg)
 
 (* ---------------- tables ---------------------------------------------- *)
 
@@ -443,4 +534,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; reduce_cmd; report_cmd; export_cmd; lint_cmd;
-            table1_cmd; table2_cmd ]))
+            chaos_cmd; table1_cmd; table2_cmd ]))

@@ -8,6 +8,17 @@ let () =
           ^ String.concat "; " (List.map Analysis.Diag.to_string diags))
     | _ -> None)
 
+(* What a journaled (and possibly resumed) run reports about its own
+   provenance: which work was replayed from the journal instead of
+   recomputed. *)
+type resume_info = {
+  journal_path : string;
+  resumed : bool;
+  resumed_stages : string list;
+  resumed_shards : int;
+  journal_dropped_lines : int;
+}
+
 type report = {
   variant : string;
   mined : int;
@@ -28,6 +39,7 @@ type report = {
   input_lint : Analysis.Diag.t list;
   certificate_edits : int;
   audit : Analysis.Diag.t list;
+  resume : resume_info option;
 }
 
 type result = {
@@ -108,10 +120,23 @@ let dump_counterexamples ~model prov dir =
             with Sys_error _ -> ()))
     (Report.Provenance.records prov)
 
+(* The digest that pins a journal to its run: the environment model +
+   assumption (what the miner and prover see) and the original design
+   (what gets rewired).  Any structural change to either makes an old
+   journal unreplayable, which is exactly right — its candidate keys
+   are net/cell ids of those netlists. *)
+let run_digest ~design ~env =
+  Digest.to_hex
+    (Digest.string
+       (Engine.Proof_cache.scope_digest env.Environment.model
+          ~assume:env.Environment.assume
+       ^ "+"
+       ^ Engine.Proof_cache.scope_digest design ~assume:Netlist.Design.net_true))
+
 let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
     ?(validate = false) ?validate_config ?validate_stimulus ?time_budget
-    ?(lint = Analysis.Lint.Off) ?inject ?provenance ?dump_cex ?trace ~design
-    ~env () =
+    ?(lint = Analysis.Lint.Off) ?inject ?provenance ?dump_cex ?trace ?run_dir
+    ?(resume = false) ?retries ~design ~env () =
   let trace =
     match trace with
     | Some _ as t -> t
@@ -142,8 +167,41 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
   let jobs =
     match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
   in
-  let budget =
-    match time_budget with Some b when b > 0. -> Some b | Some _ | None -> None
+  (* a zero or negative budget is not "unlimited" — it is a budget that
+     is already spent, so every budgeted stage sees an expired deadline
+     and degrades to its empty result immediately *)
+  let budget = Option.map (Float.max 0.) time_budget in
+  (* journaled run: the write-ahead log that [~resume:true] replays.
+     Created (or replayed) before any stage runs, closed on every exit
+     path; [Journal.Mismatch] propagates — resuming against a changed
+     netlist must be a hard error, not a silent cold start. *)
+  let journal, recovered =
+    match run_dir with
+    | None -> (None, None)
+    | Some dir ->
+        let digest = run_digest ~design ~env in
+        if resume then begin
+          let j, r = Journal.resume ~dir ~digest in
+          Obs.add_int "journal.resumes" 1;
+          (Some j, Some r)
+        end
+        else
+          ( Some
+              (Journal.create ~dir ~digest
+                 ~label:env.Environment.description),
+            None )
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Journal.close journal)
+  @@ fun () ->
+  let recovered_stage name =
+    Option.bind recovered (fun r -> List.assoc_opt name r.Journal.r_stages)
+  in
+  let resumed_stages = ref [] in
+  let journal_stage name keys =
+    match journal with
+    | Some j when recovered_stage name = None ->
+        Journal.record_stage j ~name ~items:keys
+    | _ -> ()
   in
   (* proportional allocation over the *remaining* budget: each budgeted
      stage, at its start, claims weight/(weight + weights-still-to-come)
@@ -176,6 +234,9 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
   in
   let stage_seconds = ref [] in
   let timed name f =
+    (* chaos: PDAT_CHAOS="sigterm:<stage>" kills the process here,
+       simulating an operator interrupt at a stage boundary *)
+    Engine.Chaos.stage_sigterm name;
     let r, dt = Obs.with_span_timed ~cat:"stage" name f in
     stage_seconds := (name, dt) :: !stage_seconds;
     r
@@ -211,12 +272,22 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
   | _ -> ());
   let mine_attr = Option.map (fun _ -> ref []) prov in
   let candidates =
-    timed "mine" (fun () ->
-        Property_library.mine ?config:rsim ?deadline:(stage_deadline "mine")
-          ?attribution:mine_attr ~model:env.Environment.model
-          ~assume:env.Environment.assume ~stimulus:env.Environment.stimulus ()
-        |> Property_library.restrict_to_original ~original:design)
+    match recovered_stage "mine" with
+    | Some keys ->
+        (* replayed: the journal holds the stage's surviving keys, and
+           the digest check guarantees they refer to this netlist *)
+        resumed_stages := "mine" :: !resumed_stages;
+        timed "mine" (fun () ->
+            List.filter_map Engine.Candidate.of_key keys)
+    | None ->
+        timed "mine" (fun () ->
+            Property_library.mine ?config:rsim
+              ?deadline:(stage_deadline "mine") ?attribution:mine_attr
+              ~model:env.Environment.model ~assume:env.Environment.assume
+              ~stimulus:env.Environment.stimulus ()
+            |> Property_library.restrict_to_original ~original:design)
   in
+  journal_stage "mine" (List.map Engine.Candidate.key candidates);
   (* only post-restrict candidates get provenance ids; set_mined_rounds
      silently skips attribution entries for the dropped ones *)
   (match (prov, mine_attr) with
@@ -228,11 +299,19 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
      candidates far more cheaply than SAT counterexamples would *)
   let refine_kills = Option.map (fun _ -> ref []) prov in
   let candidates =
-    timed "refine" (fun () ->
-        Engine.Rsim.refine ~config:refine ?deadline:(stage_deadline "refine")
-          ?kills:refine_kills ~assume:env.Environment.assume
-          env.Environment.model env.Environment.stimulus candidates)
+    match recovered_stage "refine" with
+    | Some keys ->
+        resumed_stages := "refine" :: !resumed_stages;
+        timed "refine" (fun () ->
+            List.filter_map Engine.Candidate.of_key keys)
+    | None ->
+        timed "refine" (fun () ->
+            Engine.Rsim.refine ~config:refine
+              ?deadline:(stage_deadline "refine") ?kills:refine_kills
+              ~assume:env.Environment.assume env.Environment.model
+              env.Environment.stimulus candidates)
   in
+  journal_stage "refine" (List.map Engine.Candidate.key candidates);
   (match (prov, refine_kills) with
   | Some p, Some k -> Report.Provenance.set_refine_kills p !k
   | _ -> ());
@@ -246,21 +325,72 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
     match proof_alloc with
     | None -> base
     | Some alloc ->
-        (* [time_budget_s <= 0.] means unlimited to the prover, so an
-           exhausted allocation must become a tiny positive budget *)
-        let alloc = Float.max 1e-6 alloc in
+        (* the prover's unlimited sentinel is [infinity] and an
+           exhausted allocation (<= 0) is an already-expired deadline,
+           so a plain min merges the two budgets correctly *)
         let b = base.Engine.Induction.time_budget_s in
-        { base with
-          Engine.Induction.time_budget_s =
-            (if b > 0. then Float.min b alloc else alloc) }
+        { base with Engine.Induction.time_budget_s = Float.min b alloc }
   in
   let attributions = Option.map (fun _ -> Hashtbl.create 128) prov in
   let proved, istats =
-    timed "prove" (fun () ->
-        Engine.Induction.prove_parallel ~options:induction_options
-          ?attributions ~cex:(env.Environment.stimulus, 24) ~jobs ?cache
-          ~assume:env.Environment.assume env.Environment.model candidates)
+    match recovered_stage "prove" with
+    | Some keys ->
+        (* the whole proof stage completed in the prior run: its proved
+           set is final (the journal records it after the join round) *)
+        resumed_stages := "prove" :: !resumed_stages;
+        timed "prove" (fun () ->
+            let proved = List.filter_map Engine.Candidate.of_key keys in
+            (match attributions with
+            | None -> ()
+            | Some tbl ->
+                let ptbl = Hashtbl.create 64 in
+                List.iter (fun c -> Hashtbl.replace ptbl c ()) proved;
+                List.iter
+                  (fun c ->
+                    Hashtbl.replace tbl c
+                      {
+                        Engine.Induction.verdict =
+                          (if Hashtbl.mem ptbl c then
+                             Engine.Induction.V_proved
+                               {
+                                 k =
+                                   max 1 induction_options.Engine.Induction.k;
+                               }
+                           else Engine.Induction.V_dropped "resumed");
+                        shard = None;
+                        cache_hit = false;
+                      })
+                  candidates);
+            ( proved,
+              {
+                Engine.Induction.blank_stats with
+                Engine.Induction.n_candidates = List.length candidates;
+                n_proved = List.length proved;
+              } ))
+    | None ->
+        let checkpoint =
+          Option.map
+            (fun j fp shard_proved ->
+              Journal.record_shard j ~fp
+                ~proved:(List.map Engine.Candidate.key shard_proved))
+            journal
+        in
+        let recovered_shards =
+          match recovered with
+          | None -> []
+          | Some r ->
+              List.map
+                (fun (fp, keys) ->
+                  (fp, List.filter_map Engine.Candidate.of_key keys))
+                r.Journal.r_shards
+        in
+        timed "prove" (fun () ->
+            Engine.Induction.prove_parallel ~options:induction_options
+              ?attributions ~cex:(env.Environment.stimulus, 24) ~jobs ?cache
+              ?retries ?checkpoint ~recovered:recovered_shards
+              ~assume:env.Environment.assume env.Environment.model candidates)
   in
+  journal_stage "prove" (List.map Engine.Candidate.key proved);
   Option.iter Engine.Proof_cache.flush cache;
   (match (prov, attributions) with
   | Some p, Some tbl -> Report.Provenance.set_attributions p tbl
@@ -350,6 +480,32 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
       Report.Provenance.record_designs p ~original:design ~rewired ~reduced
         ~baseline:base_design)
     prov;
+  (* the post-proof stages are deterministic and cheap, so the journal
+     records them without payloads — a resume replays candidates up to
+     the proof and recomputes everything after it *)
+  journal_stage "rewire" [];
+  journal_stage "resynth" [];
+  if validate then journal_stage "validate" [];
+  (match journal with
+  | Some j ->
+      Journal.record_end j ~ok:(fallback_reason = None);
+      Journal.close j
+  | None -> ());
+  let resume_info =
+    Option.map
+      (fun j ->
+        {
+          journal_path = Journal.path j;
+          resumed = recovered <> None;
+          resumed_stages = List.rev !resumed_stages;
+          resumed_shards = istats.Engine.Induction.resumed_shards;
+          journal_dropped_lines =
+            (match recovered with
+            | Some r -> r.Journal.r_dropped_lines
+            | None -> 0);
+        })
+      journal
+  in
   {
     reduced;
     report =
@@ -373,6 +529,7 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
         input_lint;
         certificate_edits = Analysis.Certificate.length certificate;
         audit = audit_diags;
+        resume = resume_info;
       };
   }
 
@@ -436,6 +593,18 @@ let pp_report fmt r =
     (Netlist.Stats.gate_count r.after)
     (gate_delta_pct r) r.seconds;
   if r.jobs > 1 then Format.fprintf fmt " [jobs=%d]" r.jobs;
+  (match r.resume with
+  | Some ri when ri.resumed ->
+      Format.fprintf fmt "@,resumed from %s: %d stage(s) [%s], %d shard(s)%s"
+        ri.journal_path
+        (List.length ri.resumed_stages)
+        (String.concat ", " ri.resumed_stages)
+        ri.resumed_shards
+        (if ri.journal_dropped_lines > 0 then
+           Printf.sprintf " (%d torn line(s) truncated)"
+             ri.journal_dropped_lines
+         else "")
+  | Some _ | None -> ());
   (match r.injected_fault with
   | Some s -> Format.fprintf fmt "@,fault injected: %s" s
   | None -> ());

@@ -44,6 +44,18 @@ exception Rejected of Analysis.Diag.t list
     never empty and every diagnostic is located (rule id plus
     net/cell/port).  A printer is registered with [Printexc]. *)
 
+type resume_info = {
+  journal_path : string;  (** [<run_dir>/journal.jsonl] *)
+  resumed : bool;         (** this run replayed a prior journal *)
+  resumed_stages : string list;
+      (** stages whose results were replayed instead of recomputed *)
+  resumed_shards : int;
+      (** proof shards settled from journal checkpoints (partial-proof
+          resume; [0] when the whole proof stage was replayed) *)
+  journal_dropped_lines : int;
+      (** torn/corrupt journal tail lines truncated during replay *)
+}
+
 type report = {
   variant : string;
   mined : int;
@@ -81,6 +93,8 @@ type report = {
       (** number of certified edits the rewiring stage performed *)
   audit : Analysis.Diag.t list;
       (** certificate-audit findings; [[]] = accepted (or gate [Off]) *)
+  resume : resume_info option;
+      (** journal/resume provenance; [None] unless [?run_dir] was given *)
 }
 
 type result = {
@@ -116,6 +130,9 @@ val run :
   ?provenance:Report.Provenance.t ->
   ?dump_cex:string ->
   ?trace:Obs.sink ->
+  ?run_dir:string ->
+  ?resume:bool ->
+  ?retries:int ->
   design:Netlist.Design.t ->
   env:Environment.t ->
   unit ->
@@ -138,7 +155,22 @@ val run :
 
     [time_budget] is a soft wall-clock budget in seconds for the whole
     run; stages check it at safe points, so the total can overshoot by
-    one SAT call or simulation cycle.
+    one SAT call or simulation cycle.  A zero or negative budget is
+    already spent: every budgeted stage degrades to its empty result
+    immediately (uniform with {!Engine.Induction.options} and the raw
+    solver's deadline).
+
+    [run_dir], when given, makes the run {e journaled}: an append-only,
+    checksummed [journal.jsonl] in that directory records the run's
+    digest, each completed stage's surviving candidate keys, and each
+    proof shard's checkpoint as they happen (see {!Journal}).
+    [resume:true] replays that journal instead of starting cold —
+    stages and proof shards already journaled are not recomputed, and a
+    torn tail from a crash is truncated away; raises
+    {!Journal.Mismatch} if the journal belongs to a different
+    netlist/environment.  [retries] is the per-shard retry count of the
+    supervised prover (see {!Engine.Induction.prove_parallel}).  The
+    report's [resume] field records what was replayed.
 
     [lint] (default [Off]) is the static-analysis gate described above.
 

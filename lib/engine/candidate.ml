@@ -10,6 +10,33 @@ let holds_in_values value = function
   | Const (n, false) -> value n = 0L
   | Implies { a; b; _ } -> Int64.logand (value a) (Int64.lognot (value b)) = 0L
 
+let key = function
+  | Const (n, b) -> Printf.sprintf "C%d:%d" n (Bool.to_int b)
+  | Implies { cell; a; b } -> Printf.sprintf "I%d:%d>%d" cell a b
+
+let of_key s =
+  let num t = match int_of_string_opt t with Some n when n >= 0 -> Some n | _ -> None in
+  if String.length s < 2 then None
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'C' -> (
+        match String.split_on_char ':' body with
+        | [ n; "0" ] -> Option.map (fun n -> Const (n, false)) (num n)
+        | [ n; "1" ] -> Option.map (fun n -> Const (n, true)) (num n)
+        | _ -> None)
+    | 'I' -> (
+        match String.split_on_char ':' body with
+        | [ cell; rest ] -> (
+            match String.split_on_char '>' rest with
+            | [ a; b ] -> (
+                match (num cell, num a, num b) with
+                | Some cell, Some a, Some b -> Some (Implies { cell; a; b })
+                | _ -> None)
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+
 let pp d fmt = function
   | Const (n, b) ->
       Format.fprintf fmt "%s == %d" (Netlist.Design.net_name d n) (Bool.to_int b)

@@ -21,4 +21,16 @@ val equal : t -> t -> bool
 val holds_in_values : (Netlist.Design.net -> int64) -> t -> bool
 (** Does the candidate hold on all 64 lanes of a simulation snapshot? *)
 
+val key : t -> string
+(** Compact stable structural rendering — ["C<net>:<0|1>"] for
+    constants, ["I<cell>:<a>><b>"] for implications.  Used as the
+    proof-cache entry key and the run-journal checkpoint form.  Net and
+    cell ids are only meaningful relative to a pinned netlist digest
+    (see {!Proof_cache.scope} and {!val-of_key}). *)
+
+val of_key : string -> t option
+(** Inverse of {!key}; [None] on any malformed string.  The caller is
+    responsible for having verified (by digest) that the ids refer to
+    the same netlist that produced the key. *)
+
 val pp : Netlist.Design.t -> Format.formatter -> t -> unit

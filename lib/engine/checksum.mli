@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial) for cheap integrity
+    checks on journal lines and proof-cache entries.  Not a defense
+    against an adversary — it catches torn writes, truncation and
+    bit rot, which is exactly what crash-safety needs. *)
+
+val crc32 : string -> int32
+(** CRC of the whole string. *)
+
+val crc32_hex : string -> string
+(** {!crc32} rendered as 8 lowercase hex digits — the on-disk form. *)
+
+val check_hex : string -> crc:string -> bool
+(** [check_hex s ~crc] is true iff [crc] equals [crc32_hex s]
+    (case-insensitive).  Malformed [crc] strings are simply false. *)

@@ -11,7 +11,7 @@ type options = {
 
 let default_options =
   { k = 1; call_conflict_budget = 200_000; total_conflict_budget = -1;
-    time_budget_s = -1. }
+    time_budget_s = infinity }
 
 type stats = {
   n_candidates : int;
@@ -26,6 +26,9 @@ type stats = {
   workers : int;
   workers_failed : int;
   worker_failures : (int * string) list;
+  worker_retries : int;
+  worker_fallbacks : int;
+  resumed_shards : int;
   worker_times : (int * float * float) list;
   shard_sizes : int list;
   cache_hits : int;
@@ -47,6 +50,9 @@ let blank_stats =
     workers = 0;
     workers_failed = 0;
     worker_failures = [];
+    worker_retries = 0;
+    worker_fallbacks = 0;
+    resumed_shards = 0;
     worker_times = [];
     shard_sizes = [];
     cache_hits = 0;
@@ -65,13 +71,20 @@ let pp_stats fmt s =
       s.workers
       (String.concat ";" (List.map string_of_int s.shard_sizes))
       s.worker_seconds;
+    if s.resumed_shards > 0 then
+      Format.fprintf fmt " resumed=%d" s.resumed_shards;
     if s.workers_failed > 0 then
-      Format.fprintf fmt " (%d worker%s lost: %s)" s.workers_failed
+      Format.fprintf fmt " (%d worker failure%s: %s; %d retr%s, %d fallback%s)"
+        s.workers_failed
         (if s.workers_failed = 1 then "" else "s")
         (String.concat "; "
            (List.map
               (fun (i, why) -> Printf.sprintf "#%d %s" i why)
               s.worker_failures))
+        s.worker_retries
+        (if s.worker_retries = 1 then "y" else "ies")
+        s.worker_fallbacks
+        (if s.worker_fallbacks = 1 then "" else "s")
   end;
   if s.cache_hits + s.cache_misses > 0 then
     Format.fprintf fmt " cache=%d/%d hits" s.cache_hits
@@ -411,10 +424,13 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
       (if options.total_conflict_budget < 0 then None
        else Some options.total_conflict_budget)
   in
+  (* [infinity] means unlimited; any finite non-positive budget is an
+     already-expired deadline, so the very first SAT call returns
+     Unknown and every candidate is conservatively dropped — uniform
+     with Rsim and the raw solver. *)
   let deadline =
-    if options.time_budget_s > 0. then
-      Some (Obs.Clock.now_s () +. options.time_budget_s)
-    else None
+    if options.time_budget_s = infinity then None
+    else Some (Obs.Clock.now_s () +. Float.max 0. options.time_budget_s)
   in
   let deadline_hit = ref false in
   let k = max 1 options.k in
@@ -487,29 +503,31 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
     } )
 
 (* ------------------------------------------------------------------ *)
-(* Parallel prover: shard, fork, join.                                 *)
+(* Parallel prover: shard, fork, supervise, join.                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Test hook: PDAT_KILL_WORKER=<i> makes worker [i] die before writing
-   its result, exercising the crash-isolation path deterministically. *)
-let kill_worker_index () =
-  match Sys.getenv_opt "PDAT_KILL_WORKER" with
-  | Some s -> int_of_string_opt (String.trim s)
-  | None -> None
+(* A shard is identified across runs by the digest of its candidate
+   keys: the journal checkpoints proved sets under this fingerprint, and
+   a resumed run recognizes its shards by it even though pids, fds and
+   timings all differ. *)
+let shard_fingerprint cands =
+  let keys = List.sort compare (List.map Candidate.key cands) in
+  Digest.to_hex (Digest.string (String.concat "\n" keys))
 
-(* Test hook: PDAT_SLOW_WORKER="<i>:<seconds>" delays worker [i] before
-   it starts proving, forcing out-of-order completion so the
-   select-based drain path is exercised deterministically. *)
-let slow_worker_delay idx =
-  match Sys.getenv_opt "PDAT_SLOW_WORKER" with
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
   | Some s -> (
-      match String.split_on_char ':' (String.trim s) with
-      | [ i; sec ] when int_of_string_opt i = Some idx -> (
-          match float_of_string_opt sec with
-          | Some d when d > 0. -> Unix.sleepf d
-          | _ -> ())
-      | _ -> ())
-  | None -> ()
+      match float_of_string_opt (String.trim s) with Some f -> f | None -> default)
+  | None -> default
+
+let default_retries () = max 0 (env_int "PDAT_RETRIES" 2)
+let retry_backoff_s () = Float.max 0. (env_float "PDAT_RETRY_BACKOFF_S" 0.1)
+let stall_timeout_s () = Float.max 1. (env_float "PDAT_STALL_TIMEOUT_S" 30.)
 
 (* Everything a worker ships back through its result pipe: the proof
    outcome plus its own telemetry, so the coordinator's trace shows the
@@ -537,7 +555,9 @@ type attribution = {
 }
 
 let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
-    ?attributions ~assume d candidate_list =
+    ?attributions ?retries ?checkpoint ?(recovered = []) ~assume d
+    candidate_list =
+  let retries = match retries with Some r -> max 0 r | None -> default_retries () in
   let want_fates = attributions <> None in
   let attribute cand verdict shard cache_hit =
     match attributions with
@@ -577,17 +597,18 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
       (fun a b -> compare (Hashtbl.find position a) (Hashtbl.find position b))
       l
   in
-  let finish ~proved ~st ~workers ~worker_failures ~worker_times ~shard_sizes
+  let finish ~proved ~st ~workers ~worker_failures ~worker_retries
+      ~worker_fallbacks ~resumed_shards ~worker_times ~shard_sizes
       ~worker_seconds =
     let workers_failed = List.length worker_failures in
     (* verdicts are recorded only for runs that completed cleanly: a
-       candidate dropped because a budget ran out or a worker died is
-       not a refutation and must stay re-provable *)
+       candidate dropped because a budget ran out is not a refutation
+       and must stay re-provable.  Worker crashes no longer poison the
+       record — supervision (retry, then in-process fallback) guarantees
+       every shard was genuinely proved by someone. *)
     (match sc with
     | Some (c, scope)
-      when (not st.budget_exhausted)
-           && (not st.deadline_exceeded)
-           && workers_failed = 0 ->
+      when (not st.budget_exhausted) && not st.deadline_exceeded ->
         let proved_tbl = Hashtbl.create 64 in
         List.iter (fun cand -> Hashtbl.replace proved_tbl cand ()) proved;
         List.iter
@@ -606,6 +627,9 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
         workers;
         workers_failed;
         worker_failures;
+        worker_retries;
+        worker_fallbacks;
+        resumed_shards;
         worker_times;
         shard_sizes;
         cache_hits = !hits;
@@ -619,12 +643,14 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
     (match fates with
     | None -> ()
     | Some f -> Hashtbl.iter (fun cand v -> attribute cand v None false) f);
-    finish ~proved ~st ~workers:0 ~worker_failures:[] ~worker_times:[]
-      ~shard_sizes:[] ~worker_seconds:0.
+    finish ~proved ~st ~workers:0 ~worker_failures:[] ~worker_retries:0
+      ~worker_fallbacks:0 ~resumed_shards:0 ~worker_times:[] ~shard_sizes:[]
+      ~worker_seconds:0.
   in
   if fresh = [] then
     finish ~proved:[] ~st:blank_stats ~workers:0 ~worker_failures:[]
-      ~worker_times:[] ~shard_sizes:[] ~worker_seconds:0.
+      ~worker_retries:0 ~worker_fallbacks:0 ~resumed_shards:0 ~worker_times:[]
+      ~shard_sizes:[] ~worker_seconds:0.
   else if jobs <= 1 then serial ()
   else begin
     let shards = Shard.partition d ~jobs fresh in
@@ -638,31 +664,102 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
             total_conflict_budget =
               max 1000 (options.total_conflict_budget * shard_n / n_fresh) }
       in
+      let shard_tbls =
+        List.map
+          (fun shard ->
+            let tbl = Hashtbl.create 64 in
+            List.iter (fun cand -> Hashtbl.replace tbl cand ()) shard;
+            tbl)
+          shards
+      in
+      let hypotheses_for tbl =
+        List.filter (fun c -> not (Hashtbl.mem tbl c)) fresh
+      in
       let t_fork = Obs.Clock.now_s () in
-      let spawn idx shard =
-        let shard_tbl = Hashtbl.create 64 in
-        List.iter (fun cand -> Hashtbl.replace shard_tbl cand ()) shard;
-        let hypotheses =
-          List.filter (fun c -> not (Hashtbl.mem shard_tbl c)) fresh
-        in
+      (* -------- resume: shards already proved by a prior run -------- *)
+      let fingerprints = List.map shard_fingerprint shards in
+      let recovered_results, todo =
+        List.fold_left2
+          (fun (rec_acc, todo_acc) (idx, shard) fp ->
+            match List.assoc_opt fp recovered with
+            | Some proved ->
+                (* trust nothing beyond the fingerprint: keep only
+                   candidates that really are in this shard *)
+                let tbl = List.nth shard_tbls idx in
+                let proved = List.filter (Hashtbl.mem tbl) proved in
+                ((idx, shard, proved) :: rec_acc, todo_acc)
+            | None -> (rec_acc, (idx, shard) :: todo_acc))
+          ([], [])
+          (List.mapi (fun i s -> (i, s)) shards)
+          fingerprints
+      in
+      let recovered_results = List.rev recovered_results in
+      let resumed_shards = List.length recovered_results in
+      if resumed_shards > 0 then
+        Obs.add_int "prove.resumed_shards" resumed_shards;
+      (* -------- supervised worker pool ------------------------------ *)
+      let backoff_base = retry_backoff_s () in
+      let stall_after = stall_timeout_s () in
+      (* a worker that outlives its own time budget by this much is
+         presumed wedged and killed by the coordinator *)
+      let watchdog_grace = 5.0 in
+      let pending = ref [] (* (idx, shard, attempt, not_before) *) in
+      List.iter
+        (fun (idx, shard) -> pending := (idx, shard, 0, 0.) :: !pending)
+        (List.rev todo);
+      let running = ref [] in
+      let ok_results = ref [] (* (idx, worker_result) *) in
+      let failures = ref [] (* (idx, reason), every failed attempt *) in
+      let fallback_tasks = ref [] (* (idx, shard), retries exhausted *) in
+      let n_retries = ref 0 in
+      let hb_scratch = Bytes.create 256 in
+      let chunk = Bytes.create 65536 in
+      let spawn (idx, shard, attempt, _) =
         flush stdout;
         flush stderr;
-        let rd, wr = Unix.pipe () in
+        let res_rd, res_wr = Unix.pipe () in
+        let hb_rd, hb_wr = Unix.pipe () in
         match Unix.fork () with
         | 0 ->
             (* child: prove the shard (no cex propagation — workers must
                be deterministic and kill only on real violations), ship
-               the result + telemetry through the pipe, and die without
-               running the parent's at_exit machinery *)
+               the result + telemetry through the result pipe, beat on
+               the heartbeat pipe once a second, and die without running
+               the parent's at_exit machinery *)
             (try
-               Unix.close rd;
+               Unix.close res_rd;
+               Unix.close hb_rd;
                Obs.reset ();
-               (match kill_worker_index () with
-               | Some k when k = idx -> Unix._exit 3
-               | _ -> ());
+               (match Chaos.worker_kill_requested ~idx ~attempt with
+               | `Exit3 -> Unix._exit 3
+               | `Sigkill -> Unix.kill (Unix.getpid ()) Sys.sigkill
+               | `No -> ());
+               (* heartbeat + in-child deadline watchdog: SIGALRM every
+                  second writes one byte to the heartbeat pipe and, past
+                  the hard deadline, exits 124 — the in-process half of
+                  the rlimit-style watchdog (the coordinator SIGKILL is
+                  the other half) *)
+               let hard_deadline =
+                 let b = options.time_budget_s in
+                 if b = infinity then None
+                 else Some (Obs.Clock.now_s () +. Float.max 0. b +. 2.0)
+               in
+               Unix.set_nonblock hb_wr;
+               let beat = Bytes.make 1 'b' in
+               Sys.set_signal Sys.sigalrm
+                 (Sys.Signal_handle
+                    (fun _ ->
+                      (try ignore (Unix.write hb_wr beat 0 1)
+                       with Unix.Unix_error _ -> ());
+                      match hard_deadline with
+                      | Some t when Obs.Clock.now_s () >= t -> Unix._exit 124
+                      | _ -> ()));
+               ignore
+                 (Unix.setitimer Unix.ITIMER_REAL
+                    { Unix.it_interval = 1.0; it_value = 1.0 });
                let t0 = Obs.Clock.now_s () in
                let tm0 = Unix.times () in
-               slow_worker_delay idx;
+               Chaos.worker_delay ~idx;
                let payload =
                  try
                    let fates =
@@ -674,7 +771,10 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                        (fun () ->
                          prove
                            ~options:(worker_options (List.length shard))
-                           ~known ~hypotheses ?fates ~assume d shard)
+                           ~known
+                           ~hypotheses:
+                             (hypotheses_for (List.nth shard_tbls idx))
+                           ?fates ~assume d shard)
                    in
                    let tm1 = Unix.times () in
                    Ok
@@ -696,65 +796,59 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                      }
                  with e -> Error (Printexc.to_string e)
                in
-               let oc = Unix.out_channel_of_descr wr in
+               (* quiesce the timer before the result write so SIGALRM
+                  cannot interrupt the marshalled stream mid-syscall *)
+               ignore
+                 (Unix.setitimer Unix.ITIMER_REAL
+                    { Unix.it_interval = 0.; it_value = 0. });
+               let oc = Unix.out_channel_of_descr res_wr in
                Marshal.to_channel oc payload [];
                flush oc
              with _ -> ());
             Unix._exit 0
         | pid ->
-            Unix.close wr;
-            (idx, pid, rd)
+            Unix.close res_wr;
+            Unix.close hb_wr;
+            let now = Obs.Clock.now_s () in
+            let kill_after =
+              if options.time_budget_s = infinity then None
+              else
+                Some
+                  (now +. Float.max 0. options.time_budget_s +. watchdog_grace)
+            in
+            running :=
+              (idx, shard, attempt, pid, res_rd, hb_rd, Buffer.create 4096,
+               ref false, ref false, ref now, kill_after, ref None)
+              :: !running
       in
-      let spawned = List.mapi spawn shards in
-      (* Drain every worker pipe as data arrives, not in spawn order: a
-         slow worker 0 must not leave workers 1..n-1 blocked on a full
-         pipe buffer (the PR-2 prover serialized exactly that way). *)
-      let slots =
-        List.map
-          (fun (idx, pid, fd) ->
-            (idx, pid, fd, Buffer.create 4096, ref false))
-          spawned
-      in
-      let chunk = Bytes.create 65536 in
-      let rec drain_pipes () =
-        let open_fds =
-          List.filter_map
-            (fun (_, _, fd, _, eof) -> if !eof then None else Some fd)
-            slots
-        in
-        if open_fds <> [] then begin
-          let readable, _, _ =
-            try Unix.select open_fds [] [] (-1.)
-            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-          in
-          List.iter
-            (fun fd ->
-              let _, _, _, buf, eof =
-                List.find (fun (_, _, f, _, _) -> f = fd) slots
-              in
-              let n =
-                try Unix.read fd chunk 0 (Bytes.length chunk)
-                with Unix.Unix_error (Unix.EINTR, _, _) -> -1
-              in
-              if n = 0 then begin
-                eof := true;
-                Unix.close fd
-              end
-              else if n > 0 then Buffer.add_subbytes buf chunk 0 n)
-            readable;
-          drain_pipes ()
-        end
-      in
-      drain_pipes ();
-      (* Pipes are drained to EOF, so every child has written (or died);
-         reap them and decode, attributing each failure precisely:
-         non-zero exit and garbled payload are different bugs. *)
-      let collect (idx, pid, _, buf, _) =
+      let reap pid =
         let rec wait () =
           try snd (Unix.waitpid [] pid)
           with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
         in
-        let status = wait () in
+        wait ()
+      in
+      let handle_failure idx shard attempt reason =
+        failures := (idx, reason) :: !failures;
+        Obs.add_int "prove.worker_failures" 1;
+        if attempt < retries then begin
+          incr n_retries;
+          Obs.add_int "prove.worker_retries" 1;
+          let delay = backoff_base *. (2. ** float_of_int attempt) in
+          pending :=
+            !pending @ [ (idx, shard, attempt + 1, Obs.Clock.now_s () +. delay) ]
+        end
+        else
+          (* retries exhausted: fall back to proving the shard serially
+             in this process once the pool drains — the shard is never
+             silently dropped *)
+          fallback_tasks := (idx, shard) :: !fallback_tasks
+      in
+      let finish_worker (idx, shard, attempt, pid, res_rd, hb_rd, buf, res_eof,
+                         hb_eof, _, _, killed) =
+        if not !res_eof then (try Unix.close res_rd with Unix.Unix_error _ -> ());
+        if not !hb_eof then (try Unix.close hb_rd with Unix.Unix_error _ -> ());
+        let status = reap pid in
         let data = Buffer.contents buf in
         let payload =
           if String.length data = 0 then Error "empty pipe"
@@ -763,76 +857,220 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
             with Failure _ | End_of_file -> Error "garbled pipe"
         in
         let outcome =
-          match (payload, status) with
-          | Ok (Ok r), Unix.WEXITED 0 -> Ok r
-          | Ok (Error msg), _ -> Error ("worker raised: " ^ msg)
-          | Error why, Unix.WEXITED 0 -> Error why
-          | (Ok (Ok _) | Error _), st -> Error (status_str st)
+          match (!killed, payload, status) with
+          | Some why, _, st ->
+              Error (Printf.sprintf "%s (%s)" why (status_str st))
+          | None, Ok (Ok r), Unix.WEXITED 0 -> Ok r
+          | None, Ok (Error msg), _ -> Error ("worker raised: " ^ msg)
+          | None, Error why, Unix.WEXITED 0 -> Error why
+          | None, (Ok (Ok _) | Error _), st -> Error (status_str st)
         in
-        (idx, outcome)
+        match outcome with
+        | Ok r ->
+            ok_results := (idx, r) :: !ok_results;
+            Option.iter
+              (fun cp -> cp (shard_fingerprint shard) r.w_proved)
+              checkpoint
+        | Error reason -> handle_failure idx shard attempt reason
       in
-      let results = List.map collect slots in
+      let rec supervise () =
+        (* launch every eligible pending task while a slot is free *)
+        let now = Obs.Clock.now_s () in
+        let eligible, waiting =
+          List.partition (fun (_, _, _, nb) -> nb <= now) !pending
+        in
+        let free = max 0 (max 1 jobs - List.length !running) in
+        let to_start, overflow =
+          if List.length eligible <= free then (eligible, [])
+          else
+            let rec split n = function
+              | rest when n = 0 -> ([], rest)
+              | [] -> ([], [])
+              | x :: rest ->
+                  let a, b = split (n - 1) rest in
+                  (x :: a, b)
+            in
+            split free eligible
+        in
+        pending := waiting @ overflow;
+        List.iter spawn to_start;
+        if !running <> [] then begin
+          let res_fds =
+            List.filter_map
+              (fun (_, _, _, _, res_rd, _, _, res_eof, _, _, _, _) ->
+                if !res_eof then None else Some res_rd)
+              !running
+          and hb_fds =
+            List.filter_map
+              (fun (_, _, _, _, _, hb_rd, _, _, hb_eof, _, _, _) ->
+                if !hb_eof then None else Some hb_rd)
+              !running
+          in
+          let readable, _, _ =
+            try Unix.select (res_fds @ hb_fds) [] [] 0.2
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          let now = Obs.Clock.now_s () in
+          List.iter
+            (fun ((_, _, _, pid, res_rd, hb_rd, buf, res_eof, hb_eof,
+                   last_beat, kill_after, killed) as _slot) ->
+              if (not !hb_eof) && List.memq hb_rd readable then begin
+                match Unix.read hb_rd hb_scratch 0 (Bytes.length hb_scratch) with
+                | 0 ->
+                    hb_eof := true;
+                    Unix.close hb_rd
+                | _ -> last_beat := now
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              end;
+              if (not !res_eof) && List.memq res_rd readable then begin
+                match Unix.read res_rd chunk 0 (Bytes.length chunk) with
+                | 0 ->
+                    res_eof := true;
+                    Unix.close res_rd
+                | n -> Buffer.add_subbytes buf chunk 0 n
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              end;
+              (* watchdogs: a worker past its deadline + grace, or one
+                 whose heartbeat went quiet, is presumed wedged *)
+              if (not !res_eof) && !killed = None then begin
+                (match kill_after with
+                | Some t when now >= t ->
+                    killed := Some "deadline watchdog";
+                    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+                | _ -> ());
+                if
+                  !killed = None
+                  && (not !hb_eof)
+                  && now -. !last_beat > stall_after
+                then begin
+                  killed :=
+                    Some
+                      (Printf.sprintf "stalled: no heartbeat for %.0fs"
+                         stall_after);
+                  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+                end
+              end;
+              ignore pid)
+            !running;
+          (* a closed result pipe means the child wrote everything it
+             ever will: settle it *)
+          let done_, still =
+            List.partition
+              (fun (_, _, _, _, _, _, _, res_eof, _, _, _, _) -> !res_eof)
+              !running
+          in
+          running := still;
+          List.iter finish_worker done_;
+          supervise ()
+        end
+        else if !pending <> [] then begin
+          (* everything eligible is in backoff: sleep to the earliest *)
+          let next =
+            List.fold_left
+              (fun acc (_, _, _, nb) -> Float.min acc nb)
+              infinity !pending
+          in
+          let dt = Float.max 0.01 (next -. Obs.Clock.now_s ()) in
+          Unix.sleepf (Float.min dt 0.2);
+          supervise ()
+        end
+      in
+      supervise ();
+      (* -------- serial fallbacks ------------------------------------ *)
+      let fallback_results =
+        List.rev_map
+          (fun (idx, shard) ->
+            Obs.add_int "prove.worker_fallbacks" 1;
+            let fates = if want_fates then Some (Hashtbl.create 64) else None in
+            let proved, st =
+              Obs.with_span ~cat:"worker"
+                (Printf.sprintf "fallback-%d" idx)
+                (fun () ->
+                  prove
+                    ~options:(worker_options (List.length shard))
+                    ~known
+                    ~hypotheses:(hypotheses_for (List.nth shard_tbls idx))
+                    ?fates ~assume d shard)
+            in
+            Option.iter
+              (fun cp -> cp (shard_fingerprint shard) proved)
+              checkpoint;
+            let w_fates =
+              match fates with
+              | None -> []
+              | Some f -> Hashtbl.fold (fun c v acc -> (c, v) :: acc) f []
+            in
+            (idx, proved, st, w_fates))
+          !fallback_tasks
+      in
       let worker_seconds = Obs.Clock.now_s () -. t_fork in
       let workers = List.length shards in
-      let worker_failures =
-        List.filter_map
-          (function idx, Error why -> Some (idx, why) | _, Ok _ -> None)
-          results
-      in
+      let worker_failures = List.rev !failures in
       let worker_times =
-        List.filter_map
-          (function
-            | idx, Ok r -> Some (idx, r.w_wall_s, r.w_cpu_s) | _ -> None)
-          results
+        List.rev_map (fun (idx, r) -> (idx, r.w_wall_s, r.w_cpu_s)) !ok_results
       in
       (* fold worker telemetry into this process: spans appear under the
          worker's own pid in the trace, counters into the global table,
          histogram samples into the matching distributions *)
       List.iter
-        (function
-          | _, Ok r ->
-              Obs.inject r.w_events;
-              Obs.merge_counters r.w_counters;
-              Obs.merge_histogram_samples r.w_hists
-          | _, Error _ -> ())
-        results;
+        (fun (_, r) ->
+          Obs.inject r.w_events;
+          Obs.merge_counters r.w_counters;
+          Obs.merge_histogram_samples r.w_hists)
+        !ok_results;
       (* provenance: each fresh candidate's fate, tagged with the shard
-         that decided it.  A lost worker's shard is dropped wholesale —
-         record that as the (honest) verdict for its candidates. *)
+         that decided it *)
       if want_fates then begin
         List.iter
-          (function
-            | idx, Ok r ->
-                List.iter
-                  (fun (cand, v) -> attribute cand v (Some idx) false)
-                  r.w_fates
-            | _, Error _ -> ())
-          results;
-        let shard_arr = Array.of_list shards in
+          (fun (idx, r) ->
+            List.iter
+              (fun (cand, v) -> attribute cand v (Some idx) false)
+              r.w_fates)
+          !ok_results;
         List.iter
-          (fun (idx, why) ->
-            if idx >= 0 && idx < Array.length shard_arr then
-              List.iter
-                (fun cand ->
-                  attribute cand
-                    (V_dropped ("worker lost: " ^ why))
-                    (Some idx) false)
-                shard_arr.(idx))
-          worker_failures
+          (fun (idx, _, _, w_fates) ->
+            List.iter
+              (fun (cand, v) -> attribute cand v (Some idx) false)
+              w_fates)
+          fallback_results;
+        (* a recovered shard carries only its proved set; its dropped
+           candidates keep the honest "settled by a prior run" tag *)
+        List.iter
+          (fun (idx, shard, proved) ->
+            let proved_tbl = Hashtbl.create 64 in
+            List.iter (fun c -> Hashtbl.replace proved_tbl c ()) proved;
+            List.iter
+              (fun cand ->
+                attribute cand
+                  (if Hashtbl.mem proved_tbl cand then
+                     V_proved { k = max 1 options.k }
+                   else V_dropped "resumed")
+                  (Some idx) false)
+              shard)
+          recovered_results
       end;
       let surv_tbl = Hashtbl.create 64 in
       List.iter
-        (function
-          | _, Ok r -> List.iter (fun c -> Hashtbl.replace surv_tbl c ()) r.w_proved
-          | _, Error _ -> ())
-        results;
+        (fun (_, r) ->
+          List.iter (fun c -> Hashtbl.replace surv_tbl c ()) r.w_proved)
+        !ok_results;
+      List.iter
+        (fun (_, proved, _, _) ->
+          List.iter (fun c -> Hashtbl.replace surv_tbl c ()) proved)
+        fallback_results;
+      List.iter
+        (fun (_, _, proved) ->
+          List.iter (fun c -> Hashtbl.replace surv_tbl c ()) proved)
+        recovered_results;
       let survivors = List.filter (Hashtbl.mem surv_tbl) fresh in
       (* join round: one serial mutual-induction fixpoint over the union
          of shard survivors.  Workers over-assume (every other shard's
          candidates as step hypotheses), so their survivor union is a
          superset of the serial fixpoint; the greatest fixpoint of a
          superset that still contains it is the same set, so this round
-         restores exact agreement with the serial prover. *)
+         restores exact agreement with the serial prover.  Recovered
+         shards were proved by an identical worker in a prior run, so
+         the argument covers them unchanged. *)
       let join_fates = if want_fates then Some (Hashtbl.create 64) else None in
       let joined, jst =
         Obs.with_span ~cat:"prove" "join-round" (fun () ->
@@ -851,16 +1089,12 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                     { verdict = v; shard = None; cache_hit = false })
             jf
       | _ -> ());
-      let sum f =
-        List.fold_left
-          (fun acc -> function _, Ok r -> acc + f r.w_stats | _ -> acc)
-          0 results
+      let shard_stats =
+        List.rev_map (fun (_, r) -> r.w_stats) !ok_results
+        @ List.rev_map (fun (_, _, st, _) -> st) fallback_results
       in
-      let any f =
-        List.exists
-          (function _, Ok r -> f r.w_stats | _ -> false)
-          results
-      in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 shard_stats in
+      let any f = List.exists f shard_stats in
       let st =
         {
           jst with
@@ -875,7 +1109,10 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
             jst.deadline_exceeded || any (fun s -> s.deadline_exceeded);
         }
       in
-      finish ~proved:joined ~st ~workers ~worker_failures ~worker_times
-        ~shard_sizes:(List.map List.length shards) ~worker_seconds
+      finish ~proved:joined ~st ~workers ~worker_failures
+        ~worker_retries:!n_retries
+        ~worker_fallbacks:(List.length fallback_results) ~resumed_shards
+        ~worker_times ~shard_sizes:(List.map List.length shards)
+        ~worker_seconds
     end
   end

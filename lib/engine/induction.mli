@@ -17,11 +17,12 @@ type options = {
   call_conflict_budget : int; (** per aggregate SAT call; -1 = unlimited *)
   total_conflict_budget : int;(** across the whole proof; -1 = unlimited *)
   time_budget_s : float;
-      (** wall-clock seconds for the whole proof; <= 0 = unlimited.
-          Measured from the [prove] call; once exceeded, every further
-          SAT call returns Unknown, so remaining candidates are dropped
-          (incomplete, never unsound) and the fixpoint winds down
-          quickly. *)
+      (** wall-clock seconds for the whole proof; [infinity] =
+          unlimited, and any finite non-positive value is an
+          already-expired deadline (nothing proves).  Measured from the
+          [prove] call; once exceeded, every further SAT call returns
+          Unknown, so remaining candidates are dropped (incomplete,
+          never unsound) and the fixpoint winds down quickly. *)
 }
 
 val default_options : options
@@ -36,12 +37,19 @@ type stats = {
   rounds : int;
   budget_exhausted : bool;
   deadline_exceeded : bool;  (** the wall-clock budget cut the proof short *)
-  workers : int;          (** forked workers (0 = ran serially) *)
-  workers_failed : int;   (** workers that crashed; their shards dropped *)
+  workers : int;          (** shards of the parallel run (0 = ran serially) *)
+  workers_failed : int;   (** failed worker attempts (each was retried
+                              or fell back; no shard is ever dropped) *)
   worker_failures : (int * string) list;
-      (** (worker index, reason) per lost worker — a non-zero exit
-          status, a fatal signal, and a garbled result pipe are
-          distinguished so the failure is diagnosable from stats alone *)
+      (** (shard index, reason) per failed attempt — a non-zero exit
+          status, a fatal signal, a garbled result pipe and a watchdog
+          kill are distinguished so the failure is diagnosable from
+          stats alone *)
+  worker_retries : int;   (** attempts relaunched after a failure *)
+  worker_fallbacks : int; (** shards proved serially in-process after
+                              exhausting their retries *)
+  resumed_shards : int;   (** shards settled from a journal checkpoint
+                              instead of being re-proved *)
   worker_times : (int * float * float) list;
       (** (worker index, wall seconds, CPU seconds) per surviving
           worker, measured inside the worker on the monotonic clock *)
@@ -50,6 +58,10 @@ type stats = {
   cache_misses : int;     (** candidates the cache had no verdict for *)
   worker_seconds : float; (** wall-clock of the fork/collect span *)
 }
+
+val blank_stats : stats
+(** All-zero stats — the base for synthesizing a stats record when the
+    proof stage itself was replayed from a journal. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 
@@ -126,18 +138,28 @@ val prove :
     extraction at each base-side kill (one literal read per input per
     frame, while the SAT model is live). *)
 
+val shard_fingerprint : Candidate.t list -> string
+(** Content digest of a shard's candidate set (order-independent, over
+    {!Candidate.key}s).  This is the name under which the run journal
+    checkpoints a shard's proved set, and the name a resumed run uses
+    to recognize it. *)
+
 val prove_parallel :
   ?options:options ->
   ?cex:Stimulus.t * int ->
   ?jobs:int ->
   ?cache:Proof_cache.t ->
   ?attributions:(Candidate.t, attribution) Hashtbl.t ->
+  ?retries:int ->
+  ?checkpoint:(string -> Candidate.t list -> unit) ->
+  ?recovered:(string * Candidate.t list) list ->
   assume:Netlist.Design.net ->
   Netlist.Design.t ->
   Candidate.t list ->
   Candidate.t list * stats
-(** Sharded fork-based prover.  Returns exactly the proved set of the
-    serial {!prove} (when neither is cut short by budgets):
+(** Sharded fork-based prover with worker supervision.  Returns exactly
+    the proved set of the serial {!prove} (when neither is cut short by
+    budgets):
 
     - candidates with a cached verdict are settled up front; cached
       proofs join the run as [known] invariants,
@@ -147,9 +169,16 @@ val prove_parallel :
       kills are deterministic and exact),
     - worker result pipes are drained with [Unix.select] as data
       arrives, so a slow worker never blocks collection of the others,
-    - a worker that crashes or writes a garbled result only loses its
-      shard (incomplete, never unsound) and is reported in
-      [worker_failures] with the reason,
+    - every worker heartbeats once a second on a dedicated pipe; the
+      coordinator SIGKILLs a worker that goes silent
+      ([PDAT_STALL_TIMEOUT_S], default 30) or outlives a finite time
+      budget past a grace period, and a worker past its own hard
+      deadline exits 124 on its next alarm tick,
+    - a worker that crashes, stalls, or writes a garbled result is
+      retried up to [retries] times (default [PDAT_RETRIES] or 2) with
+      exponential backoff (base [PDAT_RETRY_BACKOFF_S], default 0.1s);
+      a shard that exhausts its retries is proved serially in-process —
+      {e no shard is ever silently dropped},
     - one serial mutual-induction join round over the union of shard
       survivors restores the greatest fixpoint of the whole set.
 
@@ -158,17 +187,27 @@ val prove_parallel :
     fixpoint (within the original set) is that fixpoint, hence the join
     round's result equals the serial one.
 
+    [checkpoint], when given, is called with
+    ([{!shard_fingerprint} shard], proved set) each time a shard is
+    settled by a worker or a fallback — the hook the run journal uses.
+    [recovered] maps shard fingerprints to proved sets persisted by a
+    prior run; a shard whose fingerprint matches skips its worker
+    entirely (counted in [resumed_shards]) and feeds its recovered
+    survivors straight to the join round, which is sound because the
+    prior worker over-assumed exactly like a live one.
+
     Fresh verdicts are recorded in [cache] only when the run completed
-    cleanly (no budget/deadline exhaustion, no failed workers); the
-    caller is responsible for {!Proof_cache.flush}.  [jobs <= 1] (the
-    default), a single shard, or a fully cache-resolved candidate list
-    short-circuit to the serial path with no forking.
+    cleanly (no budget/deadline exhaustion — worker failures are fine,
+    since supervision guarantees coverage); the caller is responsible
+    for {!Proof_cache.flush}.  [jobs <= 1] (the default), a single
+    shard, or a fully cache-resolved candidate list short-circuit to
+    the serial path with no forking.
 
     [attributions], when given, receives one {!attribution} per input
     candidate: cache hits as [V_cached], fresh candidates with the
     verdict from the worker (or join round) that decided them tagged
-    with the shard index, and a lost worker's candidates as
-    [V_dropped].  Workers marshal their fates — including
+    with the shard index, and a recovered shard's non-survivors as
+    [V_dropped "resumed"].  Workers marshal their fates — including
     counterexamples — back through the result pipe, and their
     histogram samples (e.g. per-SAT-call latency) are merged into the
     coordinator's {!Obs} distributions either way. *)

@@ -62,12 +62,12 @@ let induction_options ?(fast = false) (v : Variants.t) =
   match v.Variants.core with
   | Variants.Ibex | Variants.Cm0 ->
       { Engine.Induction.k = 1; call_conflict_budget = 30_000;
-        total_conflict_budget = 2_000_000; time_budget_s = -1. }
+        total_conflict_budget = 2_000_000; time_budget_s = infinity }
   | Variants.Ridecore ->
       { Engine.Induction.k = 1;
         call_conflict_budget = (if fast then 30_000 else 60_000);
         total_conflict_budget = (if fast then 1_000_000 else 4_000_000);
-        time_budget_s = -1. }
+        time_budget_s = infinity }
 
 (* cached per-design baselines: synthesizing RIDECORE repeatedly would
    dominate the run time *)

@@ -31,6 +31,18 @@ let jobj fields =
   "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
   ^ "}"
 
+(* ---------------- resume provenance --------------------------------- *)
+
+(* Mirrors Pdat.Pipeline.resume_info without depending on the pdat
+   library (report sits below it in the dependency order). *)
+type resume_summary = {
+  rs_journal : string;
+  rs_resumed : bool;
+  rs_stages : string list;
+  rs_shards : int;
+  rs_dropped_lines : int;
+}
+
 (* ---------------- shared derivations -------------------------------- *)
 
 type status =
@@ -240,7 +252,7 @@ let edit_json prov (e : P.edit_record) =
              e.P.e_dead) );
     ]
 
-let json ?(target = "design") prov =
+let json ?(target = "design") ?resume prov =
   let records = P.records prov in
   let s = summarize records in
   let edits = P.edits prov in
@@ -300,11 +312,29 @@ let json ?(target = "design") prov =
                    (float_of_int (Netlist.Stats.gate_count st_red))) );
           ]
   in
+  let resume_fields =
+    match resume with
+    | None -> []
+    | Some r ->
+        [
+          ( "resume",
+            jobj
+              [
+                (* basename only: the run directory is machine-local,
+                   and the golden tests require byte-stable output *)
+                ("journal", jstr (Filename.basename r.rs_journal));
+                ("resumed", if r.rs_resumed then "true" else "false");
+                ("replayed_stages", jlist (List.map jstr r.rs_stages));
+                ("resumed_shards", string_of_int r.rs_shards);
+                ("dropped_lines", string_of_int r.rs_dropped_lines);
+              ] );
+        ]
+  in
   jobj
-    [
-      ("schema_version", string_of_int Meta.schema_version);
-      ("target", jstr target);
-      ("summary", summary_json);
+    ([
+       ("schema_version", string_of_int Meta.schema_version);
+       ("target", jstr target);
+       ("summary", summary_json);
       ("invariants", jlist (List.map (cand_json prov) records));
       ("edits", jlist (List.map (edit_json prov) edits));
       ( "unattributed_dead",
@@ -319,6 +349,7 @@ let json ?(target = "design") prov =
              (P.unattributed_dead prov)) );
       ("area", area_json);
     ]
+    @ resume_fields)
   ^ "\n"
 
 (* ---------------- markdown report ----------------------------------- *)
@@ -331,7 +362,7 @@ let cand_pp prov (r : P.cand_record) =
       Printf.sprintf "`%s -> %s`" (net_label prov a) (net_label prov b)
 
 let markdown ?(target = "design") ?(timings = []) ?(histograms = []) ?commit
-    prov =
+    ?resume prov =
   let b = Buffer.create 8192 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let records = P.records prov in
@@ -466,6 +497,23 @@ let markdown ?(target = "design") ?(timings = []) ?(histograms = []) ?commit
       pr "\n**%d dead cells not attributable to any edit** — \
           this indicates an uncertified netlist change.\n"
         (List.length rest));
+  (* --- crash-safety provenance ------------------------------------- *)
+  (match resume with
+  | None -> ()
+  | Some r ->
+      pr "\n## Journal\n\n";
+      pr "Run journaled to `%s`.\n" r.rs_journal;
+      if r.rs_resumed then begin
+        pr "\nThis run **resumed** from a prior journal: %d stage(s) \
+            replayed%s, %d proof shard(s) settled from checkpoints"
+          (List.length r.rs_stages)
+          (if r.rs_stages = [] then ""
+           else " (" ^ String.concat ", " r.rs_stages ^ ")")
+          r.rs_shards;
+        if r.rs_dropped_lines > 0 then
+          pr "; %d torn journal line(s) truncated" r.rs_dropped_lines;
+        pr ".\n"
+      end);
   (* --- optional non-deterministic sections ------------------------- *)
   if timings <> [] then begin
     pr "\n## Stage timings\n\n| stage | seconds |\n|---|---|\n";

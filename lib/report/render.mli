@@ -15,12 +15,27 @@
       histograms and the commit stamp are appended when provided —
       the report is deterministic modulo those sections. *)
 
-val json : ?target:string -> Provenance.t -> string
+type resume_summary = {
+  rs_journal : string;  (** path of the run's [journal.jsonl] *)
+  rs_resumed : bool;    (** the run replayed a prior journal *)
+  rs_stages : string list;  (** stages replayed instead of recomputed *)
+  rs_shards : int;          (** proof shards settled from checkpoints *)
+  rs_dropped_lines : int;   (** torn journal tail lines truncated *)
+}
+(** Crash-safety provenance of a journaled run, mirroring
+    [Pdat.Pipeline.resume_info] (this library sits below [pdat], so the
+    record is duplicated here).  Optional on both renderings: when
+    absent the output is byte-identical to pre-journal reports, which
+    the golden tests rely on.  The JSON rendering keeps only the
+    journal's basename so reports stay machine-independent. *)
+
+val json : ?target:string -> ?resume:resume_summary -> Provenance.t -> string
 
 val markdown :
   ?target:string ->
   ?timings:(string * float) list ->
   ?histograms:(string * Obs.histogram) list ->
   ?commit:string ->
+  ?resume:resume_summary ->
   Provenance.t ->
   string

@@ -99,6 +99,45 @@ let test_induction_time_budget () =
        proved);
   check "deadline not flagged" false stats.Engine.Induction.deadline_exceeded
 
+let test_expired_budget_uniformity () =
+  (* a zero or negative wall-clock budget is an immediate deadline hit
+     at every layer, uniformly: the raw solver, the prover *)
+  let s = Sat.Solver.create () in
+  let v = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ Sat.Lit.pos v ];
+  check "solver: past deadline is Unknown" true
+    (Sat.Solver.solve ~deadline:(Obs.Clock.now_s () -. 5.) s
+    = Sat.Solver.Unknown);
+  check "solver: same instance solves without a deadline" true
+    (Sat.Solver.solve s = Sat.Solver.Sat);
+  let d, _, _, _, _, _ = demo_design () in
+  let cands = Engine.Rsim.mine d Engine.Stimulus.unconstrained in
+  List.iter
+    (fun budget ->
+      let opts =
+        { Engine.Induction.default_options with
+          Engine.Induction.time_budget_s = budget }
+      in
+      let proved, stats =
+        Engine.Induction.prove ~options:opts ~assume:D.net_true d cands
+      in
+      check (Printf.sprintf "budget %g: nothing proved" budget) true
+        (proved = []);
+      check (Printf.sprintf "budget %g: deadline flagged" budget) true
+        stats.Engine.Induction.deadline_exceeded)
+    [ 0.; -5. ];
+  (* [infinity] is the unlimited sentinel, not a deadline *)
+  let opts =
+    { Engine.Induction.default_options with
+      Engine.Induction.time_budget_s = infinity }
+  in
+  let proved, stats =
+    Engine.Induction.prove ~options:opts ~assume:D.net_true d cands
+  in
+  check "infinite budget proves" true (proved <> []);
+  check "infinite budget: deadline not flagged" false
+    stats.Engine.Induction.deadline_exceeded
+
 let test_induction_kills_false_candidates () =
   (* candidate claims a free input-fed flop is constant: must die *)
   let d = D.create "t" in
@@ -251,6 +290,8 @@ let () =
           Alcotest.test_case "env assumptions" `Quick test_induction_with_assumption;
           Alcotest.test_case "implications" `Quick test_induction_implications;
           Alcotest.test_case "time budget" `Quick test_induction_time_budget;
+          Alcotest.test_case "zero/negative budgets expire immediately"
+            `Quick test_expired_budget_uniformity;
         ] );
       ("unroll", [ Alcotest.test_case "semantics" `Quick test_unroll_semantics ]);
       ("cutpoint", [ Alcotest.test_case "apply" `Quick test_cutpoint ]);

@@ -117,7 +117,7 @@ let with_env_var name value f =
   Unix.putenv name value;
   Fun.protect ~finally:(fun () -> Unix.putenv name "") f
 
-let test_crash_isolation () =
+let test_crash_retry () =
   let d, cands = twin_design () in
   let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
   check_int "all four constants provable" 4 (List.length serial);
@@ -125,21 +125,64 @@ let test_crash_isolation () =
   let par, st = Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands in
   check "clean parallel run matches serial" true (same_set serial par);
   check_int "two workers ran" 2 st.Engine.Induction.workers;
-  (* kill worker 0 before it reports: its shard is dropped, the rest is
-     still proved, and nothing unsound appears *)
+  (* kill worker 0's first attempt: supervision retries the shard and
+     the retry succeeds, so the final set is exactly the serial one *)
   let par, st =
     with_env_var "PDAT_KILL_WORKER" "0" (fun () ->
         Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands)
   in
-  check_int "one worker lost" 1 st.Engine.Induction.workers_failed;
-  check "survivors are a subset of the serial set" true
-    (List.for_all
-       (fun c -> List.exists (Engine.Candidate.equal c) serial)
-       par);
-  check "the other shard still proved" true (par <> []);
-  check "fewer proved than serial (shard really dropped)" true
-    (List.length par < List.length serial);
+  check "failed attempt counted" true (st.Engine.Induction.workers_failed >= 1);
+  check "retry counted" true (st.Engine.Induction.worker_retries >= 1);
+  check_int "no fallback needed" 0 st.Engine.Induction.worker_fallbacks;
+  check "failure reason recorded for shard 0" true
+    (List.exists (fun (i, _) -> i = 0) st.Engine.Induction.worker_failures);
+  check "killed shard recovered: proved set == serial" true
+    (same_set serial par);
   check "result still sound" true (survives_sim d D.net_true par ~cycles:500)
+
+let test_crash_fallback () =
+  let d, cands = twin_design () in
+  let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+  (* retries exhausted (none allowed): the killed shard is proved
+     serially in-process instead — still nothing lost *)
+  let par, st =
+    with_env_var "PDAT_KILL_WORKER" "0" (fun () ->
+        Engine.Induction.prove_parallel ~jobs:2 ~retries:0 ~assume:D.net_true
+          d cands)
+  in
+  check "failed attempt counted" true (st.Engine.Induction.workers_failed >= 1);
+  check_int "no retry granted" 0 st.Engine.Induction.worker_retries;
+  check "fallback counted" true (st.Engine.Induction.worker_fallbacks >= 1);
+  check "fallback recovered: proved set == serial" true (same_set serial par);
+  check "result still sound" true (survives_sim d D.net_true par ~cycles:500)
+
+let test_chaos_kill_every_worker () =
+  let d, cands = twin_design () in
+  let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+  (* PDAT_CHAOS=worker-kill SIGKILLs *every* worker's first attempt;
+     both shards must come back through retries *)
+  let par, st =
+    with_env_var "PDAT_CHAOS" "worker-kill" (fun () ->
+        Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands)
+  in
+  Engine.Chaos.reset ();
+  check_int "both first attempts killed" 2 st.Engine.Induction.workers_failed;
+  check "both shards retried" true (st.Engine.Induction.worker_retries >= 2);
+  check "every shard recovered: proved set == serial" true
+    (same_set serial par);
+  check "signal recorded in failure reasons" true
+    (List.for_all
+       (fun (_, why) ->
+         let has_sub sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length why
+             && (String.sub why i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has_sub "signal" || has_sub "exit")
+       st.Engine.Induction.worker_failures)
 
 (* --- invariant cache ---------------------------------------------------- *)
 
@@ -171,10 +214,12 @@ let test_cache_warm_run () =
   check_int "warm run: zero workers" 0 wst.Engine.Induction.workers;
   check "warm run: identical proved list" true (cold = warm)
 
-let rm_rf dir =
+let rec rm_rf dir =
   if Sys.file_exists dir then begin
     Array.iter
-      (fun f -> Sys.remove (Filename.concat dir f))
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
       (Sys.readdir dir);
     Unix.rmdir dir
   end
@@ -257,23 +302,39 @@ let test_cache_corrupt_files_are_cold () =
       in
       check "scope file exists" true (files <> []);
       let path = Filename.concat dir (List.hd files) in
-      let damage_and_check label mutate =
+      let quarantined () =
+        let q = Filename.concat dir "quarantine" in
+        if Sys.file_exists q then Array.length (Sys.readdir q) else 0
+      in
+      let damage_and_check label ~salvage mutate =
+        let q_before = quarantined () in
         mutate path;
         let cache = Engine.Proof_cache.create ~dir () in
         let proved, st =
           Engine.Induction.prove_parallel ~jobs:1 ~cache ~assume:D.net_true d
             cands
         in
-        (* damage is detected and the run behaves exactly like a cold
-           one — same result, real SAT work, corruption counted *)
-        check (label ^ ": no stale hits") true
-          (st.Engine.Induction.cache_hits = 0);
-        check (label ^ ": SAT actually ran") true
-          (st.Engine.Induction.sat_calls > 0);
+        let cst = Engine.Proof_cache.stats cache in
+        (* the damage is detected, counted and quarantined; whatever the
+           CRC check could salvage from the valid prefix may still serve
+           hits, but the final result must equal the cold run's *)
         check (label ^ ": same proved list as cold") true (proved = cold);
         check (label ^ ": corruption counted") true
-          ((Engine.Proof_cache.stats cache).Engine.Proof_cache.corrupt_files
-          = 1);
+          (cst.Engine.Proof_cache.corrupt_files = 1);
+        check (label ^ ": damaged file quarantined") true
+          (quarantined () > q_before);
+        if salvage then
+          check (label ^ ": valid prefix salvaged") true
+            (cst.Engine.Proof_cache.salvaged_entries > 0
+            && st.Engine.Induction.cache_hits
+               = cst.Engine.Proof_cache.salvaged_entries)
+        else begin
+          check (label ^ ": nothing salvaged, no stale hits") true
+            (cst.Engine.Proof_cache.salvaged_entries = 0
+            && st.Engine.Induction.cache_hits = 0);
+          check (label ^ ": SAT actually ran") true
+            (st.Engine.Induction.sat_calls > 0)
+        end;
         (* the damaged file is replaced by a clean one on flush *)
         Engine.Proof_cache.flush cache;
         let cache2 = Engine.Proof_cache.create ~dir () in
@@ -284,15 +345,123 @@ let test_cache_corrupt_files_are_cold () =
         check (label ^ ": healed after flush") true
           (st2.Engine.Induction.sat_calls = 0)
       in
-      damage_and_check "truncated" (fun p ->
+      (* mid-entry truncation keeps the header and a valid prefix *)
+      damage_and_check "truncated" ~salvage:true (fun p ->
           let n = (Unix.stat p).Unix.st_size in
           let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
           Unix.ftruncate fd (n / 2);
           Unix.close fd);
-      damage_and_check "garbage" (fun p ->
+      damage_and_check "garbage" ~salvage:false (fun p ->
           let oc = open_out p in
           output_string oc "not a cache file\nat all\n";
           close_out oc))
+
+let test_cache_stale_tmp_cleanup () =
+  let d, cands = cache_fixture () in
+  with_temp_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      (* an orphan tmp from a crashed writer *)
+      let stale = Filename.concat dir "deadbeef.pdatcache.1234.tmp" in
+      let oc = open_out stale in
+      output_string oc "half-written";
+      close_out oc;
+      let cache = Engine.Proof_cache.create ~dir () in
+      check "stale tmp swept on open" false (Sys.file_exists stale);
+      (* flush goes through a pid-unique tmp and leaves no tmp behind *)
+      let _ =
+        Engine.Induction.prove_parallel ~jobs:1 ~cache ~assume:D.net_true d
+          cands
+      in
+      Engine.Proof_cache.flush cache;
+      let leftover =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+      in
+      check "no tmp file survives a flush" true (leftover = []))
+
+let test_cache_eviction () =
+  let d, cands = cache_fixture () in
+  with_temp_dir (fun dir ->
+      (* seed one scope file, then open with a 1-byte budget: the next
+         flush must evict down to (under) the budget *)
+      let seed = Engine.Proof_cache.create ~dir () in
+      let _ =
+        Engine.Induction.prove_parallel ~jobs:1 ~cache:seed ~assume:D.net_true
+          d cands
+      in
+      Engine.Proof_cache.flush seed;
+      let scope_files () =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".pdatcache")
+      in
+      check "seed run wrote a scope file" true (scope_files () <> []);
+      let bounded = Engine.Proof_cache.create ~dir ~max_bytes:1 () in
+      let _ =
+        Engine.Induction.prove_parallel ~jobs:1 ~cache:bounded
+          ~assume:D.net_true d cands
+      in
+      Engine.Proof_cache.flush bounded;
+      check "over-budget scope files evicted" true (scope_files () = []);
+      check "eviction counted" true
+        ((Engine.Proof_cache.stats bounded).Engine.Proof_cache.evicted_files
+        >= 1))
+
+let test_shard_checkpoint_resume () =
+  let d, cands = twin_design () in
+  let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+  (* run 1 checkpoints every settled shard, as the run journal would *)
+  let checkpoints = ref [] in
+  let par, _ =
+    Engine.Induction.prove_parallel ~jobs:2
+      ~checkpoint:(fun fp proved -> checkpoints := (fp, proved) :: !checkpoints)
+      ~assume:D.net_true d cands
+  in
+  check "run 1 matches serial" true (same_set serial par);
+  check_int "both shards checkpointed" 2 (List.length !checkpoints);
+  (* run 2 is handed the checkpoints: both shards are settled without
+     forking a single worker, and the join round lands on the same set *)
+  let par2, st2 =
+    Engine.Induction.prove_parallel ~jobs:2 ~recovered:!checkpoints
+      ~assume:D.net_true d cands
+  in
+  check_int "both shards resumed from checkpoints" 2
+    st2.Engine.Induction.resumed_shards;
+  check_int "no worker forked" 0 (List.length st2.Engine.Induction.worker_times);
+  check "resumed run matches serial" true (same_set serial par2)
+
+(* --- the chaos matrix: crash-safety end-to-end ------------------------- *)
+
+(* Like [twin_design], but sized so pipeline mining reliably finds the
+   per-block constants and the sharder gets two disjoint components. *)
+let chaos_design () =
+  let d = D.create "chaos_twin" in
+  let block name =
+    let a = D.add_input d ("in_" ^ name) in
+    let na = D.add_cell d C.Inv [| a |] in
+    let zero = D.add_cell d C.And2 [| a; na |] in
+    let r = D.add_dff d ~d:zero () in
+    let r2 = D.add_dff d ~d:r () in
+    D.add_output d ("y_" ^ name) (D.add_cell d C.Or2 [| r; r2 |])
+  in
+  block "a";
+  block "b";
+  d
+
+let test_chaos_matrix () =
+  let d = chaos_design () in
+  let env = Pdat.Environment.unconstrained d in
+  with_temp_dir (fun dir ->
+      let scenarios =
+        Pdat.Chaos_harness.matrix ~jobs:2 ~retries:2 ~dir ~design:d ~env ()
+      in
+      check_int "three scenarios ran" 3 (List.length scenarios);
+      List.iter
+        (fun s ->
+          check
+            (Printf.sprintf "chaos scenario %s: %s" s.Pdat.Chaos_harness.name
+               s.Pdat.Chaos_harness.detail)
+            true s.Pdat.Chaos_harness.ok)
+        scenarios)
 
 (* --- the flagship kernel at scale (mirrors the bench `parallel` target) -- *)
 
@@ -315,7 +484,7 @@ let test_ibex_parallel_identity () =
   in
   let opts =
     { Engine.Induction.k = 1; call_conflict_budget = 30_000;
-      total_conflict_budget = -1; time_budget_s = -1. }
+      total_conflict_budget = -1; time_budget_s = infinity }
   in
   let p1, _ =
     Engine.Induction.prove_parallel ~options:opts ~jobs:1 ~assume model cands
@@ -400,8 +569,14 @@ let () =
         [
           Alcotest.test_case "parallel == serial over 50 random netlists"
             `Slow test_differential;
-          Alcotest.test_case "crash isolation drops only the dead shard"
-            `Quick test_crash_isolation;
+          Alcotest.test_case "killed worker is retried, nothing lost"
+            `Quick test_crash_retry;
+          Alcotest.test_case "exhausted retries fall back to serial"
+            `Quick test_crash_fallback;
+          Alcotest.test_case "chaos kill of every worker still recovers"
+            `Quick test_chaos_kill_every_worker;
+          Alcotest.test_case "checkpointed shards resume without workers"
+            `Quick test_shard_checkpoint_resume;
         ] );
       ( "cache",
         [
@@ -411,8 +586,18 @@ let () =
             test_cache_disk_persistence;
           Alcotest.test_case "mutated netlist never reuses stale entries"
             `Quick test_cache_mutated_netlist_is_cold;
-          Alcotest.test_case "corrupt files detected and treated cold" `Quick
+          Alcotest.test_case "corruption salvaged, quarantined, healed" `Quick
             test_cache_corrupt_files_are_cold;
+          Alcotest.test_case "stale tmps swept, flush leaves none" `Quick
+            test_cache_stale_tmp_cleanup;
+          Alcotest.test_case "size budget evicts oldest scope files" `Quick
+            test_cache_eviction;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case
+            "matrix: worker kills, cache truncation, sigterm + resume" `Slow
+            test_chaos_matrix;
         ] );
       ( "ibex",
         [
