@@ -38,6 +38,15 @@ let cache_dir_arg =
 
 let make_cache = Option.map (fun d -> Engine.Proof_cache.create ~dir:d ())
 
+let sieve_flag =
+  let doc =
+    "Enable the simulation-signature sieve in front of the prover: \
+     pointwise-equivalent candidates are proved once per class and the \
+     verdict transfers, without changing the proved set (also enabled by \
+     \\$(b,PDAT_SIEVE))."
+  in
+  Arg.(value & flag & info [ "sieve" ] ~doc)
+
 let retries_arg =
   let doc =
     "Per-shard retry budget of the supervised proof workers (defaults to \
@@ -244,8 +253,8 @@ let reduce_cmd =
   let port_flag =
     Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
   in
-  let run fast jobs cache_dir core subset_name port out validate time_budget
-      lint inject_kind trace run_dir resume retries =
+  let run fast jobs cache_dir sieve core subset_name port out validate
+      time_budget lint inject_kind trace run_dir resume retries =
     if inject_kind <> None && not validate then begin
       Format.eprintf "--inject requires --validate to mean anything@.";
       exit 1
@@ -261,7 +270,8 @@ let reduce_cmd =
     in
     let result =
       match
-        Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
+        Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir)
+          ?sieve:(if sieve then Some true else None) ~validate
           ?time_budget ~lint ?inject
           ?trace:(Option.map Obs.sink_of_path trace) ?run_dir ~resume
           ?retries ~design ~env ()
@@ -297,7 +307,8 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Reduce a core for an ISA subset and optionally export Verilog")
-    Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ core_arg $ subset_arg
+    Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ sieve_flag
+          $ core_arg $ subset_arg
           $ port_flag $ out_arg $ validate_flag $ time_budget_arg
           $ lint_gate_arg $ inject_arg $ trace_arg $ run_dir_arg
           $ resume_flag $ retries_arg)
@@ -412,8 +423,8 @@ let report_cmd =
     in
     Arg.(value & opt string "." & info [ "out-dir" ] ~doc ~docv:"DIR")
   in
-  let run fast jobs cache_dir core subset_name port validate time_budget
-      dump_cex out_dir run_dir resume retries =
+  let run fast jobs cache_dir sieve core subset_name port validate
+      time_budget dump_cex out_dir run_dir resume retries =
     if resume && run_dir = None then begin
       Format.eprintf "--resume needs --run-dir to locate the journal@.";
       exit 1
@@ -423,7 +434,8 @@ let report_cmd =
     let prov = Report.Provenance.create () in
     let result =
       match
-        Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir) ~validate
+        Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir)
+          ?sieve:(if sieve then Some true else None) ~validate
           ?time_budget ~lint:Analysis.Lint.Warn ~provenance:prov ?dump_cex
           ?run_dir ~resume ?retries ~design ~env ()
       with
@@ -475,7 +487,8 @@ let report_cmd =
        ~doc:
          "Run the pipeline with full provenance tracking and emit the \
           machine-readable and human run reports")
-    Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ core_arg $ subset_arg
+    Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ sieve_flag
+          $ core_arg $ subset_arg
           $ port_flag $ validate_flag $ time_budget_arg $ dump_cex_arg
           $ out_dir_arg $ run_dir_arg $ resume_flag $ retries_arg)
 

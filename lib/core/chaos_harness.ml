@@ -32,6 +32,12 @@ let proved_keys prov =
                Engine.Induction.verdict =
                  Engine.Induction.V_cached Engine.Proof_cache.Proved;
                _;
+             }
+         | Some
+             {
+               Engine.Induction.verdict =
+                 Engine.Induction.V_sieved { proved = true; _ };
+               _;
              } ->
              Some (Engine.Candidate.key r.Report.Provenance.cand)
          | _ -> None)

@@ -69,6 +69,14 @@ let default_jobs () =
         | _ -> 1)
     | None -> 1)
 
+let default_sieve () =
+  match Sys.getenv_opt "PDAT_SIEVE" with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "1" | "true" | "on" | "yes" -> true
+      | _ -> false)
+  | None -> false
+
 (* Budgeted stages and their relative weights.  The validate entry only
    participates when validation is on, so with it off the proof stage's
    share grows instead of being silently forfeited. *)
@@ -133,10 +141,11 @@ let run_digest ~design ~env =
        ^ "+"
        ^ Engine.Proof_cache.scope_digest design ~assume:Netlist.Design.net_true))
 
-let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
+let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache ?sieve
     ?(validate = false) ?validate_config ?validate_stimulus ?time_budget
     ?(lint = Analysis.Lint.Off) ?inject ?provenance ?dump_cex ?trace ?run_dir
     ?(resume = false) ?retries ~design ~env () =
+  let sieve = match sieve with Some s -> s | None -> default_sieve () in
   let trace =
     match trace with
     | Some _ as t -> t
@@ -387,7 +396,7 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache
         timed "prove" (fun () ->
             Engine.Induction.prove_parallel ~options:induction_options
               ?attributions ~cex:(env.Environment.stimulus, 24) ~jobs ?cache
-              ?retries ?checkpoint ~recovered:recovered_shards
+              ?retries ?checkpoint ~recovered:recovered_shards ~sieve
               ~assume:env.Environment.assume env.Environment.model candidates)
   in
   journal_stage "prove" (List.map Engine.Candidate.key proved);

@@ -115,12 +115,18 @@ val max_cex_dumps : int
 (** Cap on waveforms written per run by [?dump_cex] (records are
     visited in provenance-id order, so the sample is deterministic). *)
 
+val default_sieve : unit -> bool
+(** The sieve setting used when [run] gets no [?sieve]: the
+    [PDAT_SIEVE] environment variable ("1"/"true"/"on"/"yes" — default
+    off). *)
+
 val run :
   ?rsim:Engine.Rsim.config ->
   ?refine:Engine.Rsim.config ->
   ?induction:Engine.Induction.options ->
   ?jobs:int ->
   ?cache:Engine.Proof_cache.t ->
+  ?sieve:bool ->
   ?validate:bool ->
   ?validate_config:Validate.config ->
   ?validate_stimulus:Engine.Stimulus.t ->
@@ -146,6 +152,15 @@ val run :
     environment variable, or 1 (fully serial, no forking).  [cache], if
     given, settles previously-decided candidates without SAT and is
     flushed to disk (when disk-backed) right after the proof stage.
+
+    [sieve] (default {!default_sieve}, i.e. [PDAT_SIEVE]) enables the
+    simulation-signature sieve in front of the prover
+    ({!Engine.Induction.prove_parallel}): pointwise-equivalent
+    candidates are proved once per class and the verdict transfers,
+    without changing the proved set.  Stage-level journal entries are
+    sieve-agnostic (they record surviving candidate keys), so a
+    journaled run may be resumed with either setting; shard-level
+    checkpoints match only between runs with the same setting.
 
     [validate] (default [false]) enables differential validation; on a
     divergence or an uncomparable interface the result falls back to

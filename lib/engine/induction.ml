@@ -21,6 +21,10 @@ type stats = {
   decisions : int;
   propagations : int;
   rounds : int;
+  core_skips : int;
+  n_sieved : int;
+  sieve_classes : int;
+  sieve_sat_calls : int;
   budget_exhausted : bool;
   deadline_exceeded : bool;
   workers : int;
@@ -45,6 +49,10 @@ let blank_stats =
     decisions = 0;
     propagations = 0;
     rounds = 0;
+    core_skips = 0;
+    n_sieved = 0;
+    sieve_classes = 0;
+    sieve_sat_calls = 0;
     budget_exhausted = false;
     deadline_exceeded = false;
     workers = 0;
@@ -66,6 +74,12 @@ let pp_stats fmt s =
     s.n_candidates s.n_proved s.sat_calls s.conflicts s.rounds
     (if s.budget_exhausted then " (budget exhausted)" else "")
     (if s.deadline_exceeded then " (deadline exceeded)" else "");
+  if s.core_skips > 0 then Format.fprintf fmt " core_skips=%d" s.core_skips;
+  if s.sieve_classes > 0 then
+    Format.fprintf fmt " sieve=%d/%d classes (%d sieve SAT calls)"
+      s.sieve_classes
+      (s.sieve_classes + s.n_sieved)
+      s.sieve_sat_calls;
   if s.workers > 0 then begin
     Format.fprintf fmt " workers=%d shards=[%s] worker_wall=%.1fs"
       s.workers
@@ -101,6 +115,7 @@ type verdict =
   | V_not_inductive
   | V_dropped of string
   | V_cached of Proof_cache.verdict
+  | V_sieved of { rep : Candidate.t; proved : bool }
 
 let verdict_label = function
   | V_proved _ -> "proved"
@@ -110,17 +125,20 @@ let verdict_label = function
   | V_dropped _ -> "dropped"
   | V_cached Proof_cache.Proved -> "cached-proved"
   | V_cached Proof_cache.Disproved -> "cached-disproved"
+  | V_sieved { proved = true; _ } -> "sieved-proved"
+  | V_sieved { proved = false; _ } -> "sieved-dropped"
 
-(* A candidate's claim at a given frame, as (clause to assert it under a
-   guard) and (literal implying its violation). *)
-let claim_clause u ~frame ~guard = function
+(* A candidate's claim at a given frame, as a bare literal list (the
+   clause asserting it), optionally under a guard literal. *)
+let claim_lits u ~frame = function
   | Candidate.Const (n, b) ->
       let l = Unroll.lit u ~frame n in
-      [ L.negate guard; (if b then l else L.negate l) ]
+      [ (if b then l else L.negate l) ]
   | Candidate.Implies { a; b; _ } ->
-      [ L.negate guard;
-        L.negate (Unroll.lit u ~frame a);
-        Unroll.lit u ~frame b ]
+      [ L.negate (Unroll.lit u ~frame a); Unroll.lit u ~frame b ]
+
+let claim_clause u ~frame ~guard cand =
+  L.negate guard :: claim_lits u ~frame cand
 
 (* violation literal: true in a model ⇒ the candidate fails at [frame] *)
 let violation_lit u ~frame = function
@@ -191,12 +209,15 @@ let build_side d ~assume ~init ~n_frames ~check_frames ~with_hypothesis
   let hyp_actives =
     if not with_hypothesis then None
     else begin
+      (* own candidates' window claims are selector-guarded: the guard
+         is assumed while the candidate is alive and retired on its
+         kill, physically deleting the claim clauses from the solver *)
       let guards =
         Array.map
           (fun cand ->
-            let g = L.pos (S.new_var solver) in
+            let g = S.new_selector solver in
             for f = 0 to n_frames - 2 do
-              S.add_clause solver (claim_clause u ~frame:f ~guard:g cand)
+              S.add_guarded solver ~guard:g (claim_lits u ~frame:f cand)
             done;
             g)
           candidates
@@ -214,112 +235,13 @@ let build_side d ~assume ~init ~n_frames ~check_frames ~with_hypothesis
 
 exception Out_of_budget
 
-(* One pass over a side: eliminate alive candidates violated on this
-   side until UNSAT (all alive jointly hold).  Returns true if any
-   candidate was killed. *)
-let run_pass side ~alive ~candidates ~opts ~sat_calls ~budget_left ~deadline
-    ~deadline_hit ~on_kill ~record_kill =
-  let solver = Unroll.solver side.u in
-  let killed_any = ref false in
-  let alive_indices () =
-    let acc = ref [] in
-    Array.iteri (fun i a -> if a then acc := i :: !acc) alive;
-    !acc
-  in
-  let assumptions_base () =
-    match side.hyp_actives with
-    | None -> []
-    | Some guards -> List.map (fun i -> guards.(i)) (alive_indices ())
-  in
-  let kill_from_model () =
-    let n_killed = ref 0 in
-    Array.iteri
-      (fun i a ->
-        if a then
-          let ok =
-            List.for_all
-              (fun f -> holds_in_model side.u ~frame:f candidates.(i))
-              side.check_frames
-          in
-          if not ok then begin
-            alive.(i) <- false;
-            record_kill i `Model;
-            incr n_killed
-          end)
-      alive;
-    !n_killed
-  in
-  let budgeted_solve assumptions =
-    incr sat_calls;
-    let before = S.num_conflicts solver in
-    let budget =
-      let b = opts.call_conflict_budget in
-      match !budget_left with
-      | None -> b
-      | Some total -> if b < 0 then total else min b total
-    in
-    let r = S.solve ~assumptions ~conflict_budget:budget ?deadline solver in
-    (match (r, deadline) with
-    | S.Unknown, Some t when Obs.Clock.now_s () >= t -> deadline_hit := true
-    | _ -> ());
-    let spent = S.num_conflicts solver - before in
-    (match !budget_left with
-    | None -> ()
-    | Some total ->
-        let remaining = total - spent in
-        if remaining <= 0 then raise Out_of_budget;
-        budget_left := Some remaining);
-    r
-  in
-  let rec aggregate_loop () =
-    match alive_indices () with
-    | [] -> ()
-    | idxs ->
-        let r_var = L.pos (S.new_var solver) in
-        S.add_clause solver
-          (L.negate r_var :: List.map (fun i -> side.viol.(i)) idxs);
-        (match budgeted_solve (r_var :: assumptions_base ()) with
-        | S.Sat ->
-            let n = kill_from_model () in
-            killed_any := true;
-            if n > 0 then on_kill ();
-            if n = 0 then
-              (* the model satisfied only spurious violation literals of
-                 implication candidates; fall back to individual checks *)
-              individual_loop idxs
-            else aggregate_loop ()
-        | S.Unsat -> ()
-        | S.Unknown -> individual_loop idxs)
-  and individual_loop idxs =
-    List.iter
-      (fun i ->
-        if alive.(i) then
-          match budgeted_solve (side.viol.(i) :: assumptions_base ()) with
-          | S.Sat ->
-              ignore (kill_from_model ());
-              if alive.(i) then begin
-                alive.(i) <- false;
-                record_kill i `Model
-              end;
-              killed_any := true;
-              on_kill ()
-          | S.Unsat -> ()
-          | S.Unknown ->
-              (* inconclusive: conservatively drop *)
-              alive.(i) <- false;
-              record_kill i `Inconclusive;
-              killed_any := true)
-      idxs
-  in
-  aggregate_loop ();
-  !killed_any
-
 let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
     ?fates ~assume d candidate_list =
   let candidates = Array.of_list candidate_list in
   let n = Array.length candidates in
   let alive = Array.make n true in
   let sat_calls = ref 0 in
+  let core_skips = ref 0 in
   (* Fate tracking (optional, for provenance): each candidate's first
      cause of death, or its proof.  [fate.(i)] is write-once. *)
   let want_fates = fates <> None in
@@ -445,22 +367,209 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
   in
   let rounds = ref 0 in
   let exhausted = ref false in
+  let alive_indices () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if alive.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let kill_from_model side ~is_base =
+    let n_killed = ref 0 in
+    Array.iteri
+      (fun i a ->
+        if a then
+          let ok =
+            List.for_all
+              (fun f -> holds_in_model side.u ~frame:f candidates.(i))
+              side.check_frames
+          in
+          if not ok then begin
+            alive.(i) <- false;
+            record_kill side ~is_base i `Model;
+            incr n_killed
+          end)
+      alive;
+    !n_killed
+  in
+  let budgeted_solve solver assumptions =
+    incr sat_calls;
+    let before = S.num_conflicts solver in
+    let budget =
+      let b = options.call_conflict_budget in
+      match !budget_left with
+      | None -> b
+      | Some total -> if b < 0 then total else min b total
+    in
+    let r = S.solve ~assumptions ~conflict_budget:budget ?deadline solver in
+    (match (r, deadline) with
+    | S.Unknown, Some t when Obs.Clock.now_s () >= t -> deadline_hit := true
+    | _ -> ());
+    let spent = S.num_conflicts solver - before in
+    (match !budget_left with
+    | None -> ()
+    | Some total ->
+        let remaining = total - spent in
+        if remaining <= 0 then raise Out_of_budget;
+        budget_left := Some remaining);
+    r
+  in
+  (* ---- step-side incremental bookkeeping --------------------------
+     Both sides keep one long-lived solver.  The step side additionally
+     tracks, per candidate:
+     - its selector guard (window claim clauses live under it; a kill
+       retires the selector, physically deleting them);
+     - the unsat core of its last individual step check, as the set of
+       co-candidate indices the proof assumed.  A later kill only
+       invalidates ("dirties") the candidates whose core mentions the
+       victim: everyone else's Unsat is monotone in the shrinking
+       assumption set and is {e not} re-solved ([core_skips]). *)
+  let step_solver = Unroll.solver step.u in
+  let step_guards =
+    match step.hyp_actives with Some g -> g | None -> [||]
+  in
+  let guard_index = Hashtbl.create (max 16 n) in
+  Array.iteri (fun i g -> Hashtbl.replace guard_index g i) step_guards;
+  let retired = Array.make n false in
+  let cores : int list option array = Array.make n None in
+  let sync_kills () =
+    Array.iteri
+      (fun j a ->
+        if (not a) && not retired.(j) then begin
+          retired.(j) <- true;
+          S.retire step_solver step_guards.(j);
+          Array.iteri
+            (fun i core ->
+              match core with
+              | Some deps when List.mem j deps -> cores.(i) <- None
+              | _ -> ())
+            cores
+        end)
+      alive
+  in
+  let base_pass () =
+    let solver = Unroll.solver base.u in
+    (* The base side has no hypothesis assumptions, so a candidate's
+       base validity never depends on the alive set: one complete pass
+       settles it forever and the fixpoint never returns here. *)
+    let rec aggregate () =
+      match alive_indices () with
+      | [] -> ()
+      | idxs ->
+          incr rounds;
+          let r = S.new_selector solver in
+          S.add_guarded solver ~guard:r
+            (List.map (fun i -> base.viol.(i)) idxs);
+          let res = budgeted_solve solver [ r ] in
+          S.retire solver r;
+          (match res with
+          | S.Sat ->
+              let nk = kill_from_model base ~is_base:true in
+              if nk > 0 then begin
+                cex_propagate base ();
+                aggregate ()
+              end
+              else
+                (* the model satisfied only spurious violation literals
+                   of implication candidates; check individually *)
+                individual idxs
+          | S.Unsat -> ()
+          | S.Unknown -> individual idxs)
+    and individual idxs =
+      List.iter
+        (fun i ->
+          if alive.(i) then
+            match budgeted_solve solver [ base.viol.(i) ] with
+            | S.Sat ->
+                ignore (kill_from_model base ~is_base:true);
+                if alive.(i) then begin
+                  alive.(i) <- false;
+                  record_kill base ~is_base:true i `Model
+                end;
+                cex_propagate base ()
+            | S.Unsat -> ()
+            | S.Unknown ->
+                (* inconclusive: conservatively drop *)
+                alive.(i) <- false;
+                record_kill base ~is_base:true i `Inconclusive)
+        idxs
+    in
+    aggregate ()
+  in
+  let step_fixpoint () =
+    let solver = step_solver in
+    sync_kills ();
+    let assumptions_alive () =
+      List.map (fun i -> step_guards.(i)) (alive_indices ())
+    in
+    let rec aggregate () =
+      match alive_indices () with
+      | [] -> ()
+      | idxs ->
+          incr rounds;
+          let r = S.new_selector solver in
+          S.add_guarded solver ~guard:r
+            (List.map (fun i -> step.viol.(i)) idxs);
+          let res = budgeted_solve solver (r :: assumptions_alive ()) in
+          S.retire solver r;
+          (match res with
+          | S.Sat ->
+              let nk = kill_from_model step ~is_base:false in
+              if nk > 0 then begin
+                cex_propagate step ();
+                sync_kills ();
+                aggregate ()
+              end
+              else individual ()
+          | S.Unsat -> ()
+          | S.Unknown -> individual ())
+    and individual () =
+      (* Worklist to a fixpoint: only candidates without a valid core
+         are (re-)checked; a kill dirties exactly its dependents. *)
+      let progress = ref true in
+      let first = ref true in
+      while !progress do
+        progress := false;
+        let al = alive_indices () in
+        let pending = List.filter (fun i -> cores.(i) = None) al in
+        if not !first then
+          core_skips := !core_skips + (List.length al - List.length pending);
+        first := false;
+        List.iter
+          (fun i ->
+            if alive.(i) && cores.(i) = None then
+              match
+                budgeted_solve solver (step.viol.(i) :: assumptions_alive ())
+              with
+              | S.Sat ->
+                  ignore (kill_from_model step ~is_base:false);
+                  if alive.(i) then begin
+                    alive.(i) <- false;
+                    record_kill step ~is_base:false i `Model
+                  end;
+                  cex_propagate step ();
+                  sync_kills ();
+                  progress := true
+              | S.Unsat ->
+                  let failed = S.failed_assumptions solver in
+                  cores.(i) <-
+                    Some
+                      (List.filter_map
+                         (fun l -> Hashtbl.find_opt guard_index l)
+                         failed)
+              | S.Unknown ->
+                  alive.(i) <- false;
+                  record_kill step ~is_base:false i `Inconclusive;
+                  sync_kills ();
+                  progress := true)
+          pending
+      done
+    in
+    aggregate ()
+  in
   (try
-     let continue = ref true in
-     while !continue do
-       incr rounds;
-       let kb =
-         run_pass base ~alive ~candidates ~opts:options ~sat_calls ~budget_left
-           ~deadline ~deadline_hit ~on_kill:(cex_propagate base)
-           ~record_kill:(record_kill base ~is_base:true)
-       in
-       let ks =
-         run_pass step ~alive ~candidates ~opts:options ~sat_calls ~budget_left
-           ~deadline ~deadline_hit ~on_kill:(cex_propagate step)
-           ~record_kill:(record_kill step ~is_base:false)
-       in
-       continue := kb || ks
-     done
+     base_pass ();
+     step_fixpoint ()
    with Out_of_budget ->
      exhausted := true;
      if want_fates then
@@ -498,8 +607,92 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
       decisions = snap_base.S.decisions + snap_step.S.decisions;
       propagations = snap_base.S.propagations + snap_step.S.propagations;
       rounds = !rounds;
+      core_skips = !core_skips;
       budget_exhausted = !exhausted;
       deadline_exceeded = !deadline_hit;
+    } )
+
+(* Reference prover, retained as the differential-test oracle and the
+   bench baseline: the pre-incremental snapshot/restore discipline.
+   Every pass re-encodes the unrolled transition relation into fresh
+   solvers and pays one solver round-trip per candidate, so no learned
+   clause, selector or core survives between checks.  Slow but
+   obviously correct — on complete runs (no budget/deadline drop) its
+   proved set is the greatest mutual-induction fixpoint, which is
+   exactly what [prove] computes incrementally. *)
+let prove_snapshot ?(options = default_options) ?(known = [])
+    ?(hypotheses = []) ~assume d candidate_list =
+  let candidates = Array.of_list candidate_list in
+  let n = Array.length candidates in
+  let alive = Array.make n true in
+  let sat_calls = ref 0 in
+  let rounds = ref 0 in
+  let k = max 1 options.k in
+  let deadline =
+    if options.time_budget_s = infinity then None
+    else Some (Obs.Clock.now_s () +. Float.max 0. options.time_budget_s)
+  in
+  let solve_one solver assumptions =
+    incr sat_calls;
+    S.solve ~assumptions ~conflict_budget:options.call_conflict_budget
+      ?deadline solver
+  in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    incr rounds;
+    let base =
+      build_side d ~assume ~init:`Reset ~n_frames:k
+        ~check_frames:(List.init k (fun i -> i))
+        ~with_hypothesis:false ~known ~hypotheses:[] candidates
+    in
+    Array.iteri
+      (fun i a ->
+        if a then
+          match solve_one (Unroll.solver base.u) [ base.viol.(i) ] with
+          | S.Sat | S.Unknown ->
+              alive.(i) <- false;
+              continue := true
+          | S.Unsat -> ())
+      alive;
+    let step =
+      build_side d ~assume ~init:`Free ~n_frames:(k + 1) ~check_frames:[ k ]
+        ~with_hypothesis:true ~known ~hypotheses candidates
+    in
+    let hyp_guards =
+      match step.hyp_actives with Some g -> g | None -> [||]
+    in
+    let assumptions () =
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if alive.(i) then acc := hyp_guards.(i) :: !acc
+      done;
+      !acc
+    in
+    Array.iteri
+      (fun i a ->
+        if a then
+          match
+            solve_one (Unroll.solver step.u)
+              (step.viol.(i) :: assumptions ())
+          with
+          | S.Sat | S.Unknown ->
+              alive.(i) <- false;
+              continue := true
+          | S.Unsat -> ())
+      alive
+  done;
+  let proved = ref [] in
+  for i = n - 1 downto 0 do
+    if alive.(i) then proved := candidates.(i) :: !proved
+  done;
+  ( !proved,
+    {
+      blank_stats with
+      n_candidates = n;
+      n_proved = List.length !proved;
+      sat_calls = !sat_calls;
+      rounds = !rounds;
     } )
 
 (* ------------------------------------------------------------------ *)
@@ -555,8 +748,8 @@ type attribution = {
 }
 
 let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
-    ?attributions ?retries ?checkpoint ?(recovered = []) ~assume d
-    candidate_list =
+    ?attributions ?retries ?checkpoint ?(recovered = []) ?(sieve = false)
+    ~assume d candidate_list =
   let retries = match retries with Some r -> max 0 r | None -> default_retries () in
   let want_fates = attributions <> None in
   let attribute cand verdict shard cache_hit =
@@ -589,6 +782,38 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
     candidate_list;
   let known = List.rev !cached_proved in
   let fresh = List.rev !fresh in
+  (* ---- simulation-signature sieve ------------------------------------
+     Partition the cache-missed candidates into pointwise-equivalence
+     classes (under [assume]); only one representative per class enters
+     the prover and the verdict transfers to the rest.  Equivalent
+     candidates are killed by the same models and contribute logically
+     identical induction hypotheses, so the expanded proved set equals
+     the sieve-off one exactly. *)
+  let sieve_classes, sieve_st =
+    if sieve && List.compare_length_with fresh 1 > 0 then begin
+      let classes, sst =
+        Obs.with_span ~cat:"prove" "sieve" (fun () ->
+            Sieve.partition ~assume d fresh)
+      in
+      Obs.add_int "sieve.classes" sst.Sieve.n_classes;
+      Obs.add_int "sieve.sieved" sst.Sieve.n_sieved;
+      (Some classes, sst)
+    end
+    else
+      ( None,
+        {
+          Sieve.n_candidates = 0;
+          n_classes = 0;
+          n_sieved = 0;
+          sat_calls = 0;
+          sat_merges = 0;
+        } )
+  in
+  let work =
+    match sieve_classes with
+    | None -> fresh
+    | Some classes -> List.map (fun c -> c.Sieve.rep) classes
+  in
   let n_total = List.length candidate_list in
   let position = Hashtbl.create (max 16 n_total) in
   List.iteri (fun i cand -> Hashtbl.replace position cand i) candidate_list;
@@ -601,6 +826,26 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
       ~worker_fallbacks ~resumed_shards ~worker_times ~shard_sizes
       ~worker_seconds =
     let workers_failed = List.length worker_failures in
+    (* sieve expansion: every member inherits its representative's
+       verdict, with a [V_sieved] fate naming the rep actually checked *)
+    let proved =
+      match sieve_classes with
+      | None -> proved
+      | Some classes ->
+          let proved_tbl = Hashtbl.create 64 in
+          List.iter (fun cand -> Hashtbl.replace proved_tbl cand ()) proved;
+          List.fold_left
+            (fun acc cl ->
+              let p = Hashtbl.mem proved_tbl cl.Sieve.rep in
+              List.iter
+                (fun m ->
+                  attribute m
+                    (V_sieved { rep = cl.Sieve.rep; proved = p })
+                    None false)
+                cl.Sieve.members;
+              if p then acc @ cl.Sieve.members else acc)
+            proved classes
+    in
     (* verdicts are recorded only for runs that completed cleanly: a
        candidate dropped because a budget ran out is not a refutation
        and must stay re-provable.  Worker crashes no longer poison the
@@ -635,11 +880,14 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
         cache_hits = !hits;
         cache_misses = !misses;
         worker_seconds;
+        n_sieved = sieve_st.Sieve.n_sieved;
+        sieve_classes = sieve_st.Sieve.n_classes;
+        sieve_sat_calls = sieve_st.Sieve.sat_calls;
       } )
   in
   let serial () =
     let fates = if want_fates then Some (Hashtbl.create 64) else None in
-    let proved, st = prove ~options ?cex ~known ?fates ~assume d fresh in
+    let proved, st = prove ~options ?cex ~known ?fates ~assume d work in
     (match fates with
     | None -> ()
     | Some f -> Hashtbl.iter (fun cand v -> attribute cand v None false) f);
@@ -653,16 +901,16 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
       ~shard_sizes:[] ~worker_seconds:0.
   else if jobs <= 1 then serial ()
   else begin
-    let shards = Shard.partition d ~jobs fresh in
+    let shards = Shard.partition d ~jobs work in
     if List.length shards <= 1 then serial ()
     else begin
-      let n_fresh = List.length fresh in
+      let n_work = List.length work in
       let worker_options shard_n =
         if options.total_conflict_budget <= 0 then options
         else
           { options with
             total_conflict_budget =
-              max 1000 (options.total_conflict_budget * shard_n / n_fresh) }
+              max 1000 (options.total_conflict_budget * shard_n / n_work) }
       in
       let shard_tbls =
         List.map
@@ -673,7 +921,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
           shards
       in
       let hypotheses_for tbl =
-        List.filter (fun c -> not (Hashtbl.mem tbl c)) fresh
+        List.filter (fun c -> not (Hashtbl.mem tbl c)) work
       in
       let t_fork = Obs.Clock.now_s () in
       (* -------- resume: shards already proved by a prior run -------- *)
@@ -1062,7 +1310,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
         (fun (_, _, proved) ->
           List.iter (fun c -> Hashtbl.replace surv_tbl c ()) proved)
         recovered_results;
-      let survivors = List.filter (Hashtbl.mem surv_tbl) fresh in
+      let survivors = List.filter (Hashtbl.mem surv_tbl) work in
       (* join round: one serial mutual-induction fixpoint over the union
          of shard survivors.  Workers over-assume (every other shard's
          candidates as step hypotheses), so their survivor union is a

@@ -35,6 +35,16 @@ type stats = {
   decisions : int;     (** SAT branch decisions, summed over solvers *)
   propagations : int;  (** unit propagations, summed over solvers *)
   rounds : int;
+  core_skips : int;
+      (** step-side re-checks avoided because the candidate's last
+          unsat core mentioned none of the newly killed co-candidates *)
+  n_sieved : int;
+      (** candidates settled by signature-class verdict transfer
+          instead of their own SAT checks *)
+  sieve_classes : int;  (** equivalence classes that entered the prover *)
+  sieve_sat_calls : int;
+      (** one-frame equivalence-confirmation SAT calls spent by the
+          sieve itself *)
   budget_exhausted : bool;
   deadline_exceeded : bool;  (** the wall-clock budget cut the proof short *)
   workers : int;          (** shards of the parallel run (0 = ran serially) *)
@@ -88,6 +98,11 @@ type verdict =
           SAT call, an exhausted budget, a lost worker — the reason
           string says which *)
   | V_cached of Proof_cache.verdict  (** settled by the proof cache *)
+  | V_sieved of { rep : Candidate.t; proved : bool }
+      (** settled by the simulation-signature sieve: the candidate is
+          pointwise equivalent (under the environment assumption) to
+          [rep], whose verdict — [proved] — was transferred to it.
+          [rep] is always a candidate the prover actually checked. *)
 
 val verdict_label : verdict -> string
 (** Short stable tag ("proved", "refuted", ...) for reports. *)
@@ -138,6 +153,24 @@ val prove :
     extraction at each base-side kill (one literal read per input per
     frame, while the SAT model is live). *)
 
+val prove_snapshot :
+  ?options:options ->
+  ?known:Candidate.t list ->
+  ?hypotheses:Candidate.t list ->
+  assume:Netlist.Design.net ->
+  Netlist.Design.t ->
+  Candidate.t list ->
+  Candidate.t list * stats
+(** The pre-incremental snapshot/restore prover, kept as a
+    differential-test oracle and bench baseline: every pass re-encodes
+    the transition relation into fresh solvers and pays one solver
+    round-trip per candidate per pass, so nothing — learned clauses,
+    selectors, cores — is reused between checks.  On complete runs
+    (generous budgets, no [Unknown] drops) its proved set is the
+    greatest mutual-induction fixpoint and must be byte-identical to
+    {!prove}'s.  No counterexample propagation and no fates: this is a
+    measurement and verification artifact, not a production path. *)
+
 val shard_fingerprint : Candidate.t list -> string
 (** Content digest of a shard's candidate set (order-independent, over
     {!Candidate.key}s).  This is the name under which the run journal
@@ -153,6 +186,7 @@ val prove_parallel :
   ?retries:int ->
   ?checkpoint:(string -> Candidate.t list -> unit) ->
   ?recovered:(string * Candidate.t list) list ->
+  ?sieve:bool ->
   assume:Netlist.Design.net ->
   Netlist.Design.t ->
   Candidate.t list ->
@@ -186,6 +220,17 @@ val prove_parallel :
     serial fixpoint; the greatest fixpoint of any superset of the
     fixpoint (within the original set) is that fixpoint, hence the join
     round's result equals the serial one.
+
+    [sieve] (default [false]) switches on the {!Sieve}: cache-missed
+    candidates are partitioned into pointwise-equivalence classes, only
+    the representatives are sharded and proved, and each member
+    inherits its representative's verdict (fate
+    [V_sieved { rep; proved }]).  Because members are exactly
+    equivalent under [assume], the expanded proved set is byte-identical
+    to a sieve-off run; shard fingerprints, however, are computed over
+    representative sets, so journal checkpoints written with the sieve
+    on only resume runs with the sieve on (the stage-level journal
+    entry is unaffected either way).
 
     [checkpoint], when given, is called with
     ([{!shard_fingerprint} shard], proved set) each time a shard is

@@ -1,0 +1,63 @@
+(** Simulation-signature sieve in front of the prover.
+
+    Duplicate work is endemic in mined candidate sets: the same
+    implication shows up once per gate that exhibits it, and
+    functionally equivalent nets spawn whole families of candidates
+    whose SAT checks are interchangeable.  The sieve partitions the
+    candidate list into {e pointwise-equivalence classes under the
+    environment assumption} — two candidates land in one class only
+    when their claim evaluates identically on {b every} net assignment
+    with [assume = 1] — so the prover checks one representative per
+    class and the verdict transfers to the rest
+    ({!Induction.verdict.V_sieved}).
+
+    Pointwise equivalence (not mere signature equality, and not
+    subsumption) is what makes the transfer exact: equivalent
+    candidates are killed by the same models, contribute logically
+    identical induction hypotheses, and therefore survive the mutual
+    induction fixpoint together or not at all.  Sieve-on and sieve-off
+    runs produce byte-identical proved sets.
+
+    The pipeline is cheap-to-expensive:
+    + candidates that are syntactically the same claim (e.g. the same
+      implication mined from different cells) merge for free;
+    + remaining groups are bucketed by a bit-parallel
+      {!Netlist.Sim64} signature — the masked violation word over
+      random states and inputs — so only groups the simulator cannot
+      tell apart reach SAT;
+    + a bucket is confirmed by one-frame combinational equivalence
+      checks on a single long-lived solver, one selector-guarded
+      difference query per comparison ([h1 ≠ h2] under [assume],
+      Unsat ⇒ merge), retired after each query.  [Sat] or [Unknown]
+      keeps the group separate — never unsound, only less sieving. *)
+
+type cls = {
+  rep : Candidate.t;           (** first class member in input order *)
+  members : Candidate.t list;  (** the rest, in input order *)
+}
+
+type stats = {
+  n_candidates : int;
+  n_classes : int;
+  n_sieved : int;    (** candidates that ride along: Σ |members| *)
+  sat_calls : int;   (** equivalence-confirmation queries *)
+  sat_merges : int;  (** merges that needed SAT (vs syntactic) *)
+}
+
+val partition :
+  ?runs:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  ?conflict_budget:int ->
+  assume:Netlist.Design.net ->
+  Netlist.Design.t ->
+  Candidate.t list ->
+  cls list * stats
+(** Deterministic for a given (design, candidate list, parameters):
+    classes come back in input order of their representatives, members
+    in input order within each class.  [runs] × [cycles] (default
+    4 × 64) is the signature length; each run starts from a fresh
+    random state, so the signature also covers states unreachable from
+    reset — required, since the step side of induction quantifies over
+    free states.  [conflict_budget] (default 5000) bounds each
+    confirmation query. *)

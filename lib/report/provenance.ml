@@ -194,7 +194,8 @@ let proved_ids t =
     (fun r ->
       match r.attribution with
       | Some { I.verdict = I.V_proved _; _ }
-      | Some { I.verdict = I.V_cached Engine.Proof_cache.Proved; _ } ->
+      | Some { I.verdict = I.V_cached Engine.Proof_cache.Proved; _ }
+      | Some { I.verdict = I.V_sieved { proved = true; _ }; _ } ->
           Some r.id
       | _ -> None)
     (records t)

@@ -71,6 +71,8 @@ type summary = {
   s_dropped : int;
   s_cached_proved : int;
   s_cached_disproved : int;
+  s_sieved_proved : int;
+  s_sieved_dropped : int;
   s_unresolved : int;
   s_with_cex : int;
 }
@@ -88,6 +90,8 @@ let summarize records =
         s_dropped = 0;
         s_cached_proved = 0;
         s_cached_disproved = 0;
+        s_sieved_proved = 0;
+        s_sieved_dropped = 0;
         s_unresolved = 0;
         s_with_cex = 0;
       }
@@ -119,7 +123,17 @@ let summarize records =
                   s_cached_proved = t.s_cached_proved + 1;
                 }
             | I.V_cached Engine.Proof_cache.Disproved ->
-                { t with s_cached_disproved = t.s_cached_disproved + 1 })))
+                { t with s_cached_disproved = t.s_cached_disproved + 1 }
+            | I.V_sieved { proved = true; _ } ->
+                (* sieve-settled proofs count as proved: the rewiring
+                   stage may cite them like any other invariant *)
+                {
+                  t with
+                  s_proved = t.s_proved + 1;
+                  s_sieved_proved = t.s_sieved_proved + 1;
+                }
+            | I.V_sieved { proved = false; _ } ->
+                { t with s_sieved_dropped = t.s_sieved_dropped + 1 })))
     records;
   !s
 
@@ -222,6 +236,7 @@ let cand_json prov (r : P.cand_record) =
                 | Some c -> [ ("cex_frames", string_of_int (Engine.Cex.length c)) ]
                 | None -> [])
           | I.V_dropped reason -> [ ("reason", jstr reason) ]
+          | I.V_sieved { rep; _ } -> [ ("rep", jstr (Engine.Candidate.key rep)) ]
           | I.V_sim_killed | I.V_not_inductive | I.V_cached _ -> [])
       | Unresolved -> [])
   in

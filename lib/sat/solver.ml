@@ -63,6 +63,9 @@ type t = {
   mutable max_learnts : float;
   mutable failed : int list;
   mutable rng : Random.State.t;
+  guarded : (int, clause list) Hashtbl.t;
+      (* selector var -> problem clauses retired together with it *)
+  mutable n_dead : int;  (* deleted problem clauses awaiting compaction *)
 }
 
 type result = Sat | Unsat | Unknown
@@ -99,6 +102,8 @@ let create () =
     max_learnts = 8192.0;
     failed = [];
     rng = Random.State.make [| 91648253 |];
+    guarded = Hashtbl.create 64;
+    n_dead = 0;
   }
 
 let set_seed s seed = s.rng <- Random.State.make [| seed |]
@@ -271,13 +276,17 @@ let cla_bump s c =
 
 let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
 
-let add_clause s lits =
+(* Returns the clause object actually stored, when one is: simplified
+   or satisfied clauses (and units, which go straight onto the trail)
+   allocate nothing and return [None]. *)
+let add_clause_tracked s lits =
   List.iter
     (fun l ->
       if l lsr 1 >= s.n_vars then
         invalid_arg "Solver.add_clause: unknown variable")
     lits;
-  if s.ok then begin
+  if not s.ok then None
+  else begin
     assert (s.n_levels = 0);
     let lits = List.sort_uniq compare lits in
     let rec tautology = function
@@ -285,19 +294,70 @@ let add_clause s lits =
       | _ :: rest -> tautology rest
       | [] -> false
     in
-    if tautology lits || List.exists (fun l -> lit_val s l = 1) lits then ()
+    if tautology lits || List.exists (fun l -> lit_val s l = 1) lits then None
     else
       let lits = List.filter (fun l -> lit_val s l <> 0) lits in
       match lits with
-      | [] -> s.ok <- false
-      | [ l ] -> enqueue s l None
+      | [] ->
+          s.ok <- false;
+          None
+      | [ l ] ->
+          enqueue s l None;
+          None
       | _ ->
           let c =
             { lits = Array.of_list lits; act = 0.0; learnt = false; deleted = false }
           in
           attach_clause s c;
           s.clauses <- c :: s.clauses;
-          s.n_clauses <- s.n_clauses + 1
+          s.n_clauses <- s.n_clauses + 1;
+          Some c
+  end
+
+let add_clause s lits = ignore (add_clause_tracked s lits)
+
+(* ---------------- selectors (guarded clause groups) ----------------- *)
+
+(* A selector is an ordinary variable used as an activation literal:
+   clauses added under it carry its negation, so they are vacuous
+   unless the selector is assumed true in a [solve] call.  Selectors
+   never gain a positive unit clause, hence a guarded clause can never
+   propagate at decision level 0 and is safe to delete physically. *)
+
+let new_selector s = Lit.pos (new_var s)
+
+let add_guarded s ~guard lits =
+  match add_clause_tracked s (Lit.negate guard :: lits) with
+  | None -> ()
+  | Some c ->
+      let v = Lit.var guard in
+      let prev = try Hashtbl.find s.guarded v with Not_found -> [] in
+      Hashtbl.replace s.guarded v (c :: prev)
+
+let retire s guard =
+  (* The unit clause makes the selector false forever, turning any
+     learned clause that mentions it vacuous; the problem clauses it
+     guarded are deleted outright rather than left satisfied. *)
+  add_clause s [ Lit.negate guard ];
+  let v = Lit.var guard in
+  (match Hashtbl.find_opt s.guarded v with
+  | None -> ()
+  | Some cs ->
+      Hashtbl.remove s.guarded v;
+      List.iter
+        (fun c ->
+          if not c.deleted then begin
+            c.deleted <- true;
+            s.n_clauses <- s.n_clauses - 1;
+            s.n_dead <- s.n_dead + 1
+          end)
+        cs);
+  (* Amortized compaction: watch lists self-clean during propagation,
+     but the clause list itself is swept only when dead clauses pile
+     up, keeping [retire] O(group size) amortized. *)
+  if s.n_dead > 64 && s.n_dead > s.n_clauses then begin
+    s.clauses <- List.filter (fun c -> not c.deleted) s.clauses;
+    s.n_dead <- 0
   end
 
 (* ---------------- propagation -------------------------------------- *)

@@ -43,6 +43,31 @@ val solve :
     its wall-clock latency into the [sat.call_s] {!Obs} distribution
     (p50/p95 of it surface in bench JSON and run reports). *)
 
+val new_selector : t -> Lit.t
+(** A fresh {e selector} (activation) literal for incremental clause
+    groups.  Clauses added under it with {!add_guarded} hold only in
+    [solve] calls that assume the selector true; the whole group is
+    permanently removed with {!retire}.  A selector is an ordinary
+    variable — it may appear in assumptions and shows up in
+    {!failed_assumptions} like any other assumption literal, which is
+    how the proof engine maps unsat cores back to candidates. *)
+
+val add_guarded : t -> guard:Lit.t -> Lit.t list -> unit
+(** [add_guarded s ~guard lits] adds the clause [¬guard ∨ lits] and
+    registers it under [guard]'s variable for {!retire}.  [guard]
+    should be a literal from {!new_selector}; guarding on a literal
+    that also receives ordinary clauses is allowed but then [retire]
+    deletes only the registered clauses. *)
+
+val retire : t -> Lit.t -> unit
+(** Permanently deactivates a selector: adds the unit clause
+    [¬guard], so learned clauses mentioning the selector become
+    vacuous, and physically deletes every clause registered under it
+    (they can never propagate again, so deletion is sound).  Must be
+    called between [solve] calls (decision level 0).  Retiring twice,
+    or retiring a selector with no registered clauses, is a no-op
+    beyond the unit. *)
+
 val value : t -> int -> bool
 (** Model value of a variable after {!solve} returned [Sat].
     Unconstrained variables read as [false]. *)

@@ -59,6 +59,16 @@ let test_differential () =
       Engine.Rsim.mine ~config:mine_config d Engine.Stimulus.unconstrained
     in
     let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+    (* the incremental prover (persistent solvers, selector-guarded
+       clauses, unsat-core skips) against the snapshot/restore oracle:
+       both run to completion, so the greatest-fixpoint sets must be
+       byte-identical *)
+    let snap, _ = Engine.Induction.prove_snapshot ~assume:D.net_true d cands in
+    if not (same_set serial snap) then
+      Alcotest.failf
+        "seed %d: incremental proved %d, snapshot oracle proved %d \
+         (different sets)"
+        seed (List.length serial) (List.length snap);
     if serial <> [] then begin
       incr nonempty;
       (* the certified rewiring of the serial proof set must pass the
@@ -91,7 +101,29 @@ let test_differential () =
           (Printf.sprintf "seed %d jobs %d: survives simulation" seed jobs)
           true
           (survives_sim d D.net_true par ~cycles:1000))
-      [ 1; 2; 4 ]
+      [ 1; 2; 4 ];
+    (* the sieve transfers verdicts across pointwise-equivalent
+       candidates: its expanded proved set must be byte-identical to a
+       sieve-off run, serial and parallel alike *)
+    List.iter
+      (fun jobs ->
+        let sieved, sst =
+          Engine.Induction.prove_parallel ~jobs ~sieve:true ~assume:D.net_true
+            d cands
+        in
+        if not (same_set serial sieved) then
+          Alcotest.failf
+            "seed %d jobs %d: sieve-on proved %d, sieve-off proved %d \
+             (different sets)"
+            seed jobs (List.length sieved) (List.length serial);
+        if sst.Engine.Induction.sieve_classes > 0 then
+          check
+            (Printf.sprintf "seed %d jobs %d: sieve accounting consistent"
+               seed jobs)
+            true
+            (sst.Engine.Induction.n_sieved
+            = List.length cands - sst.Engine.Induction.sieve_classes))
+      [ 1; 2 ]
   done;
   (* the harness must actually exercise non-trivial proofs *)
   check "some seeds proved something" true (!nonempty > 10)
@@ -429,6 +461,65 @@ let test_shard_checkpoint_resume () =
   check_int "no worker forked" 0 (List.length st2.Engine.Induction.worker_times);
   check "resumed run matches serial" true (same_set serial par2)
 
+(* --- the sieve under crashes and resume -------------------------------- *)
+
+(* [twin_design]'s two dead-zero constants sit on different nets of
+   disjoint blocks, so only the sieve's SAT confirmation can merge
+   them — exactly the path that must stay sound across worker kills *)
+let test_sieve_chaos_kill () =
+  let d, cands = twin_design () in
+  let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+  let par, st =
+    with_env_var "PDAT_CHAOS" "worker-kill" (fun () ->
+        Engine.Induction.prove_parallel ~jobs:2 ~sieve:true ~assume:D.net_true
+          d cands)
+  in
+  Engine.Chaos.reset ();
+  check "sieve merged at least one pair" true
+    (st.Engine.Induction.n_sieved >= 1);
+  check "every first attempt killed" true
+    (st.Engine.Induction.workers_failed >= 1);
+  check "sieved + killed run still matches serial" true (same_set serial par);
+  check "result still sound" true (survives_sim d D.net_true par ~cycles:500)
+
+let test_sieve_checkpoint_resume () =
+  let d, cands = twin_design () in
+  let serial, _ = Engine.Induction.prove ~assume:D.net_true d cands in
+  (* run 1, sieve on, checkpoints its (representative-set) shards *)
+  let checkpoints = ref [] in
+  let par, st =
+    Engine.Induction.prove_parallel ~jobs:2 ~sieve:true
+      ~checkpoint:(fun fp proved -> checkpoints := (fp, proved) :: !checkpoints)
+      ~assume:D.net_true d cands
+  in
+  check "sieved run matches serial" true (same_set serial par);
+  check "sieve merged at least one pair" true
+    (st.Engine.Induction.n_sieved >= 1);
+  check "shards were checkpointed" true (!checkpoints <> []);
+  (* run 2, same sieve setting: fingerprints are computed over the same
+     representative sets, so every shard resumes without a worker and
+     verdict expansion still lands on the serial set *)
+  let par2, st2 =
+    Engine.Induction.prove_parallel ~jobs:2 ~sieve:true
+      ~recovered:!checkpoints ~assume:D.net_true d cands
+  in
+  check_int "all shards resumed from checkpoints"
+    (List.length !checkpoints)
+    st2.Engine.Induction.resumed_shards;
+  check_int "no worker forked" 0
+    (List.length st2.Engine.Induction.worker_times);
+  check "resumed sieved run matches serial" true (same_set serial par2);
+  (* a sieve-off run handed sieve-on checkpoints: fingerprints are
+     content digests, so only a shard whose candidate set happens to be
+     byte-identical may resume — either way the result is the serial
+     set (a matching fingerprint means the identical proof obligation) *)
+  let par3, _ =
+    Engine.Induction.prove_parallel ~jobs:2 ~recovered:!checkpoints
+      ~assume:D.net_true d cands
+  in
+  check "sieve-off run with sieve-on checkpoints matches serial" true
+    (same_set serial par3)
+
 (* --- the chaos matrix: crash-safety end-to-end ------------------------- *)
 
 (* Like [twin_design], but sized so pipeline mining reliably finds the
@@ -567,7 +658,8 @@ let () =
     [
       ( "differential",
         [
-          Alcotest.test_case "parallel == serial over 50 random netlists"
+          Alcotest.test_case
+            "incremental == snapshot == parallel == sieved, 50 netlists"
             `Slow test_differential;
           Alcotest.test_case "killed worker is retried, nothing lost"
             `Quick test_crash_retry;
@@ -577,6 +669,10 @@ let () =
             `Quick test_chaos_kill_every_worker;
           Alcotest.test_case "checkpointed shards resume without workers"
             `Quick test_shard_checkpoint_resume;
+          Alcotest.test_case "sieve + chaos worker kills still match serial"
+            `Quick test_sieve_chaos_kill;
+          Alcotest.test_case "sieve-on checkpoints resume sieve-on runs"
+            `Quick test_sieve_checkpoint_resume;
         ] );
       ( "cache",
         [

@@ -259,6 +259,129 @@ let test_assumptions_vs_brute_force () =
     ignore (Sat.Solver.solve s)
   done
 
+(* --- assumption cores, selector guards, clause reuse ------------------- *)
+
+(* php(n) with every clause guarded by pigeon [p]'s selector: the
+   instance is unsat exactly when every selector is assumed (drop any
+   one and that pigeon simply goes unplaced) *)
+let guarded_pigeonhole n =
+  let s = Sat.Solver.create () in
+  let var =
+    Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Sat.Solver.new_var s))
+  in
+  let sels = Array.init (n + 1) (fun _ -> Sat.Solver.new_selector s) in
+  for p = 0 to n do
+    Sat.Solver.add_guarded s ~guard:sels.(p)
+      (List.init n (fun h -> Sat.Lit.pos var.(p).(h)))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        Sat.Solver.add_guarded s ~guard:sels.(p1)
+          [ Sat.Lit.neg var.(p1).(h); Sat.Lit.neg var.(p2).(h) ]
+      done
+    done
+  done;
+  (s, Array.to_list sels)
+
+let test_failed_assumptions_subset () =
+  (* randomized: the reported core must be a subset of the assumptions
+     that is itself sufficient for unsatisfiability — re-solving under
+     the core alone must still be Unsat *)
+  let unsat_cases = ref 0 in
+  for seed = 1 to 40 do
+    let rng = Random.State.make [| seed |] in
+    let n_vars = 8 and n_assum = 5 in
+    let s = mk (n_vars + n_assum) in
+    for _ = 1 to 42 do
+      let rl () =
+        let v = 1 + Random.State.int rng n_vars in
+        if Random.State.bool rng then lit v else lit (-v)
+      in
+      let g = lit (n_vars + 1 + Random.State.int rng n_assum) in
+      Sat.Solver.add_clause s [ Sat.Lit.negate g; rl (); rl (); rl () ]
+    done;
+    let assums = List.init n_assum (fun i -> lit (n_vars + 1 + i)) in
+    match Sat.Solver.solve ~assumptions:assums s with
+    | Sat.Solver.Sat | Sat.Solver.Unknown -> ()
+    | Sat.Solver.Unsat ->
+        incr unsat_cases;
+        let core = Sat.Solver.failed_assumptions s in
+        check_result "core is a subset of the assumptions" true
+          (List.for_all (fun l -> List.mem l assums) core);
+        check_result "core alone is still unsat" true
+          (is_unsat (Sat.Solver.solve ~assumptions:core s));
+        (* and the solver is still correct without any assumption *)
+        check_result "sat with the guards off" true
+          (is_sat (Sat.Solver.solve s))
+  done;
+  check_result "harness exercised unsat cores" true (!unsat_cases > 5);
+  (* structured instance where the minimal core is ALL assumptions: a
+     genuinely-sufficient subset cannot drop a single one *)
+  let s, sels = guarded_pigeonhole 4 in
+  check_result "guarded php(4) unsat under all selectors" true
+    (is_unsat (Sat.Solver.solve ~assumptions:sels s));
+  let core = Sat.Solver.failed_assumptions s in
+  check_result "core is a subset" true
+    (List.for_all (fun l -> List.mem l sels) core);
+  check_result "core re-solves to unsat" true
+    (is_unsat (Sat.Solver.solve ~assumptions:core s));
+  check_result "php core names every pigeon" true
+    (List.length core = List.length sels)
+
+let test_usable_after_assumption_unsat () =
+  let s = mk 2 in
+  Sat.Solver.add_clause s [ lit 1; lit 2 ];
+  Sat.Solver.add_clause s [ lit (-1); lit 2 ];
+  check_result "unsat assuming -2" true
+    (is_unsat (Sat.Solver.solve ~assumptions:[ lit (-2) ] s));
+  check_result "sat afterwards" true (is_sat (Sat.Solver.solve s));
+  check_result "v2 true in the model" true (Sat.Solver.value s 1);
+  (* Unknown from an exhausted conflict budget must not wedge the
+     solver either: a later unrestricted solve still terminates with
+     the real verdict *)
+  let s7 = pigeonhole 7 in
+  (match Sat.Solver.solve ~conflict_budget:3 s7 with
+  | Sat.Solver.Unknown | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat -> Alcotest.fail "php(7) cannot be sat");
+  check_result "full verdict after a budget timeout" true
+    (is_unsat (Sat.Solver.solve s7))
+
+let test_learned_clause_reuse () =
+  (* the whole point of the incremental prover: clauses learned during
+     an assumption-based solve survive, so repeating the same query
+     costs strictly fewer conflicts *)
+  let s, sels = guarded_pigeonhole 6 in
+  let c0 = Sat.Solver.num_conflicts s in
+  check_result "unsat under all selectors" true
+    (is_unsat (Sat.Solver.solve ~assumptions:sels s));
+  let c1 = Sat.Solver.num_conflicts s - c0 in
+  check_result "first solve actually fought" true (c1 > 0);
+  check_result "still unsat on repeat" true
+    (is_unsat (Sat.Solver.solve ~assumptions:sels s));
+  let c2 = Sat.Solver.num_conflicts s - c0 - c1 in
+  check_result "repeat query costs strictly fewer conflicts" true (c2 < c1)
+
+let test_selector_guard_and_retire () =
+  let s = mk 1 in
+  let g = Sat.Solver.new_selector s in
+  Sat.Solver.add_guarded s ~guard:g [ lit 1 ];
+  Sat.Solver.add_guarded s ~guard:g [ lit (-1) ];
+  (* guarded clauses are inert without the assumption... *)
+  check_result "sat without the guard" true (is_sat (Sat.Solver.solve s));
+  (* ...and bite under it *)
+  check_result "unsat under the guard" true
+    (is_unsat (Sat.Solver.solve ~assumptions:[ g ] s));
+  check_result "the guard is the core" true
+    (List.mem g (Sat.Solver.failed_assumptions s));
+  let before = Sat.Solver.num_clauses s in
+  Sat.Solver.retire s g;
+  check_result "guarded clauses physically deleted" true
+    (Sat.Solver.num_clauses s < before);
+  check_result "sat after retirement" true (is_sat (Sat.Solver.solve s));
+  check_result "a retired guard can never be re-activated" true
+    (is_unsat (Sat.Solver.solve ~assumptions:[ g ] s))
+
 let qcheck_tseitin =
   (* Tseitin-encode a random 3-gate function two different ways and
      check equisatisfiability of the miter being 1/0. *)
@@ -311,6 +434,17 @@ let () =
           Alcotest.test_case "vs brute force" `Quick test_vs_brute_force;
           Alcotest.test_case "assumptions vs brute force" `Quick
             test_assumptions_vs_brute_force;
+        ] );
+      ( "incremental-api",
+        [
+          Alcotest.test_case "failed assumptions are a sufficient core"
+            `Quick test_failed_assumptions_subset;
+          Alcotest.test_case "usable after assumption unsat and timeouts"
+            `Quick test_usable_after_assumption_unsat;
+          Alcotest.test_case "learned clauses persist across solves" `Quick
+            test_learned_clause_reuse;
+          Alcotest.test_case "selector guards activate and retire" `Quick
+            test_selector_guard_and_retire;
         ] );
       ( "tseitin",
         [ QCheck_alcotest.to_alcotest qcheck_tseitin ] );

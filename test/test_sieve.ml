@@ -1,0 +1,220 @@
+(* Soundness tests for the simulation-signature sieve.
+
+   The sieve may only merge candidates that are *pointwise equivalent*
+   under the environment assumption — that is the whole basis of
+   verdict transfer.  Here the claim is checked exhaustively: the test
+   netlists are small enough to enumerate every (state, input)
+   assignment, 64 per simulator eval, so a single disagreeing lane in
+   any merged class is a hard failure, not a sampling miss. *)
+
+module D = Netlist.Design
+module C = Netlist.Cell
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let sf = Printf.sprintf
+
+let gen_config =
+  { Netlist.Generate.n_inputs = 4; n_gates = 16; n_flops = 4; n_outputs = 4 }
+
+let mine_config =
+  { Engine.Rsim.default with Engine.Rsim.cycles = 96; runs = 1 }
+
+(* all flop output nets, in cell order *)
+let flops d =
+  let acc = ref [] in
+  D.iter_cells d (fun _ c -> if c.D.kind = C.Dff then acc := c.D.out :: !acc);
+  List.rev !acc
+
+(* Drive [d] through EVERY (state, input) assignment, 64 per eval;
+   [f sim valid] sees each batch with a mask of the meaningful lanes. *)
+let exhaustive d f =
+  let sim = Netlist.Sim64.create d in
+  let ins = List.map snd (D.inputs d) in
+  let sts = flops d in
+  let all = ins @ sts in
+  let bits = List.length all in
+  if bits > 14 then invalid_arg "netlist too large to enumerate";
+  let total = 1 lsl bits in
+  let idx = Hashtbl.create 16 in
+  List.iteri (fun j n -> Hashtbl.replace idx n j) all;
+  let n_batches = (total + 63) / 64 in
+  for b = 0 to n_batches - 1 do
+    (* lane l of bit j = bit j of combo number b*64+l *)
+    let word_of j =
+      let w = ref 0L in
+      for l = 0 to 63 do
+        let combo = (b * 64) + l in
+        if combo < total && (combo lsr j) land 1 = 1 then
+          w := Int64.logor !w (Int64.shift_left 1L l)
+      done;
+      !w
+    in
+    Netlist.Sim64.load_state sim (fun n ->
+        match Hashtbl.find_opt idx n with
+        | Some j -> word_of j
+        | None -> 0L);
+    List.iter
+      (fun n -> Netlist.Sim64.set_input sim n (word_of (Hashtbl.find idx n)))
+      ins;
+    Netlist.Sim64.eval sim;
+    let valid = ref 0L in
+    for l = 0 to 63 do
+      if (b * 64) + l < total then
+        valid := Int64.logor !valid (Int64.shift_left 1L l)
+    done;
+    f sim !valid
+  done
+
+(* same violation convention as the sieve itself *)
+let violation sim = function
+  | Engine.Candidate.Const (n, true) ->
+      Int64.lognot (Netlist.Sim64.read sim n)
+  | Engine.Candidate.Const (n, false) -> Netlist.Sim64.read sim n
+  | Engine.Candidate.Implies { a; b; _ } ->
+      Int64.logand (Netlist.Sim64.read sim a)
+        (Int64.lognot (Netlist.Sim64.read sim b))
+
+(* --- every merged class is exhaustively equivalent --------------------- *)
+
+let test_classes_exhaustively_equivalent () =
+  let merged = ref 0 in
+  for seed = 1 to 25 do
+    let d = Netlist.Generate.random ~seed ~config:gen_config () in
+    let cands =
+      Engine.Rsim.mine ~config:mine_config d Engine.Stimulus.unconstrained
+    in
+    let classes, st = Engine.Sieve.partition ~assume:D.net_true d cands in
+    (* rep :: members of every class partition the input exactly
+       ([members] is "the rest" — the rep is not repeated in it) *)
+    let all =
+      List.concat_map
+        (fun c -> c.Engine.Sieve.rep :: c.Engine.Sieve.members)
+        classes
+    in
+    check_int (sf "seed %d: classes cover the input" seed)
+      (List.length cands) (List.length all);
+    check (sf "seed %d: partition is a permutation" seed) true
+      (List.sort Engine.Candidate.compare all
+      = List.sort Engine.Candidate.compare cands);
+    List.iter
+      (fun cl ->
+        check (sf "seed %d: rep not repeated among members" seed) false
+          (List.exists (Engine.Candidate.equal cl.Engine.Sieve.rep)
+             cl.Engine.Sieve.members))
+      classes;
+    check_int (sf "seed %d: stats add up" seed)
+      (List.length cands)
+      (st.Engine.Sieve.n_classes + st.Engine.Sieve.n_sieved);
+    merged := !merged + st.Engine.Sieve.n_sieved;
+    (* the soundness core: a member may NEVER disagree with its rep on
+       any reachable-or-not (state, input) assignment *)
+    exhaustive d (fun sim valid ->
+        List.iter
+          (fun cl ->
+            let rv = violation sim cl.Engine.Sieve.rep in
+            List.iter
+              (fun m ->
+                if
+                  Int64.logand valid (Int64.logxor rv (violation sim m))
+                  <> 0L
+                then
+                  Alcotest.failf
+                    "seed %d: merged candidate %s disagrees with rep %s"
+                    seed (Engine.Candidate.key m)
+                    (Engine.Candidate.key cl.Engine.Sieve.rep))
+              cl.Engine.Sieve.members)
+          classes)
+  done;
+  (* the harness must actually exercise merging, not just singletons *)
+  check "sieve merged something across the seeds" true (!merged > 0)
+
+(* --- merging licensed by the assumption -------------------------------- *)
+
+(* [a] and [a ∨ ¬a] differ when the assumption [assume = a] is off, and
+   agree when it is on: the sieve must merge them under [a] and keep
+   them apart under an unconstrained assumption *)
+let assume_design () =
+  let d = D.create "assume_merge" in
+  let a = D.add_input d "a" in
+  let na = D.add_cell d C.Inv [| a |] in
+  let t = D.add_cell d C.Or2 [| a; na |] in
+  D.add_output d "t" t;
+  (d, a, [ Engine.Candidate.Const (a, true); Engine.Candidate.Const (t, true) ])
+
+let test_assumption_scoped_merge () =
+  let d, a, cands = assume_design () in
+  let classes, st = Engine.Sieve.partition ~assume:a d cands in
+  check_int "under assume=a the pair merges" 1 st.Engine.Sieve.n_classes;
+  check_int "one candidate sieved" 1 st.Engine.Sieve.n_sieved;
+  check_int "merge was SAT-confirmed" 1 st.Engine.Sieve.sat_merges;
+  let cl = List.hd classes in
+  check_int "one candidate rides along" 1
+    (List.length cl.Engine.Sieve.members);
+  (* unconstrained, a=0 distinguishes them: no merge allowed *)
+  let classes', st' = Engine.Sieve.partition ~assume:D.net_true d cands in
+  check_int "unconstrained keeps them apart" 2 (List.length classes');
+  check_int "nothing sieved unconstrained" 0 st'.Engine.Sieve.n_sieved
+
+(* --- V_sieved fates cite the rep actually proved ----------------------- *)
+
+let test_fates_cite_proved_rep () =
+  let sieved_seen = ref 0 in
+  for seed = 1 to 12 do
+    let d = Netlist.Generate.random ~seed ~config:gen_config () in
+    let cands =
+      Engine.Rsim.mine ~config:mine_config d Engine.Stimulus.unconstrained
+    in
+    let attributions = Hashtbl.create 64 in
+    let proved, _ =
+      Engine.Induction.prove_parallel ~sieve:true ~attributions
+        ~assume:D.net_true d cands
+    in
+    let off, _ = Engine.Induction.prove_parallel ~assume:D.net_true d cands in
+    check (sf "seed %d: sieve-on == sieve-off" seed) true
+      (List.sort Engine.Candidate.compare proved
+      = List.sort Engine.Candidate.compare off);
+    let in_proved c = List.exists (Engine.Candidate.equal c) proved in
+    Hashtbl.iter
+      (fun cand (att : Engine.Induction.attribution) ->
+        match att.Engine.Induction.verdict with
+        | Engine.Induction.V_sieved { rep; proved = p } -> (
+            incr sieved_seen;
+            (* the cited rep went through the prover itself: it carries
+               its own first-class verdict, never a sieved one *)
+            match Hashtbl.find_opt attributions rep with
+            | None ->
+                Alcotest.failf "seed %d: sieved fate cites an unknown rep"
+                  seed
+            | Some rep_att -> (
+                match rep_att.Engine.Induction.verdict with
+                | Engine.Induction.V_sieved _ ->
+                    Alcotest.failf
+                      "seed %d: rep of a sieved candidate is itself sieved"
+                      seed
+                | Engine.Induction.V_proved _ ->
+                    check (sf "seed %d: proved rep transfers proved" seed)
+                      true (p && in_proved rep && in_proved cand)
+                | _ ->
+                    check (sf "seed %d: unproved rep transfers dropped" seed)
+                      true
+                      ((not p) && not (in_proved cand))))
+        | _ -> ())
+      attributions
+  done;
+  check "harness saw sieved fates" true (!sieved_seen > 0)
+
+let () =
+  Alcotest.run "sieve"
+    [
+      ( "soundness",
+        [
+          Alcotest.test_case
+            "merged classes are exhaustively equivalent (25 netlists)" `Quick
+            test_classes_exhaustively_equivalent;
+          Alcotest.test_case "merging is scoped to the assumption" `Quick
+            test_assumption_scoped_merge;
+          Alcotest.test_case "sieved fates cite the rep actually proved"
+            `Quick test_fates_cite_proved_rep;
+        ] );
+    ]
