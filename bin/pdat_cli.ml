@@ -47,6 +47,16 @@ let sieve_flag =
   in
   Arg.(value & flag & info [ "sieve" ] ~doc)
 
+let absint_flag =
+  let doc =
+    "Enable the abstract-interpretation static tier: an over-approximate \
+     ternary/known-bits fixpoint under the environment assumption \
+     discharges candidates whose violation is unreachable without touching \
+     SAT, and feeds the remaining solver calls statically proven facts as \
+     strengthening assumptions (also enabled by \\$(b,PDAT_ABSINT))."
+  in
+  Arg.(value & flag & info [ "absint" ] ~doc)
+
 let retries_arg =
   let doc =
     "Per-shard retry budget of the supervised proof workers (defaults to \
@@ -253,7 +263,7 @@ let reduce_cmd =
   let port_flag =
     Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
   in
-  let run fast jobs cache_dir sieve core subset_name port out validate
+  let run fast jobs cache_dir sieve absint core subset_name port out validate
       time_budget lint inject_kind trace run_dir resume retries =
     if inject_kind <> None && not validate then begin
       Format.eprintf "--inject requires --validate to mean anything@.";
@@ -271,7 +281,8 @@ let reduce_cmd =
     let result =
       match
         Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir)
-          ?sieve:(if sieve then Some true else None) ~validate
+          ?sieve:(if sieve then Some true else None)
+          ?absint:(if absint then Some true else None) ~validate
           ?time_budget ~lint ?inject
           ?trace:(Option.map Obs.sink_of_path trace) ?run_dir ~resume
           ?retries ~design ~env ()
@@ -308,7 +319,7 @@ let reduce_cmd =
     (Cmd.info "reduce"
        ~doc:"Reduce a core for an ISA subset and optionally export Verilog")
     Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ sieve_flag
-          $ core_arg $ subset_arg
+          $ absint_flag $ core_arg $ subset_arg
           $ port_flag $ out_arg $ validate_flag $ time_budget_arg
           $ lint_gate_arg $ inject_arg $ trace_arg $ run_dir_arg
           $ resume_flag $ retries_arg)
@@ -423,7 +434,7 @@ let report_cmd =
     in
     Arg.(value & opt string "." & info [ "out-dir" ] ~doc ~docv:"DIR")
   in
-  let run fast jobs cache_dir sieve core subset_name port validate
+  let run fast jobs cache_dir sieve absint core subset_name port validate
       time_budget dump_cex out_dir run_dir resume retries =
     if resume && run_dir = None then begin
       Format.eprintf "--resume needs --run-dir to locate the journal@.";
@@ -435,7 +446,8 @@ let report_cmd =
     let result =
       match
         Pdat.Pipeline.run ?jobs ?cache:(make_cache cache_dir)
-          ?sieve:(if sieve then Some true else None) ~validate
+          ?sieve:(if sieve then Some true else None)
+          ?absint:(if absint then Some true else None) ~validate
           ?time_budget ~lint:Analysis.Lint.Warn ~provenance:prov ?dump_cex
           ?run_dir ~resume ?retries ~design ~env ()
       with
@@ -488,7 +500,7 @@ let report_cmd =
          "Run the pipeline with full provenance tracking and emit the \
           machine-readable and human run reports")
     Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ sieve_flag
-          $ core_arg $ subset_arg
+          $ absint_flag $ core_arg $ subset_arg
           $ port_flag $ validate_flag $ time_budget_arg $ dump_cex_arg
           $ out_dir_arg $ run_dir_arg $ resume_flag $ retries_arg)
 

@@ -309,13 +309,21 @@ let check_bus_groups d =
   in
   check_side "input" (D.inputs d) @ check_side "output" (D.outputs d)
 
+(* The abstract interpreter schedules the design, so a cyclic or
+   otherwise degenerate netlist must not reach it — those shapes are
+   already reported by the Error-severity rules. *)
+let absint_of d =
+  match
+    Engine.Absint.run d ~classify:(fun _ -> Engine.Ternary.Free)
+      ~assume:Netlist.Design.net_true
+  with
+  | exception _ -> None
+  | ai -> Some ai
+
 let check_ternary_consts d =
-  (* [Ternary.constants] schedules the design, so a cyclic or otherwise
-     degenerate netlist must not reach it — those shapes are already
-     reported by the Error-severity rules. *)
-  match Engine.Ternary.constants d ~classify:(fun _ -> Engine.Ternary.Free) with
-  | exception _ -> []
-  | consts ->
+  match absint_of d with
+  | None -> []
+  | Some ai ->
       List.filter_map
         (function
           | Engine.Candidate.Const (n, b) ->
@@ -327,7 +335,36 @@ let check_ternary_consts d =
                        inputs free; dead candidate, the miner can skip it"
                       (if b then 1 else 0)))
           | _ -> None)
-        consts
+        (Engine.Absint.constants ai)
+
+let check_stuck_regs d =
+  match absint_of d with
+  | None -> []
+  | Some ai ->
+      List.map
+        (fun (ci, b) ->
+          Diag.make ~rule:"absint-stuck-reg" ~severity:Diag.Warning
+            ~loc:(Diag.net_loc d (D.cell d ci).D.out)
+            (Printf.sprintf
+               "register is stuck at %d from reset under abstract \
+                interpretation; its state bit carries no information"
+               (if b then 1 else 0)))
+        (Engine.Absint.stuck_registers ai)
+
+let check_dead_writes d =
+  match absint_of d with
+  | None -> []
+  | Some ai ->
+      List.map
+        (fun (ci, sel) ->
+          Diag.make ~rule:"absint-dead-write" ~severity:Diag.Info
+            ~loc:(Diag.net_loc d (D.cell d ci).D.out)
+            (Printf.sprintf
+               "register data mux select is always %d; the %s-input write \
+                arm is dead"
+               (if sel then 1 else 0)
+               (if sel then "A" else "B")))
+        (Engine.Absint.dead_writes ai)
 
 let structural_rules =
   [
@@ -383,6 +420,18 @@ let all_rules =
         severity = Diag.Info;
         doc = "a net forced constant by 0/1/X reachability with all inputs free";
         check = check_ternary_consts;
+      };
+      {
+        id = "absint-stuck-reg";
+        severity = Diag.Warning;
+        doc = "a register stuck at its reset value in the abstract fixpoint";
+        check = check_stuck_regs;
+      };
+      {
+        id = "absint-dead-write";
+        severity = Diag.Info;
+        doc = "a register write mux whose select is constant in the fixpoint";
+        check = check_dead_writes;
       };
     ]
 

@@ -13,9 +13,14 @@
     nets, combinational cycles, floating inputs, undriven outputs,
     malformed cells) are [Error]; suspicious-but-executable shapes
     (unreachable cells, constant-feedback registers, bus index gaps)
-    are [Warning]; the ternary constant-reachability rule is [Info] —
-    it flags nets the {!Engine.Ternary} lattice already forces to a
-    constant, i.e. dead candidates the miner should skip. *)
+    are [Warning]; the dataflow rules are backed by the
+    {!Engine.Absint} fixpoint run with every input [Free] and a true
+    assumption: [ternary-const] ([Info]) flags nets the abstract
+    fixpoint forces to a constant, i.e. dead candidates the miner
+    should skip; [absint-stuck-reg] ([Warning]) flags registers that
+    never leave their reset value — unreachable-FSM-state evidence;
+    [absint-dead-write] ([Info]) flags register write muxes whose
+    select is constant in the fixpoint, leaving one write arm dead. *)
 
 type gate = Off | Warn | Strict
 (** How a pipeline stage consumes lint results: [Off] skips the
@@ -37,8 +42,9 @@ val well_formed : Netlist.Design.t -> Diag.t list
     every other rule's array indexing depends on.  Always safe to call. *)
 
 val structural_rules : rule list
-(** Every rule except [ternary-const] — the set the certificate audit
-    diffs pre/post rewiring. *)
+(** Every rule except the absint-backed dataflow rules ([ternary-const],
+    [absint-stuck-reg], [absint-dead-write]) — the set the certificate
+    audit diffs pre/post rewiring. *)
 
 val all_rules : rule list
 

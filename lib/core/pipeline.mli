@@ -75,6 +75,9 @@ type report = {
   jobs : int;
       (** worker processes the proof stage was allowed, after clamping
           the request to the online core count *)
+  absint : bool;
+      (** the abstract-interpretation tier ran in front of the prover
+          (static discharge + induction strengthening) *)
   proof_budget_s : float;
       (** wall-clock granted to the proof stage by the budget allocator;
           [0.] when the run had no [~time_budget] *)
@@ -120,6 +123,11 @@ val default_sieve : unit -> bool
     [PDAT_SIEVE] environment variable ("1"/"true"/"on"/"yes" — default
     off). *)
 
+val default_absint : unit -> bool
+(** The absint setting used when [run] gets no [?absint]: the
+    [PDAT_ABSINT] environment variable ("1"/"true"/"on"/"yes" — default
+    off). *)
+
 val run :
   ?rsim:Engine.Rsim.config ->
   ?refine:Engine.Rsim.config ->
@@ -127,6 +135,7 @@ val run :
   ?jobs:int ->
   ?cache:Engine.Proof_cache.t ->
   ?sieve:bool ->
+  ?absint:bool ->
   ?validate:bool ->
   ?validate_config:Validate.config ->
   ?validate_stimulus:Engine.Stimulus.t ->
@@ -161,6 +170,18 @@ val run :
     sieve-agnostic (they record surviving candidate keys), so a
     journaled run may be resumed with either setting; shard-level
     checkpoints match only between runs with the same setting.
+
+    [absint] (default {!default_absint}, i.e. [PDAT_ABSINT]) runs the
+    abstract interpreter ({!Engine.Absint}) over the environment model
+    before the proof stage: candidates its conditioned post-fixpoint
+    already proves are discharged statically ([V_static_proved], no SAT
+    call) and its remaining facts strengthen k=1 induction as
+    every-frame assumption clauses.  Because strengthening changes what
+    a run can prove, the absint facts digest salts the proof-cache
+    scope and the shard fingerprints, and the run digest carries an
+    absint marker — a journal written with one setting refuses to
+    resume under the other ({!Journal.Mismatch}) instead of silently
+    replaying a different proved set.
 
     [validate] (default [false]) enables differential validation; on a
     divergence or an uncomparable interface the result falls back to

@@ -38,6 +38,8 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   worker_seconds : float;
+  n_static_proved : int;
+  strengthening_facts : int;
 }
 
 let blank_stats =
@@ -66,6 +68,8 @@ let blank_stats =
     cache_hits = 0;
     cache_misses = 0;
     worker_seconds = 0.;
+    n_static_proved = 0;
+    strengthening_facts = 0;
   }
 
 let pp_stats fmt s =
@@ -102,7 +106,10 @@ let pp_stats fmt s =
   end;
   if s.cache_hits + s.cache_misses > 0 then
     Format.fprintf fmt " cache=%d/%d hits" s.cache_hits
-      (s.cache_hits + s.cache_misses)
+      (s.cache_hits + s.cache_misses);
+  if s.n_static_proved > 0 || s.strengthening_facts > 0 then
+    Format.fprintf fmt " absint=%d static (%d strengthening facts)"
+      s.n_static_proved s.strengthening_facts
 
 (* Per-candidate fate, for the provenance layer.  Only [V_refuted]
    carries a counterexample: a base-side SAT model is a trace from
@@ -116,6 +123,7 @@ type verdict =
   | V_dropped of string
   | V_cached of Proof_cache.verdict
   | V_sieved of { rep : Candidate.t; proved : bool }
+  | V_static_proved
 
 let verdict_label = function
   | V_proved _ -> "proved"
@@ -127,6 +135,7 @@ let verdict_label = function
   | V_cached Proof_cache.Disproved -> "cached-disproved"
   | V_sieved { proved = true; _ } -> "sieved-proved"
   | V_sieved { proved = false; _ } -> "sieved-dropped"
+  | V_static_proved -> "static-proved"
 
 (* A candidate's claim at a given frame, as a bare literal list (the
    clause asserting it), optionally under a guard literal. *)
@@ -703,8 +712,11 @@ let prove_snapshot ?(options = default_options) ?(known = [])
    keys: the journal checkpoints proved sets under this fingerprint, and
    a resumed run recognizes its shards by it even though pids, fds and
    timings all differ. *)
-let shard_fingerprint cands =
+let shard_fingerprint ?salt cands =
   let keys = List.sort compare (List.map Candidate.key cands) in
+  let keys =
+    match salt with None -> keys | Some s -> ("salt " ^ s) :: keys
+  in
   Digest.to_hex (Digest.string (String.concat "\n" keys))
 
 let env_int name default =
@@ -748,8 +760,8 @@ type attribution = {
 }
 
 let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
-    ?attributions ?retries ?checkpoint ?(recovered = []) ?(sieve = false)
-    ~assume d candidate_list =
+    ?absint ?attributions ?retries ?checkpoint ?(recovered = [])
+    ?(sieve = false) ~assume d candidate_list =
   let retries = match retries with Some r -> max 0 r | None -> default_retries () in
   let want_fates = attributions <> None in
   let attribute cand verdict shard cache_hit =
@@ -757,8 +769,37 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
     | None -> ()
     | Some tbl -> Hashtbl.replace tbl cand { verdict; shard; cache_hit }
   in
+  (* ---- static tier -----------------------------------------------------
+     The abstract interpreter settles every candidate whose violation is
+     impossible in its conditioned post-fixpoint before anything touches
+     SAT; the remaining facts it proved become strengthening invariants,
+     asserted at every frame of every solver below.  Both change what a
+     run can prove, so the facts digest salts the cache scope and the
+     shard fingerprints: strengthened and unstrengthened runs must never
+     share cache entries or journal checkpoints. *)
+  let static_proved, candidate_list_work, strengthen, fp_salt =
+    match absint with
+    | None -> ([], candidate_list, [], None)
+    | Some ai ->
+        let sp, rest =
+          Obs.with_span ~cat:"prove" "static-tier" (fun () ->
+              List.partition (Absint.proves ai) candidate_list)
+        in
+        List.iter (fun cand -> attribute cand V_static_proved None false) sp;
+        let in_cands = Hashtbl.create 64 in
+        List.iter (fun c -> Hashtbl.replace in_cands c ()) candidate_list;
+        let strengthen =
+          List.filter (fun f -> not (Hashtbl.mem in_cands f)) (Absint.facts ai)
+        in
+        Obs.add_int "absint.static_proved" (List.length sp);
+        Obs.add_int "absint.strengthening_facts" (List.length strengthen);
+        (sp, rest, strengthen, Some (Absint.facts_digest ai))
+  in
+  let shard_fingerprint cands = shard_fingerprint ?salt:fp_salt cands in
   let sc =
-    Option.map (fun c -> (c, Proof_cache.scope c ~design:d ~assume)) cache
+    Option.map
+      (fun c -> (c, Proof_cache.scope ?salt:fp_salt c ~design:d ~assume))
+      cache
   in
   (* split the input into cache-resolved candidates and genuine work *)
   let cached_proved = ref [] and fresh = ref [] in
@@ -779,8 +820,12 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
           | None ->
               incr misses;
               fresh := cand :: !fresh))
-    candidate_list;
-  let known = List.rev !cached_proved in
+    candidate_list_work;
+  let known = static_proved @ List.rev !cached_proved in
+  (* what the solvers may assume at every frame: settled input candidates
+     plus facts the interpreter proved about nets outside the candidate
+     set (never part of the returned proved list) *)
+  let solver_known = known @ strengthen in
   let fresh = List.rev !fresh in
   (* ---- simulation-signature sieve ------------------------------------
      Partition the cache-missed candidates into pointwise-equivalence
@@ -883,11 +928,15 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
         n_sieved = sieve_st.Sieve.n_sieved;
         sieve_classes = sieve_st.Sieve.n_classes;
         sieve_sat_calls = sieve_st.Sieve.sat_calls;
+        n_static_proved = List.length static_proved;
+        strengthening_facts = List.length strengthen;
       } )
   in
   let serial () =
     let fates = if want_fates then Some (Hashtbl.create 64) else None in
-    let proved, st = prove ~options ?cex ~known ?fates ~assume d work in
+    let proved, st =
+      prove ~options ?cex ~known:solver_known ?fates ~assume d work
+    in
     (match fates with
     | None -> ()
     | Some f -> Hashtbl.iter (fun cand v -> attribute cand v None false) f);
@@ -1019,7 +1068,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                        (fun () ->
                          prove
                            ~options:(worker_options (List.length shard))
-                           ~known
+                           ~known:solver_known
                            ~hypotheses:
                              (hypotheses_for (List.nth shard_tbls idx))
                            ?fates ~assume d shard)
@@ -1236,7 +1285,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                 (fun () ->
                   prove
                     ~options:(worker_options (List.length shard))
-                    ~known
+                    ~known:solver_known
                     ~hypotheses:(hypotheses_for (List.nth shard_tbls idx))
                     ?fates ~assume d shard)
             in
@@ -1322,7 +1371,8 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
       let join_fates = if want_fates then Some (Hashtbl.create 64) else None in
       let joined, jst =
         Obs.with_span ~cat:"prove" "join-round" (fun () ->
-            prove ~options ?cex ~known ?fates:join_fates ~assume d survivors)
+            prove ~options ?cex ~known:solver_known ?fates:join_fates ~assume d
+              survivors)
       in
       (* the join round has the final word on shard survivors; keep the
          shard tag from the worker that carried the candidate there *)

@@ -15,6 +15,21 @@
 
 type input_class = Zero | One | Free
 
+val x : int
+(** The unknown value.  Definite values are [0] and [1]; every other
+    function in this interface speaks this three-point lattice. *)
+
+val join : int -> int -> int
+(** Lattice join: agreeing definite values stay, disagreement goes to
+    [x]. *)
+
+val eval_cell : Netlist.Cell.kind -> int array -> int
+(** Ternary transfer function for one combinational cell, pessimistic
+    but sound for every kind (an [x] input yields [x] output unless the
+    definite inputs already decide the function).
+    @raise Invalid_argument on [Dff] — sequential cells have no
+    combinational transfer. *)
+
 val constants :
   ?max_iterations:int ->
   Netlist.Design.t ->

@@ -73,6 +73,7 @@ type summary = {
   s_cached_disproved : int;
   s_sieved_proved : int;
   s_sieved_dropped : int;
+  s_static_proved : int;
   s_unresolved : int;
   s_with_cex : int;
 }
@@ -92,6 +93,7 @@ let summarize records =
         s_cached_disproved = 0;
         s_sieved_proved = 0;
         s_sieved_dropped = 0;
+        s_static_proved = 0;
         s_unresolved = 0;
         s_with_cex = 0;
       }
@@ -133,7 +135,15 @@ let summarize records =
                   s_sieved_proved = t.s_sieved_proved + 1;
                 }
             | I.V_sieved { proved = false; _ } ->
-                { t with s_sieved_dropped = t.s_sieved_dropped + 1 })))
+                { t with s_sieved_dropped = t.s_sieved_dropped + 1 }
+            | I.V_static_proved ->
+                (* statically discharged candidates are proofs: the
+                   rewiring stage may cite them like any other invariant *)
+                {
+                  t with
+                  s_proved = t.s_proved + 1;
+                  s_static_proved = t.s_static_proved + 1;
+                })))
     records;
   !s
 
@@ -237,7 +247,9 @@ let cand_json prov (r : P.cand_record) =
                 | None -> [])
           | I.V_dropped reason -> [ ("reason", jstr reason) ]
           | I.V_sieved { rep; _ } -> [ ("rep", jstr (Engine.Candidate.key rep)) ]
-          | I.V_sim_killed | I.V_not_inductive | I.V_cached _ -> [])
+          | I.V_sim_killed | I.V_not_inductive | I.V_cached _
+          | I.V_static_proved ->
+              [])
       | Unresolved -> [])
   in
   let cex_field =
@@ -286,6 +298,7 @@ let json ?(target = "design") ?resume prov =
         ("dropped", string_of_int s.s_dropped);
         ("cached_proved", string_of_int s.s_cached_proved);
         ("cached_disproved", string_of_int s.s_cached_disproved);
+        ("static_proved", string_of_int s.s_static_proved);
         ("unresolved", string_of_int s.s_unresolved);
         ("with_counterexample", string_of_int s.s_with_cex);
         ("edits", string_of_int (List.length edits));
@@ -407,6 +420,9 @@ let markdown ?(target = "design") ?(timings = []) ?(histograms = []) ?commit
     s.s_proved s.s_refuted s.s_not_inductive s.s_sim_killed s.s_dropped
     s.s_cached_proved
     (s.s_cached_proved + s.s_cached_disproved);
+  if s.s_static_proved > 0 then
+    pr "| absint | %d static-proved | discharged without SAT |\n"
+      s.s_static_proved;
   pr "| rewire | %d edits | %d original cells made dead |\n"
     (List.length edits) dead_total;
   (match P.designs prov with

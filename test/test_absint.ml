@@ -1,0 +1,582 @@
+(* Tests for the abstract-interpretation invariant engine and its
+   integrations: the static prover tier, induction strengthening, the
+   absint-backed lint rules, plus first coverage for [Engine.Cutpoint]
+   and [Engine.Equiv].
+
+   The soundness contract under test everywhere: a fact exported by
+   [Absint] is an invariant of the design under the same [assume] the
+   inductive prover uses, so the snapshot oracle must confirm every
+   one of them, and absint-on pipeline runs must land on the same
+   reduced netlist as absint-off runs. *)
+
+module D = Netlist.Design
+module C = Netlist.Cell
+module A = Engine.Absint
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sorted = List.sort Engine.Candidate.compare
+let same_set a b = sorted a = sorted b
+
+let mem_const consts n b =
+  List.exists (Engine.Candidate.equal (Engine.Candidate.Const (n, b))) consts
+
+(* the snapshot oracle must prove the whole fact set: the conjunction
+   of absint facts is 1-inductive under the same assumption, and
+   mutual induction is complete for conjunctive 1-inductive sets *)
+let oracle_confirms ?known d assume facts =
+  facts = []
+  ||
+  let proved, _ =
+    Engine.Induction.prove_snapshot ?known ~assume d facts
+  in
+  same_set proved facts
+
+(* --- the abstract fixpoint --------------------------------------------- *)
+
+(* a rail-fed register is 0 forever; the constant propagates through a
+   gate, another register and a disjunction *)
+let test_forced_constants () =
+  let d = D.create "const_chain" in
+  let a = D.add_input d "a" in
+  let na = D.add_cell d C.Inv [| a |] in
+  let r = D.add_dff d ~d:D.net_false () in
+  let zero = D.add_cell d C.And2 [| a; r |] in
+  let r2 = D.add_dff d ~d:zero () in
+  let y = D.add_cell d C.Or2 [| r; r2 |] in
+  D.add_output d "y" y;
+  let ai = A.run ~assume:D.net_true d in
+  check "no contradiction" false (A.contradiction ai);
+  check "fixpoint iterated" true (A.iterations ai >= 1);
+  check_int "zero is 0" 0 (A.value ai zero);
+  check_int "r is 0" 0 (A.value ai r);
+  check_int "r2 is 0" 0 (A.value ai r2);
+  check_int "y is 0" 0 (A.value ai y);
+  check_int "free input is unknown" Engine.Ternary.x (A.value ai a);
+  let consts = A.constants ai in
+  check "zero exported" true (mem_const consts zero false);
+  check "r exported" true (mem_const consts r false);
+  check "y exported" true (mem_const consts y false);
+  check "inputs never exported" false
+    (List.exists
+       (function Engine.Candidate.Const (n, _) -> n = a | _ -> false)
+       consts);
+  check "proves the constant" true
+    (A.proves ai (Engine.Candidate.Const (zero, false)));
+  check "refuses the negation" false
+    (A.proves ai (Engine.Candidate.Const (zero, true)));
+  check "refuses a free net" false
+    (A.proves ai (Engine.Candidate.Const (na, false)));
+  check "facts digest is stable" true
+    (A.facts_digest ai = A.facts_digest (A.run ~assume:D.net_true d));
+  check "oracle confirms every fact" true
+    (oracle_confirms d D.net_true (A.facts ai))
+
+(* the monitor pins an input; only assume-conditioning can see the
+   register behind it never leaves reset — plain ternary cannot *)
+let test_assume_conditioning () =
+  let d = D.create "conditioned" in
+  let i = D.add_input d "i" in
+  let ok = D.add_cell d C.Inv [| i |] in
+  let r = D.add_dff d ~d:i () in
+  D.add_output d "q" r;
+  let plain = A.run ~assume:D.net_true d in
+  check_int "without the monitor the register is free" Engine.Ternary.x
+    (A.value plain r);
+  let ai = A.run ~assume:ok d in
+  check "no contradiction" false (A.contradiction ai);
+  check_int "conditioning forces the input" 0 (A.value ai i);
+  check_int "the register never leaves reset" 0 (A.value ai r);
+  check "fact exported" true (mem_const (A.facts ai) r false);
+  (match A.stuck_registers ai with
+  | [ (ci, false) ] ->
+      check_int "stuck register is the dff" r (D.cell d ci).D.out
+  | l -> Alcotest.failf "expected one stuck register, got %d" (List.length l));
+  check "oracle confirms every conditioned fact" true
+    (oracle_confirms d ok (A.facts ai))
+
+(* implication proving: And2 out = 1 forces both inputs, hence the Or2 *)
+let test_implies_proving () =
+  let d = D.create "implies" in
+  let x = D.add_input d "x" in
+  let y = D.add_input d "y" in
+  let a = D.add_cell d C.And2 [| x; y |] in
+  let b = D.add_cell d C.Or2 [| x; y |] in
+  D.add_output d "a" a;
+  D.add_output d "b" b;
+  let cell = match D.driver d a with Some ci -> ci | None -> assert false in
+  let ai = A.run ~assume:D.net_true d in
+  check "and=1 implies or=1" true
+    (A.proves ai (Engine.Candidate.Implies { cell; a; b }));
+  check "or=1 does not imply and=1" false
+    (A.proves ai (Engine.Candidate.Implies { cell; a = b; b = a }));
+  check "implications are not in the fact set" true
+    (List.for_all
+       (function Engine.Candidate.Const _ -> true | _ -> false)
+       (A.facts ai))
+
+let test_word_facts () =
+  let d = D.create "words" in
+  let a0 = D.add_input d "a[0]" in
+  let a1 = D.add_input d "a[1]" in
+  let ok = D.add_cell d C.Inv [| a1 |] in
+  let y = D.add_cell d C.Or2 [| a0; a1 |] in
+  D.add_output d "y" y;
+  let ai = A.run ~assume:ok d in
+  match List.filter (fun w -> w.A.w_base = "a") (A.word_facts ai) with
+  | [ w ] ->
+      check_int "width" 2 w.A.w_width;
+      check "bit 1 known" true (Int64.equal w.A.w_known_mask 2L);
+      check "known value 0" true (Int64.equal w.A.w_known_value 0L);
+      check "lo" true (Int64.equal w.A.w_lo 0L);
+      check "hi" true (Int64.equal w.A.w_hi 1L)
+  | l -> Alcotest.failf "expected one word fact for a, got %d" (List.length l)
+
+(* an unsatisfiable assumption: the engine must degrade to claiming
+   nothing rather than "proving" everything *)
+let test_contradiction () =
+  let d = D.create "contra" in
+  let a = D.add_input d "a" in
+  let r = D.add_dff d ~d:a () in
+  D.add_output d "q" r;
+  let ai = A.run ~assume:D.net_false d in
+  check "contradiction flagged" true (A.contradiction ai);
+  check_int "no facts" 0 (A.n_facts ai);
+  check "proves nothing" false
+    (A.proves ai (Engine.Candidate.Const (r, false)));
+  check "no stuck registers claimed" true (A.stuck_registers ai = []);
+  check "digest still defined" true (String.length (A.facts_digest ai) > 0)
+
+let test_dead_write () =
+  let d = D.create "deadwrite" in
+  let s = D.add_input d "s" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let ok = D.add_cell d C.Inv [| s |] in
+  let m = D.add_cell d C.Mux2 [| s; a; b |] in
+  let r = D.add_dff d ~d:m () in
+  D.add_output d "q" r;
+  (* free select: no claim *)
+  check "free select claims nothing" true
+    (A.dead_writes (A.run ~assume:D.net_true d) = []);
+  (* the monitor pins the select low: the B arm is dead *)
+  match A.dead_writes (A.run ~assume:ok d) with
+  | [ (ci, false) ] -> check_int "the register's write" r (D.cell d ci).D.out
+  | l -> Alcotest.failf "expected one dead write, got %d" (List.length l)
+
+(* --- the static tier inside the prover --------------------------------- *)
+
+let test_static_tier_accounting () =
+  let d = D.create "tier" in
+  let a = D.add_input d "a" in
+  let r = D.add_dff d ~d:D.net_false () in
+  let zero = D.add_cell d C.And2 [| a; r |] in
+  D.add_output d "y" (D.add_cell d C.Or2 [| zero; a |]);
+  let cands =
+    [ Engine.Candidate.Const (zero, false); Engine.Candidate.Const (r, false) ]
+  in
+  let ai = A.run ~assume:D.net_true d in
+  let proved, st =
+    Engine.Induction.prove_parallel ~jobs:1 ~absint:ai ~assume:D.net_true d
+      cands
+  in
+  check "both candidates proved" true (same_set proved cands);
+  check_int "both discharged statically" 2
+    st.Engine.Induction.n_static_proved;
+  check_int "no SAT call needed" 0 st.Engine.Induction.sat_calls;
+  (* facts outside the candidate set are counted as strengthening *)
+  check "strengthening facts counted" true
+    (st.Engine.Induction.strengthening_facts
+    = A.n_facts ai - List.length cands)
+
+(* every statically proved verdict is cross-checked against the
+   snapshot oracle, strengthened by the remaining facts *)
+let test_static_proved_vs_oracle () =
+  let gen_config =
+    { Netlist.Generate.n_inputs = 6; n_gates = 42; n_flops = 8; n_outputs = 6 }
+  in
+  let mine_config =
+    { Engine.Rsim.default with Engine.Rsim.cycles = 128; runs = 1 }
+  in
+  let confirmed = ref 0 in
+  for seed = 1 to 20 do
+    let d = Netlist.Generate.random ~seed ~config:gen_config () in
+    let cands =
+      Engine.Rsim.mine ~config:mine_config d Engine.Stimulus.unconstrained
+    in
+    let ai = A.run ~assume:D.net_true d in
+    let static = List.filter (A.proves ai) cands in
+    confirmed := !confirmed + List.length static;
+    if
+      not
+        (oracle_confirms ~known:(A.facts ai) d D.net_true static
+        && oracle_confirms d D.net_true (A.facts ai))
+    then
+      Alcotest.failf "seed %d: snapshot oracle refuted a static verdict" seed
+  done;
+  check "the sweep exercised static proofs" true (!confirmed > 0)
+
+(* the strengthening flip: a candidate that k=1 induction alone kills on
+   the step side (V_not_inductive) but that the strengthened run proves.
+   [fr] is a rail-backed register — a fact absint proves — and the
+   register [r] is held at 0 by
+
+     r' = (s | (r|fr)) & (~s | (r|fr))
+
+   which needs the non-cartesian identity (s|z) & (~s|z) = z, invisible
+   to the ternary cube, so the static tier cannot discharge the
+   candidate itself.  Plain induction's step side starts [fr] free,
+   drives r' = 1 through fr = 1, and kills the candidate; with the fact
+   fr = 0 asserted as a strengthening assumption the step query is
+   Unsat and the candidate is proved. *)
+let test_strengthening_flips_not_inductive () =
+  let d = D.create "strengthen_flip" in
+  let s = D.add_input d "s" in
+  let fr = D.add_dff d ~d:D.net_false () in
+  let r = D.new_net d in
+  let supp = D.add_cell d C.Or2 [| r; fr |] in
+  let sn = D.add_cell d C.Inv [| s |] in
+  let left = D.add_cell d C.Or2 [| s; supp |] in
+  let right = D.add_cell d C.Or2 [| sn; supp |] in
+  let x = D.add_cell d C.And2 [| left; right |] in
+  D.add_cell_out d C.Dff [| x |] ~out:r;
+  D.add_output d "q" r;
+  let cand = Engine.Candidate.Const (r, false) in
+  let ai = A.run ~assume:D.net_true d in
+  check "the support register is a fact" true
+    (mem_const (A.facts ai) fr false);
+  check "the cube cannot prove the candidate itself" false
+    (A.proves ai cand);
+  let fates = Hashtbl.create 4 in
+  let p_off, _ =
+    Engine.Induction.prove ~fates ~assume:D.net_true d [ cand ]
+  in
+  check "plain induction fails" true (p_off = []);
+  check "the off-fate is a step-side kill" true
+    (Hashtbl.find_opt fates cand = Some Engine.Induction.V_not_inductive);
+  let attributions = Hashtbl.create 4 in
+  let p_on, st =
+    Engine.Induction.prove_parallel ~jobs:1 ~absint:ai ~attributions
+      ~assume:D.net_true d [ cand ]
+  in
+  check "the strengthened run proves it" true (p_on = [ cand ]);
+  check_int "not via the static tier" 0 st.Engine.Induction.n_static_proved;
+  check "the fact was fed to the solver" true
+    (st.Engine.Induction.strengthening_facts > 0);
+  (match Hashtbl.find_opt attributions cand with
+  | Some { Engine.Induction.verdict = Engine.Induction.V_proved _; _ } -> ()
+  | Some a ->
+      Alcotest.failf "unexpected on-fate %s"
+        (Engine.Induction.verdict_label a.Engine.Induction.verdict)
+  | None -> Alcotest.fail "no attribution for the candidate");
+  (* the flip is sound: the snapshot oracle agrees once handed the fact *)
+  check "oracle confirms the strengthened proof" true
+    (oracle_confirms ~known:(A.facts ai) d D.net_true [ cand ])
+
+(* --- absint-backed lint rules ------------------------------------------ *)
+
+let test_lint_absint_rules () =
+  let d = D.create "lintable" in
+  let q = D.new_net d in
+  D.add_cell_out d C.Dff [| q |] ~out:q;
+  let m = D.add_cell d C.Mux2 [| D.net_false; D.add_input d "a"; q |] in
+  let r = D.add_dff d ~d:m () in
+  D.add_output d "q" q;
+  D.add_output d "r" r;
+  let ds = Analysis.Lint.run d in
+  let with_rule id = List.filter (fun x -> x.Analysis.Diag.rule = id) ds in
+  (match with_rule "absint-stuck-reg" with
+  | [] -> Alcotest.fail "absint-stuck-reg did not fire on a stuck register"
+  | h :: _ ->
+      check "stuck-reg severity" true
+        (h.Analysis.Diag.severity = Analysis.Diag.Warning);
+      (match h.Analysis.Diag.loc with
+      | Analysis.Diag.Net { net; _ } -> check "located at a flop" true (net = q || net = r)
+      | _ -> Alcotest.fail "expected a net location"));
+  (match with_rule "absint-dead-write" with
+  | [] -> Alcotest.fail "absint-dead-write did not fire on a rail select"
+  | h :: _ ->
+      check "dead-write severity" true
+        (h.Analysis.Diag.severity = Analysis.Diag.Info);
+      check "message names the dead arm" true
+        (let msg = h.Analysis.Diag.message in
+         let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length msg
+             && (String.sub msg i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "B-input"))
+
+(* --- cutpoint insertion ------------------------------------------------ *)
+
+let test_cutpoint_roundtrip () =
+  let d = D.create "cut" in
+  let a = D.add_input d "a" in
+  let b = D.add_input d "b" in
+  let z = D.add_cell d C.And2 [| a; b |] in
+  let y = D.add_cell d C.Inv [| z |] in
+  D.add_output d "y" y;
+  let d', fresh = Engine.Cutpoint.apply d ~name:"cp" [| z |] in
+  check_int "one fresh input" 1 (Array.length fresh);
+  check "single-net cutpoint keeps the bare name" true
+    (List.mem_assoc "cp" (D.inputs d'));
+  check "original design untouched" true
+    (not (List.mem_assoc "cp" (D.inputs d)));
+  (* drive the cutpoint with the value its old driver computes: the
+     cut design must be indistinguishable from the original *)
+  let sim = Netlist.Sim64.create d in
+  let sim' = Netlist.Sim64.create d' in
+  let y' = List.assoc "y" (D.outputs d') in
+  let rng = Random.State.make [| 4242 |] in
+  let ok = ref true in
+  for _ = 1 to 64 do
+    let va = Int64.of_int (Random.State.bits rng) in
+    let vb = Int64.of_int (Random.State.bits rng) in
+    Netlist.Sim64.set_input sim a va;
+    Netlist.Sim64.set_input sim b vb;
+    Netlist.Sim64.eval sim;
+    Netlist.Sim64.set_input sim' (List.assoc "a" (D.inputs d')) va;
+    Netlist.Sim64.set_input sim' (List.assoc "b" (D.inputs d')) vb;
+    Netlist.Sim64.set_input sim' fresh.(0) (Netlist.Sim64.read sim z);
+    Netlist.Sim64.eval sim';
+    if not (Int64.equal (Netlist.Sim64.read sim y) (Netlist.Sim64.read sim' y'))
+    then ok := false
+  done;
+  check "cut design matches when the cutpoint is driven honestly" true !ok
+
+let test_cutpoint_bus_names_and_errors () =
+  let d = D.create "cutbus" in
+  let a = D.add_input d "a" in
+  let n1 = D.add_cell d C.Inv [| a |] in
+  let n2 = D.add_cell d C.Buf [| a |] in
+  D.add_output d "y" (D.add_cell d C.And2 [| n1; n2 |]);
+  let d', fresh = Engine.Cutpoint.apply d ~name:"cp" [| n1; n2 |] in
+  check_int "two fresh inputs" 2 (Array.length fresh);
+  check "bus cutpoints are indexed" true
+    (List.mem_assoc "cp[0]" (D.inputs d')
+    && List.mem_assoc "cp[1]" (D.inputs d'));
+  (* cutting a primary input is a caller bug, not a silent no-op *)
+  (match Engine.Cutpoint.apply d ~name:"bad" [| a |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cutting a primary input must raise")
+
+(* --- bounded equivalence checking -------------------------------------- *)
+
+let miter_pair build2 =
+  let d1 = D.create "m1" in
+  let a = D.add_input d1 "a" in
+  let b = D.add_input d1 "b" in
+  D.add_output d1 "y" (D.add_cell d1 C.And2 [| a; b |]);
+  let d2 = D.create "m2" in
+  build2 d2;
+  (d1, d2)
+
+let test_equiv_equal () =
+  let _, d2 =
+    miter_pair (fun d2 ->
+        let a = D.add_input d2 "a" in
+        let b = D.add_input d2 "b" in
+        (* same function, different structure: !(!(a&b)) *)
+        let n = D.add_cell d2 C.Nand2 [| a; b |] in
+        D.add_output d2 "y" (D.add_cell d2 C.Inv [| n |]))
+  in
+  let d1, _ = miter_pair (fun _ -> ()) in
+  (match Engine.Equiv.bounded ~frames:3 d1 d2 with
+  | Engine.Equiv.Equivalent -> ()
+  | Engine.Equiv.Counterexample { frame; output } ->
+      Alcotest.failf "spurious counterexample at frame %d on %s" frame output
+  | Engine.Equiv.Unknown -> Alcotest.fail "budget exhausted on a 2-gate miter")
+
+let test_equiv_counterexample () =
+  let d1, d2 =
+    miter_pair (fun d2 ->
+        let a = D.add_input d2 "a" in
+        let b = D.add_input d2 "b" in
+        D.add_output d2 "y" (D.add_cell d2 C.Or2 [| a; b |]))
+  in
+  match Engine.Equiv.bounded ~frames:2 d1 d2 with
+  | Engine.Equiv.Counterexample { output; _ } ->
+      check "cex names the diverging output" true (output = "y")
+  | Engine.Equiv.Equivalent -> Alcotest.fail "and vs or declared equivalent"
+  | Engine.Equiv.Unknown -> Alcotest.fail "budget exhausted on a 2-gate miter"
+
+let test_equiv_under_assumption () =
+  (* d1's monitor pins a = 0, under which a&b == 0 *)
+  let d1 = D.create "m1" in
+  let a = D.add_input d1 "a" in
+  let b = D.add_input d1 "b" in
+  let ok = D.add_cell d1 C.Inv [| a |] in
+  D.add_output d1 "y" (D.add_cell d1 C.And2 [| a; b |]);
+  let d2 = D.create "m2" in
+  D.add_output d2 "y" D.net_false;
+  (match Engine.Equiv.bounded ~assume:ok ~frames:3 d1 d2 with
+  | Engine.Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "assumed equivalence not recognized");
+  (match Engine.Equiv.bounded ~frames:2 d1 d2 with
+  | Engine.Equiv.Counterexample _ -> ()
+  | _ -> Alcotest.fail "unassumed inequivalence not found");
+  (* disjoint output names are a contract violation *)
+  let d3 = D.create "m3" in
+  D.add_output d3 "z" D.net_false;
+  match Engine.Equiv.bounded ~frames:1 d1 d3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no shared outputs must raise"
+
+(* --- the pipeline differential ----------------------------------------- *)
+
+(* same digest-level identity the chaos harness uses *)
+let design_digest d =
+  Engine.Proof_cache.scope_digest d ~assume:D.net_true
+
+let test_pipeline_absint_differential () =
+  let gen_config =
+    { Netlist.Generate.n_inputs = 6; n_gates = 42; n_flops = 8; n_outputs = 6 }
+  in
+  let reduced = ref 0 in
+  for seed = 1 to 50 do
+    let d = Netlist.Generate.random ~seed ~config:gen_config () in
+    let run absint =
+      let r =
+        Pdat.Pipeline.run ~jobs:1 ~absint ~design:d
+          ~env:(Pdat.Environment.unconstrained d) ()
+      in
+      check (Printf.sprintf "seed %d: absint flag recorded" seed) absint
+        r.Pdat.Pipeline.report.Pdat.Pipeline.absint;
+      r
+    in
+    let off = run false in
+    let on = run true in
+    if design_digest off.Pdat.Pipeline.reduced
+       <> design_digest on.Pdat.Pipeline.reduced
+    then Alcotest.failf "seed %d: absint changed the reduced netlist" seed;
+    if off.Pdat.Pipeline.report.Pdat.Pipeline.proved > 0 then incr reduced
+  done;
+  check "the sweep exercised non-trivial reductions" true (!reduced > 10)
+
+(* --- strengthening on the flagship out-of-order core ------------------- *)
+
+(* At flagship scale the tier's contract is: a large slice of the mined
+   set is discharged without SAT, every static verdict agrees with the
+   SAT run, facts flow to the solvers as strengthening assumptions, and
+   the proved set is exactly preserved — mutual k-induction is complete
+   for the conjunctive candidate set when no budget bites, so on this
+   core strengthening must not (and does not) change the fixpoint.
+   The fate-flip mechanism itself (V_not_inductive -> proved) is pinned
+   by [test_strengthening_flips_not_inductive] above, where the missing
+   support is outside the candidate set by construction. *)
+let test_ridecore_strengthening () =
+  let config =
+    { Cores.Ridecore_like.rob_entries = 16; phys_regs = 48; iq_entries = 8;
+      pht_entries = 64; btb_entries = 8 }
+  in
+  let t = Cores.Ridecore_like.build ~config () in
+  let d = t.Cores.Ridecore_like.design in
+  let env = Pdat.Environment.riscv_port d ~port:"instr_rdata" Isa.Subset.rv32i in
+  let model = env.Pdat.Environment.model in
+  let assume = env.Pdat.Environment.assume in
+  let rsim = { Engine.Rsim.default with Engine.Rsim.cycles = 256; runs = 2 } in
+  let cands =
+    Pdat.Property_library.mine ~config:rsim ~model ~assume
+      ~stimulus:env.Pdat.Environment.stimulus ()
+    |> Pdat.Property_library.restrict_to_original ~original:d
+    |> Engine.Rsim.refine ~config:rsim ~assume model
+         env.Pdat.Environment.stimulus
+  in
+  check "mining found candidates" true (List.length cands > 100);
+  let opts =
+    { Engine.Induction.k = 1; call_conflict_budget = 30_000;
+      total_conflict_budget = 1_000_000; time_budget_s = infinity }
+  in
+  let ai = A.run ~assume model in
+  check "fixpoint found facts on ridecore" true (A.n_facts ai > 0);
+  let p_off, _ =
+    Engine.Induction.prove_parallel ~options:opts ~jobs:1 ~assume model cands
+  in
+  let p_on, s_on =
+    Engine.Induction.prove_parallel ~options:opts ~jobs:1 ~absint:ai ~assume
+      model cands
+  in
+  let off_tbl = Hashtbl.create 4096 in
+  List.iter (fun c -> Hashtbl.replace off_tbl c ()) p_off;
+  let on_tbl = Hashtbl.create 4096 in
+  List.iter (fun c -> Hashtbl.replace on_tbl c ()) p_on;
+  check "monotone: nothing lost by strengthening" true
+    (List.for_all (Hashtbl.mem on_tbl) p_off);
+  check "complete run: the proved fixpoint is exactly preserved" true
+    (List.for_all (Hashtbl.mem off_tbl) p_on);
+  check "a large slice of the set is discharged without SAT" true
+    (s_on.Engine.Induction.n_static_proved * 10 > List.length cands);
+  check "facts beyond the candidate set strengthen the solvers" true
+    (s_on.Engine.Induction.strengthening_facts > 0);
+  (* soundness at scale, for free: every statically discharged candidate
+     was independently proved by the plain SAT run *)
+  let static = List.filter (A.proves ai) cands in
+  check_int "static accounting matches the cube"
+    (List.length static) s_on.Engine.Induction.n_static_proved;
+  check "every static verdict agrees with the SAT run" true
+    (List.for_all (Hashtbl.mem off_tbl) static)
+
+let () =
+  Alcotest.run "absint"
+    [
+      ( "fixpoint",
+        [
+          Alcotest.test_case "forced constants propagate" `Quick
+            test_forced_constants;
+          Alcotest.test_case "assume-conditioning sees through the monitor"
+            `Quick test_assume_conditioning;
+          Alcotest.test_case "implication proving by conditioning" `Quick
+            test_implies_proving;
+          Alcotest.test_case "word facts: known bits and intervals" `Quick
+            test_word_facts;
+          Alcotest.test_case "contradiction degrades to no claims" `Quick
+            test_contradiction;
+          Alcotest.test_case "dead write arms" `Quick test_dead_write;
+        ] );
+      ( "prover",
+        [
+          Alcotest.test_case "static tier accounting" `Quick
+            test_static_tier_accounting;
+          Alcotest.test_case "static verdicts vs the snapshot oracle, 20 seeds"
+            `Slow test_static_proved_vs_oracle;
+          Alcotest.test_case "strengthening flips a not-inductive fate" `Quick
+            test_strengthening_flips_not_inductive;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "absint-backed rules fire" `Quick
+            test_lint_absint_rules;
+        ] );
+      ( "cutpoint",
+        [
+          Alcotest.test_case "insertion round-trips under honest driving"
+            `Quick test_cutpoint_roundtrip;
+          Alcotest.test_case "bus naming and input rejection" `Quick
+            test_cutpoint_bus_names_and_errors;
+        ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "structurally different, equivalent" `Quick
+            test_equiv_equal;
+          Alcotest.test_case "counterexample on a real difference" `Quick
+            test_equiv_counterexample;
+          Alcotest.test_case "assumption-relative equivalence" `Quick
+            test_equiv_under_assumption;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "absint-on == absint-off reduced netlists, 50 \
+                              seeds"
+            `Slow test_pipeline_absint_differential;
+        ] );
+      ( "ridecore",
+        [
+          Alcotest.test_case
+            "static tier at flagship scale: discharge, soundness, fixpoint \
+             preservation" `Slow test_ridecore_strengthening;
+        ] );
+    ]

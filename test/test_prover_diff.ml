@@ -102,6 +102,40 @@ let test_differential () =
           true
           (survives_sim d D.net_true par ~cycles:1000))
       [ 1; 2; 4 ];
+    (* the absint static tier: every statically discharged verdict and
+       every strengthening fact must be confirmed by the snapshot
+       oracle, and under an unconstrained environment the mined
+       candidate set already contains the whole ternary cube, so the
+       strengthened proved set must be byte-identical to the serial
+       one *)
+    let ai = Engine.Absint.run ~assume:D.net_true d in
+    let p_ai, sai =
+      Engine.Induction.prove_parallel ~jobs:1 ~absint:ai ~assume:D.net_true d
+        cands
+    in
+    if not (same_set serial p_ai) then
+      Alcotest.failf
+        "seed %d: absint-on proved %d, absint-off proved %d (different sets)"
+        seed (List.length p_ai) (List.length serial);
+    check_int
+      (Printf.sprintf "seed %d: static tier accounting" seed)
+      (List.length (List.filter (Engine.Absint.proves ai) cands))
+      sai.Engine.Induction.n_static_proved;
+    check
+      (Printf.sprintf "seed %d: absint-on proved set survives simulation" seed)
+      true
+      (survives_sim d D.net_true p_ai ~cycles:1000);
+    (let facts = Engine.Absint.facts ai in
+     if facts <> [] then begin
+       let pf, _ =
+         Engine.Induction.prove_snapshot ~assume:D.net_true d facts
+       in
+       if not (same_set pf facts) then
+         Alcotest.failf
+           "seed %d: snapshot oracle refuted %d of %d absint facts" seed
+           (List.length facts - List.length pf)
+           (List.length facts)
+     end);
     (* the sieve transfers verdicts across pointwise-equivalent
        candidates: its expanded proved set must be byte-identical to a
        sieve-off run, serial and parallel alike *)
