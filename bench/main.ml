@@ -33,6 +33,16 @@ let fast = not (Array.exists (( = ) "--full") Sys.argv)
 let json = Array.exists (( = ) "--json") Sys.argv
 let trace = Array.exists (( = ) "--trace") Sys.argv
 
+(* --metrics-out FILE: dump the process's Obs counters and histograms
+   as OpenMetrics text when all targets have finished *)
+let metrics_out =
+  let rec find = function
+    | "--metrics-out" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
 (* --- JSON emission ------------------------------------------------------ *)
 
 let json_escape s =
@@ -62,20 +72,40 @@ let histograms_json () =
 
 let write_bench_json target fields_of_entries =
   let path = Printf.sprintf "BENCH_%s.json" target in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"schema_version\": %d,\n\
-    \  \"commit\": \"%s\",\n\
-    \  \"target\": \"%s\",\n\
-    \  \"fast\": %b,\n\
-    \  \"histograms\": {%s},\n\
-     %s}\n"
-    Report.Meta.schema_version
-    (json_escape (Report.Meta.git_commit ()))
-    (json_escape target) fast (histograms_json ()) fields_of_entries;
-  close_out oc;
+  let contents =
+    Printf.sprintf
+      "{\n\
+      \  \"schema_version\": %d,\n\
+      \  \"commit\": \"%s\",\n\
+      \  \"target\": \"%s\",\n\
+      \  \"fast\": %b,\n\
+      \  \"histograms\": {%s},\n\
+       %s}\n"
+      Report.Meta.schema_version
+      (json_escape (Report.Meta.git_commit ()))
+      (json_escape target) fast (histograms_json ()) fields_of_entries
+  in
+  Obs.write_file_atomic path contents;
   Format.printf "wrote %s@." path
+
+(* the prover's per-candidate cost attribution (deterministic ranking:
+   conflicts, then SAT calls, then key — wall seconds are data here,
+   never rank) *)
+let top_costs_json (stats : Engine.Induction.stats) =
+  String.concat ", "
+    (List.map
+       (fun (r : Obs.Attr.row) ->
+         Printf.sprintf
+           "{\"key\": \"%s\", \"shard\": %s, \"sat_calls\": %d, \
+            \"conflicts\": %d, \"core_skips\": %d, \"wall_s\": %.4f, \
+            \"static\": %b}"
+           (json_escape r.Obs.Attr.a_key)
+           (match r.Obs.Attr.a_shard with
+           | Some s -> string_of_int s
+           | None -> "null")
+           r.Obs.Attr.a_sat_calls r.Obs.Attr.a_conflicts
+           r.Obs.Attr.a_core_skips r.Obs.Attr.a_wall_s r.Obs.Attr.a_static)
+       stats.Engine.Induction.top_costs)
 
 let counters_json cs =
   String.concat ", "
@@ -374,6 +404,8 @@ let run_parallel () =
           \"worker_retries\": %d,\n  \"worker_fallbacks\": %d,\n  \
           \"resumed_shards\": %d,\n  \
           \"shard_sizes\": [%s],\n  \"worker_times\": [%s],\n  \
+          \"worker_wall_max_s\": %.3f,\n  \"worker_wall_mean_s\": %.3f,\n  \
+          \"worker_idle_frac\": %.3f,\n  \"top_costs\": [%s],\n  \
           \"cold_sat_calls\": %d,\n  \"warm_sat_calls\": %d,\n  \
           \"cache_skipped_pct\": %.1f\n"
          (List.length candidates) (List.length p1) identical cores
@@ -391,7 +423,10 @@ let run_parallel () =
                    "{\"worker\": %d, \"wall_s\": %.3f, \"cpu_s\": %.3f}" i wall
                    cpu)
                s4.Engine.Induction.worker_times))
-         cold_calls warm_calls skipped_pct)
+         s4.Engine.Induction.worker_wall_max_s
+         s4.Engine.Induction.worker_wall_mean_s
+         s4.Engine.Induction.worker_idle_frac (top_costs_json s4) cold_calls
+         warm_calls skipped_pct)
 
 (* --- static analysis ---------------------------------------------------- *)
 
@@ -576,14 +611,14 @@ let run_sat () =
           \"speedup_sieve\": %.3f,\n  \"snapshot_sat_calls\": %d,\n  \
           \"incremental_sat_calls\": %d,\n  \"core_skips\": %d,\n  \
           \"sieved\": %d,\n  \"sieve_classes\": %d,\n  \
-          \"sieve_sat_calls\": %d\n"
+          \"sieve_sat_calls\": %d,\n  \"top_costs\": [%s]\n"
          (List.length candidates) (List.length inc) identical
          (Obs.Hw.online_cores ()) 1 t_snap t_inc
          t_siv speedup_incremental speedup_sieve
          s_snap.Engine.Induction.sat_calls s_inc.Engine.Induction.sat_calls
          s_inc.Engine.Induction.core_skips s_siv.Engine.Induction.n_sieved
          s_siv.Engine.Induction.sieve_classes
-         s_siv.Engine.Induction.sieve_sat_calls)
+         s_siv.Engine.Induction.sieve_sat_calls (top_costs_json s_inc))
 
 (* --- absint: static tier + induction strengthening ---------------------- *)
 
@@ -686,13 +721,15 @@ let run_absint () =
           \"strengthened_proved\": %d,\n  \"proved_off\": %d,\n  \
           \"proved_on\": %d,\n  \"t_prove_off_s\": %.3f,\n  \
           \"t_prove_on_s\": %.3f,\n  \"sat_calls_off\": %d,\n  \
-          \"sat_calls_on\": %d,\n  \"cores\": %d,\n  \"jobs_effective\": %d\n"
+          \"sat_calls_on\": %d,\n  \"cores\": %d,\n  \
+          \"jobs_effective\": %d,\n  \"top_costs\": [%s]\n"
          (List.length candidates) (Engine.Absint.n_facts ai)
          (Engine.Absint.iterations ai) t_fix static
          s_on.Engine.Induction.strengthening_facts
          (List.length strengthened) (List.length p_off) (List.length p_on)
          t_off t_on s_off.Engine.Induction.sat_calls
-         s_on.Engine.Induction.sat_calls (Obs.Hw.online_cores ()) 1)
+         s_on.Engine.Induction.sat_calls (Obs.Hw.online_cores ()) 1
+         (top_costs_json s_on))
 
 (* With --trace, each target records spans for its whole run and writes
    them as TRACE_<target>.json; the file is written even when the target
@@ -713,11 +750,15 @@ let with_target_trace target f =
   end
 
 let () =
-  let targets =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a ->
-           a <> "--fast" && a <> "--full" && a <> "--json" && a <> "--trace")
+  let rec strip = function
+    | "--metrics-out" :: _ :: rest -> strip rest
+    | a :: rest
+      when a = "--fast" || a = "--full" || a = "--json" || a = "--trace" ->
+        strip rest
+    | a :: rest -> a :: strip rest
+    | [] -> []
   in
+  let targets = strip (List.tl (Array.to_list Sys.argv)) in
   let targets = if targets = [] then [ "all" ] else targets in
   let dispatch_target = function
     | "table1" -> run_table1 ()
@@ -748,4 +789,9 @@ let () =
         exit 1
   in
   let dispatch target = with_target_trace target (fun () -> dispatch_target target) in
-  List.iter dispatch targets
+  List.iter dispatch targets;
+  match metrics_out with
+  | Some path ->
+      Obs.write_file_atomic path (Obs.openmetrics ());
+      Format.printf "wrote %s@." path
+  | None -> ()

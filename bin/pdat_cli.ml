@@ -12,6 +12,9 @@
                                static netlist lint; exit 1 on errors
      chaos --core C --subset S [--dir D]
                                crash-safety matrix; exit 1 on any failure
+     perf BASE.json CUR.json [...]
+                               BENCH delta table + regression gate;
+                               exit 1 on regression, 2 on a bad file
      table1 | table2           paper tables *)
 
 open Cmdliner
@@ -259,12 +262,32 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
+let log_arg =
+  let doc =
+    "Write a structured run log to $(docv): leveled JSONL events \
+     (run/stage start and end with budget allocations, prover worker \
+     failures, periodic proof heartbeats with settled counts and ETA). \
+     $(b,PDAT_LOG) is the flagless equivalent; $(b,PDAT_LOG_LEVEL) \
+     (debug/info/warn/error) sets the threshold."
+  in
+  Arg.(value & opt (some string) None & info [ "log" ] ~doc ~docv:"FILE")
+
+let metrics_out_arg =
+  let doc =
+    "Dump the run's counters and histograms to $(docv) in \
+     OpenMetrics/Prometheus text format when the pipeline finishes \
+     (written atomically; $(b,PDAT_METRICS_OUT) is the flagless \
+     equivalent)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+
 let reduce_cmd =
   let port_flag =
     Arg.(value & flag & info [ "port" ] ~doc:"Force port-based constraints.")
   in
   let run fast jobs cache_dir sieve absint core subset_name port out validate
-      time_budget lint inject_kind trace run_dir resume retries =
+      time_budget lint inject_kind trace log metrics_out run_dir resume
+      retries =
     if inject_kind <> None && not validate then begin
       Format.eprintf "--inject requires --validate to mean anything@.";
       exit 1
@@ -284,8 +307,8 @@ let reduce_cmd =
           ?sieve:(if sieve then Some true else None)
           ?absint:(if absint then Some true else None) ~validate
           ?time_budget ~lint ?inject
-          ?trace:(Option.map Obs.sink_of_path trace) ?run_dir ~resume
-          ?retries ~design ~env ()
+          ?trace:(Option.map Obs.sink_of_path trace) ?log ?metrics_out
+          ?run_dir ~resume ?retries ~design ~env ()
       with
       | r -> r
       | exception Pdat.Pipeline.Rejected diags ->
@@ -321,8 +344,8 @@ let reduce_cmd =
     Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ sieve_flag
           $ absint_flag $ core_arg $ subset_arg
           $ port_flag $ out_arg $ validate_flag $ time_budget_arg
-          $ lint_gate_arg $ inject_arg $ trace_arg $ run_dir_arg
-          $ resume_flag $ retries_arg)
+          $ lint_gate_arg $ inject_arg $ trace_arg $ log_arg
+          $ metrics_out_arg $ run_dir_arg $ resume_flag $ retries_arg)
 
 (* ---------------- lint ------------------------------------------------ *)
 
@@ -435,7 +458,7 @@ let report_cmd =
     Arg.(value & opt string "." & info [ "out-dir" ] ~doc ~docv:"DIR")
   in
   let run fast jobs cache_dir sieve absint core subset_name port validate
-      time_budget dump_cex out_dir run_dir resume retries =
+      time_budget dump_cex out_dir log metrics_out run_dir resume retries =
     if resume && run_dir = None then begin
       Format.eprintf "--resume needs --run-dir to locate the journal@.";
       exit 1
@@ -449,7 +472,7 @@ let report_cmd =
           ?sieve:(if sieve then Some true else None)
           ?absint:(if absint then Some true else None) ~validate
           ?time_budget ~lint:Analysis.Lint.Warn ~provenance:prov ?dump_cex
-          ?run_dir ~resume ?retries ~design ~env ()
+          ?log ?metrics_out ?run_dir ~resume ?retries ~design ~env ()
       with
       | r -> r
       | exception Pdat.Pipeline.Rejected diags ->
@@ -477,17 +500,19 @@ let report_cmd =
           })
         result.Pdat.Pipeline.report.Pdat.Pipeline.resume
     in
-    let json = Report.Render.json ~target ?resume:resume_prov prov in
+    let istats = result.Pdat.Pipeline.report.Pdat.Pipeline.induction in
+    let json =
+      Report.Render.json ~target ~induction:istats ?resume:resume_prov prov
+    in
     let md =
       Report.Render.markdown ~target
         ~timings:result.Pdat.Pipeline.report.Pdat.Pipeline.stage_seconds
         ~histograms:(Obs.histograms ())
-        ~commit:(Report.Meta.git_commit ()) ?resume:resume_prov prov
+        ~commit:(Report.Meta.git_commit ()) ~induction:istats
+        ?resume:resume_prov prov
     in
     let write path s =
-      let oc = open_out path in
-      output_string oc s;
-      close_out oc;
+      Obs.write_file_atomic path s;
       Format.eprintf "wrote %s@." path
     in
     write (Filename.concat out_dir ("REPORT_" ^ target ^ ".json")) json;
@@ -502,7 +527,8 @@ let report_cmd =
     Term.(const run $ fast $ jobs_arg $ cache_dir_arg $ sieve_flag
           $ absint_flag $ core_arg $ subset_arg
           $ port_flag $ validate_flag $ time_budget_arg $ dump_cex_arg
-          $ out_dir_arg $ run_dir_arg $ resume_flag $ retries_arg)
+          $ out_dir_arg $ log_arg $ metrics_out_arg $ run_dir_arg
+          $ resume_flag $ retries_arg)
 
 (* ---------------- chaos ------------------------------------------------ *)
 
@@ -540,6 +566,88 @@ let chaos_cmd =
     Term.(const run $ fast $ jobs_arg $ retries_arg $ core_arg $ subset_arg
           $ port_flag $ dir_arg)
 
+(* ---------------- perf ------------------------------------------------- *)
+
+let perf_cmd =
+  let files =
+    let doc =
+      "BENCH envelopes to compare: the first is the baseline, every \
+       following file is diffed against it."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~doc ~docv:"BENCH.json")
+  in
+  let rel_tol_arg =
+    let doc =
+      "Relative increase tolerated on gated metrics (timings and histogram \
+       percentiles) before a regression is declared."
+    in
+    Arg.(value & opt float 0.15 & info [ "rel-tol" ] ~doc ~docv:"FRAC")
+  in
+  let abs_floor_arg =
+    let doc =
+      "Absolute floor in seconds for timing metrics: an increase below it \
+       never gates, whatever the relative change (noise guard)."
+    in
+    Arg.(value & opt float 0.05 & info [ "abs-floor" ] ~doc ~docv:"SECONDS")
+  in
+  let abs_floor_hist_arg =
+    let doc =
+      "Absolute floor in seconds for histogram percentiles (per-call \
+       latencies are far smaller than stage timings, so they get their \
+       own floor)."
+    in
+    Arg.(value
+         & opt float 0.0005
+         & info [ "abs-floor-hist" ] ~doc ~docv:"SECONDS")
+  in
+  let out_arg =
+    let doc = "Also write the markdown delta table(s) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let run rel_tol abs_floor_s abs_floor_hist_s out files =
+    let thresholds = { Report.Perf.rel_tol; abs_floor_s; abs_floor_hist_s } in
+    match files with
+    | [] | [ _ ] ->
+        Format.eprintf
+          "perf needs a baseline and at least one current BENCH file@.";
+        exit 2
+    | base_path :: rest -> (
+        try
+          let base = Report.Perf.load base_path in
+          let regressed = ref false in
+          let buf = Buffer.create 2048 in
+          List.iter
+            (fun path ->
+              let cur = Report.Perf.load path in
+              let deltas =
+                Report.Perf.compare_benches ~thresholds ~base cur
+              in
+              if Report.Perf.regressions deltas <> [] then regressed := true;
+              Buffer.add_string buf
+                (Report.Perf.markdown_table ~thresholds ~base cur deltas);
+              Buffer.add_char buf '\n')
+            rest;
+          let text = Buffer.contents buf in
+          print_string text;
+          Option.iter
+            (fun path ->
+              Obs.write_file_atomic path text;
+              Format.eprintf "wrote %s@." path)
+            out;
+          if !regressed then exit 1
+        with Report.Perf.Perf_error msg ->
+          Format.eprintf "perf: %s@." msg;
+          exit 2)
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Compare schema-versioned BENCH_*.json envelopes with noise-aware \
+          thresholds and gate on regressions (exit 1 on a regression, 2 on \
+          a missing/mismatched file)")
+    Term.(const run $ rel_tol_arg $ abs_floor_arg $ abs_floor_hist_arg
+          $ out_arg $ files)
+
 (* ---------------- tables ---------------------------------------------- *)
 
 let table1_cmd =
@@ -559,4 +667,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; reduce_cmd; report_cmd; export_cmd; lint_cmd;
-            chaos_cmd; table1_cmd; table2_cmd ]))
+            chaos_cmd; perf_cmd; table1_cmd; table2_cmd ]))

@@ -158,24 +158,57 @@ let run_digest ~absint ~design ~env =
 let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache ?sieve
     ?absint ?(validate = false) ?validate_config ?validate_stimulus
     ?time_budget ?(lint = Analysis.Lint.Off) ?inject ?provenance ?dump_cex
-    ?trace ?run_dir ?(resume = false) ?retries ~design ~env () =
+    ?trace ?log ?metrics_out ?run_dir ?(resume = false) ?retries ~design ~env
+    () =
   let sieve = match sieve with Some s -> s | None -> default_sieve () in
   let absint = match absint with Some a -> a | None -> default_absint () in
+  let env_path var =
+    match Sys.getenv_opt var with
+    | Some p when String.trim p <> "" -> Some p
+    | Some _ | None -> None
+  in
   let trace =
     match trace with
     | Some _ as t -> t
-    | None -> (
-        match Sys.getenv_opt "PDAT_TRACE" with
-        | Some p when String.trim p <> "" -> Some (Obs.sink_of_path p)
-        | Some _ | None -> None)
+    | None -> Option.map Obs.sink_of_path (env_path "PDAT_TRACE")
+  in
+  let log = match log with Some _ as l -> l | None -> env_path "PDAT_LOG" in
+  let metrics_out =
+    match metrics_out with
+    | Some _ as m -> m
+    | None -> env_path "PDAT_METRICS_OUT"
   in
   let was_enabled = Obs.is_enabled () in
   if trace <> None then Obs.enable ();
+  (* the run log: opened here (unless the caller already opened one),
+     closed on every exit path.  PDAT_LOG_LEVEL lowers the threshold to
+     debug or raises it to warn/error. *)
+  let log_opened =
+    match log with
+    | Some path when not (Obs.Log.active ()) ->
+        let level =
+          match Sys.getenv_opt "PDAT_LOG_LEVEL" with
+          | Some s -> (
+              match Obs.Log.level_of_string s with
+              | Some l -> l
+              | None -> Obs.Log.Info)
+          | None -> Obs.Log.Info
+        in
+        Obs.Log.set ~level path;
+        true
+    | Some _ | None -> false
+  in
   let counters0 = Obs.counters () in
   let finish_trace () =
     (match trace with
     | Some sink -> Obs.write_sink sink (Obs.drain () @ Obs.counter_events ())
     | None -> ());
+    (* metrics snapshot even when the run raises: a crashed run's
+       counters are exactly the ones worth scraping *)
+    (match metrics_out with
+    | Some path -> Obs.write_file_atomic path (Obs.openmetrics ())
+    | None -> ());
+    if log_opened then Obs.Log.close ();
     if not was_enabled then Obs.disable ()
   in
   Fun.protect ~finally:finish_trace @@ fun () ->
@@ -261,10 +294,24 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache ?sieve
     (* chaos: PDAT_CHAOS="sigterm:<stage>" kills the process here,
        simulating an operator interrupt at a stage boundary *)
     Engine.Chaos.stage_sigterm name;
+    Obs.Log.event ~stage:name "stage-start"
+      ~kv:
+        (match stage_alloc name with
+        | Some a -> [ ("alloc_s", Obs.Float a) ]
+        | None -> []);
     let r, dt = Obs.with_span_timed ~cat:"stage" name f in
     stage_seconds := (name, dt) :: !stage_seconds;
+    Obs.Log.event ~stage:name "stage-end" ~kv:[ ("wall_s", Obs.Float dt) ];
     r
   in
+  Obs.Log.event ~stage:"run" "run-start"
+    ~kv:
+      [
+        ("variant", Obs.Str env.Environment.description);
+        ("jobs", Obs.Int jobs);
+        ("sieve", Obs.Bool sieve);
+        ("absint", Obs.Bool absint);
+      ];
   let injected = ref None in
   let try_fault hook =
     match inject with
@@ -548,6 +595,14 @@ let run ?rsim ?(refine = default_refine) ?induction ?jobs ?cache ?sieve
         })
       journal
   in
+  Obs.Log.event ~stage:"run" "run-end"
+    ~kv:
+      [
+        ("seconds", Obs.Float (Obs.Clock.now_s () -. t0));
+        ("mined", Obs.Int (List.length candidates));
+        ("proved", Obs.Int (List.length proved));
+        ("validated", Obs.Bool validated);
+      ];
   {
     reduced;
     report =

@@ -145,6 +145,8 @@ val run :
   ?provenance:Report.Provenance.t ->
   ?dump_cex:string ->
   ?trace:Obs.sink ->
+  ?log:string ->
+  ?metrics_out:string ->
   ?run_dir:string ->
   ?resume:bool ->
   ?retries:int ->
@@ -237,6 +239,23 @@ val run :
     [PDAT_TRACE] environment variable selects a sink by path
     ([.jsonl] → JSONL, anything else → Chrome JSON).  Tracing state is
     restored (and the file written) even when the run raises.
+
+    [log] names a structured run-log file: leveled JSONL events
+    ({!Obs.Log}) — run-start/run-end, stage-start (with its budget
+    allocation) and stage-end per stage, prover worker failures and
+    periodic proof heartbeats with settled-candidate counts and the
+    budget-derived ETA.  When absent, a non-empty [PDAT_LOG]
+    environment variable names the file; [PDAT_LOG_LEVEL]
+    (debug/info/warn/error) sets the threshold, default info.  The log
+    is appended to (crash-safe: one [write] per line), left untouched
+    if the caller already opened one, and closed on every exit path
+    when [run] opened it.
+
+    [metrics_out] names a file that receives the process's {!Obs}
+    counters and histograms in OpenMetrics/Prometheus text format
+    ({!Obs.openmetrics}) when the run finishes — written atomically
+    (tmp + rename) and even when the run raises.  When absent, a
+    non-empty [PDAT_METRICS_OUT] selects the path.
 
     @raise Rejected on a malformed input netlist (always), or on any
     Error-severity input lint finding when [lint = Strict]. *)

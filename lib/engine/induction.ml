@@ -40,6 +40,10 @@ type stats = {
   worker_seconds : float;
   n_static_proved : int;
   strengthening_facts : int;
+  top_costs : Obs.Attr.row list;
+  worker_wall_max_s : float;
+  worker_wall_mean_s : float;
+  worker_idle_frac : float;
 }
 
 let blank_stats =
@@ -70,6 +74,10 @@ let blank_stats =
     worker_seconds = 0.;
     n_static_proved = 0;
     strengthening_facts = 0;
+    top_costs = [];
+    worker_wall_max_s = 0.;
+    worker_wall_mean_s = 0.;
+    worker_idle_frac = 0.;
   }
 
 let pp_stats fmt s =
@@ -109,7 +117,10 @@ let pp_stats fmt s =
       (s.cache_hits + s.cache_misses);
   if s.n_static_proved > 0 || s.strengthening_facts > 0 then
     Format.fprintf fmt " absint=%d static (%d strengthening facts)"
-      s.n_static_proved s.strengthening_facts
+      s.n_static_proved s.strengthening_facts;
+  if s.worker_wall_max_s > 0. then
+    Format.fprintf fmt " balance=max %.2fs mean %.2fs idle %.0f%%"
+      s.worker_wall_max_s s.worker_wall_mean_s (100. *. s.worker_idle_frac)
 
 (* Per-candidate fate, for the provenance layer.  Only [V_refuted]
    carries a counterexample: a base-side SAT model is a trace from
@@ -248,6 +259,8 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
     ?fates ~assume d candidate_list =
   let candidates = Array.of_list candidate_list in
   let n = Array.length candidates in
+  let ckey = Array.map Candidate.key candidates in
+  let attr0 = Obs.Attr.export () in
   let alive = Array.make n true in
   let sat_calls = ref 0 in
   let core_skips = ref 0 in
@@ -384,7 +397,7 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
     !acc
   in
   let kill_from_model side ~is_base =
-    let n_killed = ref 0 in
+    let killed = ref [] in
     Array.iteri
       (fun i a ->
         if a then
@@ -396,10 +409,25 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
           if not ok then begin
             alive.(i) <- false;
             record_kill side ~is_base i `Model;
-            incr n_killed
+            killed := i :: !killed
           end)
       alive;
-    !n_killed
+    List.rev !killed
+  in
+  (* an aggregate round whose model refuted candidates is those
+     candidates' cost: each gets an equal share of the round's
+     conflicts and wall, and the one call that settled it — without
+     this, kernels the aggregates settle outright would attribute
+     nothing per-candidate *)
+  let bill_round solver killed ~c0 ~t0 =
+    let nk = List.length killed in
+    let share_c = (S.num_conflicts solver - c0) / nk in
+    let share_w = (Obs.Clock.now_s () -. t0) /. float_of_int nk in
+    List.iter
+      (fun i ->
+        Obs.Attr.with_key ckey.(i) (fun () ->
+            Obs.Attr.charge_call ~wall_s:share_w ~conflicts:share_c))
+      killed
   in
   let budgeted_solve solver assumptions =
     incr sat_calls;
@@ -469,12 +497,18 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
           let r = S.new_selector solver in
           S.add_guarded solver ~guard:r
             (List.map (fun i -> base.viol.(i)) idxs);
-          let res = budgeted_solve solver [ r ] in
+          let c0 = S.num_conflicts solver in
+          let t0 = Obs.Clock.now_s () in
+          let res =
+            Obs.Attr.with_key "(base-aggregate)" (fun () ->
+                budgeted_solve solver [ r ])
+          in
           S.retire solver r;
           (match res with
           | S.Sat ->
-              let nk = kill_from_model base ~is_base:true in
-              if nk > 0 then begin
+              let killed = kill_from_model base ~is_base:true in
+              if killed <> [] then begin
+                bill_round solver killed ~c0 ~t0;
                 cex_propagate base ();
                 aggregate ()
               end
@@ -488,9 +522,12 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
       List.iter
         (fun i ->
           if alive.(i) then
-            match budgeted_solve solver [ base.viol.(i) ] with
+            match
+              Obs.Attr.with_key ckey.(i) (fun () ->
+                  budgeted_solve solver [ base.viol.(i) ])
+            with
             | S.Sat ->
-                ignore (kill_from_model base ~is_base:true);
+                ignore (kill_from_model base ~is_base:true : int list);
                 if alive.(i) then begin
                   alive.(i) <- false;
                   record_kill base ~is_base:true i `Model
@@ -519,12 +556,18 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
           let r = S.new_selector solver in
           S.add_guarded solver ~guard:r
             (List.map (fun i -> step.viol.(i)) idxs);
-          let res = budgeted_solve solver (r :: assumptions_alive ()) in
+          let c0 = S.num_conflicts solver in
+          let t0 = Obs.Clock.now_s () in
+          let res =
+            Obs.Attr.with_key "(step-aggregate)" (fun () ->
+                budgeted_solve solver (r :: assumptions_alive ()))
+          in
           S.retire solver r;
           (match res with
           | S.Sat ->
-              let nk = kill_from_model step ~is_base:false in
-              if nk > 0 then begin
+              let killed = kill_from_model step ~is_base:false in
+              if killed <> [] then begin
+                bill_round solver killed ~c0 ~t0;
                 cex_propagate step ();
                 sync_kills ();
                 aggregate ()
@@ -541,17 +584,26 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
         progress := false;
         let al = alive_indices () in
         let pending = List.filter (fun i -> cores.(i) = None) al in
-        if not !first then
+        if not !first then begin
           core_skips := !core_skips + (List.length al - List.length pending);
+          (* attribution: each alive candidate with a still-valid core
+             just dodged one re-check *)
+          List.iter
+            (fun i ->
+              if cores.(i) <> None then Obs.Attr.credit_core_skip ckey.(i))
+            al
+        end;
         first := false;
         List.iter
           (fun i ->
             if alive.(i) && cores.(i) = None then
               match
-                budgeted_solve solver (step.viol.(i) :: assumptions_alive ())
+                Obs.Attr.with_key ckey.(i) (fun () ->
+                    budgeted_solve solver
+                      (step.viol.(i) :: assumptions_alive ()))
               with
               | S.Sat ->
-                  ignore (kill_from_model step ~is_base:false);
+                  ignore (kill_from_model step ~is_base:false : int list);
                   if alive.(i) then begin
                     alive.(i) <- false;
                     record_kill step ~is_base:false i `Model
@@ -619,6 +671,7 @@ let prove ?(options = default_options) ?cex ?(known = []) ?(hypotheses = [])
       core_skips = !core_skips;
       budget_exhausted = !exhausted;
       deadline_exceeded = !deadline_hit;
+      top_costs = Obs.Attr.top (Obs.Attr.delta ~since:attr0 (Obs.Attr.export ()));
     } )
 
 (* Reference prover, retained as the differential-test oracle and the
@@ -633,6 +686,7 @@ let prove_snapshot ?(options = default_options) ?(known = [])
     ?(hypotheses = []) ~assume d candidate_list =
   let candidates = Array.of_list candidate_list in
   let n = Array.length candidates in
+  let ckey = Array.map Candidate.key candidates in
   let alive = Array.make n true in
   let sat_calls = ref 0 in
   let rounds = ref 0 in
@@ -658,7 +712,10 @@ let prove_snapshot ?(options = default_options) ?(known = [])
     Array.iteri
       (fun i a ->
         if a then
-          match solve_one (Unroll.solver base.u) [ base.viol.(i) ] with
+          match
+            Obs.Attr.with_key ckey.(i) (fun () ->
+                solve_one (Unroll.solver base.u) [ base.viol.(i) ])
+          with
           | S.Sat | S.Unknown ->
               alive.(i) <- false;
               continue := true
@@ -682,8 +739,9 @@ let prove_snapshot ?(options = default_options) ?(known = [])
       (fun i a ->
         if a then
           match
-            solve_one (Unroll.solver step.u)
-              (step.viol.(i) :: assumptions ())
+            Obs.Attr.with_key ckey.(i) (fun () ->
+                solve_one (Unroll.solver step.u)
+                  (step.viol.(i) :: assumptions ()))
           with
           | S.Sat | S.Unknown ->
               alive.(i) <- false;
@@ -746,6 +804,7 @@ type worker_result = {
   w_counters : (string * float) list;
   w_fates : (Candidate.t * verdict) list;  (* empty unless requested *)
   w_hists : (string * float array) list;   (* histogram samples *)
+  w_attr : Obs.Attr.row list;              (* per-candidate cost rows *)
 }
 
 let status_str = function
@@ -763,6 +822,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
     ?absint ?attributions ?retries ?checkpoint ?(recovered = [])
     ?(sieve = false) ~assume d candidate_list =
   let retries = match retries with Some r -> max 0 r | None -> default_retries () in
+  let attr0 = Obs.Attr.export () in
   let want_fates = attributions <> None in
   let attribute cand verdict shard cache_hit =
     match attributions with
@@ -785,7 +845,11 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
           Obs.with_span ~cat:"prove" "static-tier" (fun () ->
               List.partition (Absint.proves ai) candidate_list)
         in
-        List.iter (fun cand -> attribute cand V_static_proved None false) sp;
+        List.iter
+          (fun cand ->
+            attribute cand V_static_proved None false;
+            Obs.Attr.note_static (Candidate.key cand))
+          sp;
         let in_cands = Hashtbl.create 64 in
         List.iter (fun c -> Hashtbl.replace in_cands c ()) candidate_list;
         let strengthen =
@@ -909,11 +973,27 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
           fresh
     | _ -> ());
     let all_proved = in_input_order (known @ proved) in
+    (* load-balance gauges over the surviving workers' own wall clocks;
+       idle fraction is how much of the slowest worker's window the
+       average worker spent waiting (0 for a serial run) *)
+    let walls = List.map (fun (_, w, _) -> w) worker_times in
+    let wall_max = List.fold_left Float.max 0. walls in
+    let wall_mean =
+      match walls with
+      | [] -> 0.
+      | _ -> List.fold_left ( +. ) 0. walls /. float_of_int (List.length walls)
+    in
     ( all_proved,
       {
         st with
         n_candidates = n_total;
         n_proved = List.length all_proved;
+        top_costs =
+          Obs.Attr.top (Obs.Attr.delta ~since:attr0 (Obs.Attr.export ()));
+        worker_wall_max_s = wall_max;
+        worker_wall_mean_s = wall_mean;
+        worker_idle_frac =
+          (if wall_max > 0. then 1. -. (wall_mean /. wall_max) else 0.);
         workers;
         workers_failed;
         worker_failures;
@@ -1027,6 +1107,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                Unix.close res_rd;
                Unix.close hb_rd;
                Obs.reset ();
+               Obs.Attr.set_shard (Some idx);
                (match Chaos.worker_kill_requested ~idx ~attempt with
                | `Exit3 -> Unix._exit 3
                | `Sigkill -> Unix.kill (Unix.getpid ()) Sys.sigkill
@@ -1090,6 +1171,7 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
                          | Some f ->
                              Hashtbl.fold (fun c v acc -> (c, v) :: acc) f []);
                        w_hists = Obs.histogram_samples ();
+                       w_attr = Obs.Attr.export ();
                      }
                  with e -> Error (Printexc.to_string e)
                in
@@ -1128,6 +1210,9 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
       let handle_failure idx shard attempt reason =
         failures := (idx, reason) :: !failures;
         Obs.add_int "prove.worker_failures" 1;
+        Obs.Log.event ~level:Obs.Log.Warn ~stage:"prove" ~shard:idx
+          "worker-failure"
+          ~kv:[ ("attempt", Obs.Int attempt); ("reason", Obs.Str reason) ];
         if attempt < retries then begin
           incr n_retries;
           Obs.add_int "prove.worker_retries" 1;
@@ -1170,7 +1255,54 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
               checkpoint
         | Error reason -> handle_failure idx shard attempt reason
       in
+      (* progress heartbeat on the structured run log: how many shards
+         and candidates are settled, and how much of the stage budget is
+         left (the pipeline's stage allocator put it in
+         [options.time_budget_s], so this is the honest ETA bound) *)
+      let shard_size = Array.of_list (List.map List.length shards) in
+      let last_hb = ref 0. in
+      let log_heartbeat () =
+        if Obs.Log.active () then begin
+          let now = Obs.Clock.now_s () in
+          if now -. !last_hb >= 1.0 then begin
+            last_hb := now;
+            let settled_shards =
+              List.length !ok_results + List.length recovered_results
+            in
+            let settled =
+              !hits
+              + List.length static_proved
+              + List.fold_left
+                  (fun acc (idx, _) -> acc + shard_size.(idx))
+                  0 !ok_results
+              + List.fold_left
+                  (fun acc (idx, _, _) -> acc + shard_size.(idx))
+                  0 recovered_results
+            in
+            let kv =
+              [
+                ("shards_done", Obs.Int settled_shards);
+                ("shards_total", Obs.Int (List.length shards));
+                ("candidates_settled", Obs.Int settled);
+                ("candidates_total", Obs.Int n_total);
+                ("running", Obs.Int (List.length !running));
+              ]
+              @
+              if options.time_budget_s = infinity then []
+              else
+                [
+                  ( "eta_s",
+                    Obs.Float
+                      (Float.max 0.
+                         (t_fork +. options.time_budget_s -. now)) );
+                ]
+            in
+            Obs.Log.event ~stage:"prove" "heartbeat" ~kv
+          end
+        end
+      in
       let rec supervise () =
+        log_heartbeat ();
         (* launch every eligible pending task while a slot is free *)
         let now = Obs.Clock.now_s () in
         let eligible, waiting =
@@ -1278,16 +1410,24 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
         List.rev_map
           (fun (idx, shard) ->
             Obs.add_int "prove.worker_fallbacks" 1;
+            Obs.Log.event ~level:Obs.Log.Warn ~stage:"prove" ~shard:idx
+              "worker-fallback"
+              ~kv:[ ("candidates", Obs.Int (List.length shard)) ];
             let fates = if want_fates then Some (Hashtbl.create 64) else None in
             let proved, st =
               Obs.with_span ~cat:"worker"
                 (Printf.sprintf "fallback-%d" idx)
                 (fun () ->
-                  prove
-                    ~options:(worker_options (List.length shard))
-                    ~known:solver_known
-                    ~hypotheses:(hypotheses_for (List.nth shard_tbls idx))
-                    ?fates ~assume d shard)
+                  (* bill the in-process fallback to the shard it covers *)
+                  Obs.Attr.set_shard (Some idx);
+                  Fun.protect
+                    ~finally:(fun () -> Obs.Attr.set_shard None)
+                    (fun () ->
+                      prove
+                        ~options:(worker_options (List.length shard))
+                        ~known:solver_known
+                        ~hypotheses:(hypotheses_for (List.nth shard_tbls idx))
+                        ?fates ~assume d shard))
             in
             Option.iter
               (fun cp -> cp (shard_fingerprint shard) proved)
@@ -1313,7 +1453,8 @@ let prove_parallel ?(options = default_options) ?cex ?(jobs = 1) ?cache
         (fun (_, r) ->
           Obs.inject r.w_events;
           Obs.merge_counters r.w_counters;
-          Obs.merge_histogram_samples r.w_hists)
+          Obs.merge_histogram_samples r.w_hists;
+          Obs.Attr.merge r.w_attr)
         !ok_results;
       (* provenance: each fresh candidate's fate, tagged with the shard
          that decided it *)

@@ -73,6 +73,20 @@ type stats = {
   strengthening_facts : int;
       (** absint invariants outside the candidate set asserted at every
           frame of every solver (k=1 induction strengthening) *)
+  top_costs : Obs.Attr.row list;
+      (** deterministic top-K most expensive candidates of this run
+          ({!Obs.Attr.top} over the run's attribution delta): ranked by
+          conflicts, then SAT calls, then key — never by wall time, so
+          for a fixed configuration (same jobs/sieve/absint) the table
+          is byte-reproducible run to run.  Aggregate-round costs are
+          shared equally among the candidates the round refuted; rows
+          carry the shard that settled them *)
+  worker_wall_max_s : float;
+      (** slowest surviving worker's own wall clock (0 when serial) *)
+  worker_wall_mean_s : float;  (** mean worker wall clock *)
+  worker_idle_frac : float;
+      (** 1 - mean/max: the fraction of the slowest worker's window the
+          average worker spent idle — the shard load-balance gauge *)
 }
 
 val blank_stats : stats

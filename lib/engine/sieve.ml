@@ -160,7 +160,8 @@ let partition ?(runs = 4) ?(cycles = 64) ?(seed = 0x51EE) ?(conflict_budget = 50
                            S.lit_value solver hold.(l) = v_g)
                          rest))
           in
-          place !sub)
+          (* bill the confirmation queries to the candidate being placed *)
+          Obs.Attr.with_key (Candidate.key reps.(g)) (fun () -> place !sub))
         gs;
       List.iter (fun c -> classes := c :: !classes) !sub)
     (List.rev !bucket_order);

@@ -97,11 +97,13 @@ let disable () = enabled := false
 let is_enabled () = !enabled
 
 let reset_hists = ref (fun () -> ())
+let reset_attr = ref (fun () -> ())
 
 let reset () =
   events := [];
   Hashtbl.reset tbl;
   !reset_hists ();
+  !reset_attr ();
   cur_pid := Unix.getpid ()
 
 (* ---------------- counters ------------------------------------------ *)
@@ -221,6 +223,145 @@ let merge_histogram_samples l =
   List.iter (fun (name, s) -> Array.iter (observe name) s) l
 
 let () = reset_hists := fun () -> Hashtbl.reset hists
+
+(* ---------------- cost attribution ---------------------------------- *)
+
+(* Per-candidate cost rows.  The SAT layer bills every solve to the key
+   currently in dynamic scope ([with_key]); untagged calls are simply
+   not billed.  Like counters, the table is fork-aware: a worker resets,
+   tags its shard, and ships [export ()] home through its result pipe
+   where the coordinator [merge]s it — a killed worker's rows die with
+   it, so nothing is double-billed. *)
+
+module Attr = struct
+  type row = {
+    a_key : string;          (* Candidate.key, or "(...)"-bracketed bucket *)
+    a_shard : int option;
+    a_wall_s : float;
+    a_sat_calls : int;
+    a_conflicts : int;
+    a_core_skips : int;
+    a_static : bool;
+  }
+
+  let atbl : (string, row) Hashtbl.t = Hashtbl.create 64
+  let cur_key : string option ref = ref None
+  let cur_shard : int option ref = ref None
+
+  let set_shard s = cur_shard := s
+
+  let blank key =
+    {
+      a_key = key;
+      a_shard = !cur_shard;
+      a_wall_s = 0.;
+      a_sat_calls = 0;
+      a_conflicts = 0;
+      a_core_skips = 0;
+      a_static = false;
+    }
+
+  let find key =
+    match Hashtbl.find_opt atbl key with
+    | Some r -> r
+    | None -> blank key
+
+  let with_key key f =
+    let saved = !cur_key in
+    cur_key := Some key;
+    Fun.protect ~finally:(fun () -> cur_key := saved) f
+
+  let charge_call ~wall_s ~conflicts =
+    match !cur_key with
+    | None -> ()
+    | Some key ->
+        let r = find key in
+        Hashtbl.replace atbl key
+          {
+            r with
+            a_shard = (match r.a_shard with Some _ as s -> s | None -> !cur_shard);
+            a_wall_s = r.a_wall_s +. wall_s;
+            a_sat_calls = r.a_sat_calls + 1;
+            a_conflicts = r.a_conflicts + conflicts;
+          }
+
+  let credit_core_skip key =
+    let r = find key in
+    Hashtbl.replace atbl key { r with a_core_skips = r.a_core_skips + 1 }
+
+  let note_static key =
+    let r = find key in
+    Hashtbl.replace atbl key { r with a_static = true }
+
+  let export () =
+    Hashtbl.fold (fun _ r acc -> r :: acc) atbl []
+    |> List.sort (fun a b -> compare a.a_key b.a_key)
+
+  let merge rows =
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt atbl r.a_key with
+        | None -> Hashtbl.replace atbl r.a_key r
+        | Some o ->
+            Hashtbl.replace atbl r.a_key
+              {
+                a_key = o.a_key;
+                a_shard = (match o.a_shard with Some _ as s -> s | None -> r.a_shard);
+                a_wall_s = o.a_wall_s +. r.a_wall_s;
+                a_sat_calls = o.a_sat_calls + r.a_sat_calls;
+                a_conflicts = o.a_conflicts + r.a_conflicts;
+                a_core_skips = o.a_core_skips + r.a_core_skips;
+                a_static = o.a_static || r.a_static;
+              })
+      rows
+
+  let delta ~since rows =
+    let base = Hashtbl.create (List.length since) in
+    List.iter (fun r -> Hashtbl.replace base r.a_key r) since;
+    List.filter_map
+      (fun r ->
+        let d =
+          match Hashtbl.find_opt base r.a_key with
+          | None -> r
+          | Some o ->
+              {
+                r with
+                a_wall_s = r.a_wall_s -. o.a_wall_s;
+                a_sat_calls = r.a_sat_calls - o.a_sat_calls;
+                a_conflicts = r.a_conflicts - o.a_conflicts;
+                a_core_skips = r.a_core_skips - o.a_core_skips;
+                (* static only counts if set within the window — an
+                   earlier run's static discharges must not leak into
+                   this run's table *)
+                a_static = r.a_static && not o.a_static;
+              }
+        in
+        if
+          d.a_sat_calls = 0 && d.a_conflicts = 0 && d.a_core_skips = 0
+          && d.a_wall_s = 0. && not d.a_static
+        then None
+        else Some d)
+      rows
+
+  (* deterministic ranking: wall time is excluded on purpose, so the
+     same proof run always yields the same table byte-for-byte *)
+  let top ?(k = 10) rows =
+    rows
+    |> List.filter (fun r -> String.length r.a_key > 0 && r.a_key.[0] <> '(')
+    |> List.sort (fun a b ->
+           match compare b.a_conflicts a.a_conflicts with
+           | 0 -> (
+               match compare b.a_sat_calls a.a_sat_calls with
+               | 0 -> compare a.a_key b.a_key
+               | c -> c)
+           | c -> c)
+    |> List.filteri (fun i _ -> i < k)
+
+  let () = reset_attr := fun () ->
+      Hashtbl.reset atbl;
+      cur_key := None;
+      cur_shard := None
+end
 
 (* ---------------- spans --------------------------------------------- *)
 
@@ -369,11 +510,159 @@ type sink = Chrome of string | Jsonl of string
 let sink_of_path path =
   if Filename.check_suffix path ".jsonl" then Jsonl path else Chrome path
 
+(* ---------------- atomic file writes -------------------------------- *)
+
+(* Same discipline as Proof_cache v2: write to a pid-unique sibling tmp,
+   then rename.  A reader (the perf gate, a metrics scraper) either sees
+   the old complete file or the new complete file, never a torn one. *)
+let write_file_atomic path contents =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
 let write_sink sink evs =
   let path, writer =
     match sink with
     | Chrome p -> (p, write_chrome)
     | Jsonl p -> (p, write_jsonl)
   in
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> writer oc evs)
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> writer oc evs);
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
+
+(* ---------------- structured run log -------------------------------- *)
+
+(* Leveled JSONL event log.  One [Unix.write] per line on an O_APPEND
+   descriptor: atomic on POSIX for these sizes, so a forked worker that
+   inherited the fd interleaves whole lines with the coordinator rather
+   than tearing them. *)
+
+module Log = struct
+  type level = Debug | Info | Warn | Error
+
+  let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+  let level_label = function
+    | Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+  let level_of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "debug" -> Some Debug
+    | "info" -> Some Info
+    | "warn" | "warning" -> Some Warn
+    | "error" -> Some Error
+    | _ -> None
+
+  let fd : Unix.file_descr option ref = ref None
+  let threshold = ref Info
+
+  let set ?(level = Info) path =
+    (match !fd with Some f -> (try Unix.close f with Unix.Unix_error _ -> ()) | None -> ());
+    threshold := level;
+    fd :=
+      Some
+        (Unix.openfile path
+           [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+           0o644)
+
+  let close () =
+    (match !fd with Some f -> (try Unix.close f with Unix.Unix_error _ -> ()) | None -> ());
+    fd := None
+
+  let active () = !fd <> None
+
+  let write_line line =
+    match !fd with
+    | None -> ()
+    | Some f ->
+        let line = line ^ "\n" in
+        let b = Bytes.of_string line in
+        (try ignore (Unix.write f b 0 (Bytes.length b))
+         with Unix.Unix_error _ -> ())
+
+  let event ?(level = Info) ?stage ?shard ?(kv = []) name =
+    match !fd with
+    | None -> ()
+    | Some _ when level_rank level < level_rank !threshold -> ()
+    | Some _ ->
+        let b = Buffer.create 128 in
+        Buffer.add_string b
+          (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"event\":\"%s\""
+             (Clock.wall_s ()) (level_label level) (escape name));
+        (match stage with
+        | Some s -> Buffer.add_string b (Printf.sprintf ",\"stage\":\"%s\"" (escape s))
+        | None -> ());
+        (match shard with
+        | Some i -> Buffer.add_string b (Printf.sprintf ",\"shard\":%d" i)
+        | None -> ());
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b
+              (Printf.sprintf ",\"%s\":%s" (escape k) (arg_json v)))
+          kv;
+        Buffer.add_char b '}';
+        write_line (Buffer.contents b)
+end
+
+(* ---------------- OpenMetrics exposition ---------------------------- *)
+
+(* Prometheus text format over the always-on counters and histograms.
+   Fully deterministic for a fixed recorder state: names are sanitized
+   and sorted, floats go through %.6g, and histogram buckets are a fixed
+   ladder.  [_count]/[_sum] are over the *retained* reservoir samples
+   (see the histogram doc), which keeps the exposition consistent with
+   the bucket counts. *)
+
+let metric_name name =
+  let b = Buffer.create (String.length name + 5) in
+  Buffer.add_string b "pdat_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let hist_buckets = [ 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. ]
+
+let openmetrics () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" m);
+      Buffer.add_string b (Printf.sprintf "%s_total %s\n" m (float_json v)))
+    (counters ());
+  List.iter
+    (fun (name, samples) ->
+      let m = metric_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" m);
+      let n = Array.length samples in
+      let cum le = Array.fold_left (fun acc s -> if s <= le then acc + 1 else acc) 0 samples in
+      List.iter
+        (fun le ->
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m (float_json le) (cum le)))
+        hist_buckets;
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m n);
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" m
+           (float_json (Array.fold_left ( +. ) 0. samples)));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" m n))
+    (histogram_samples ());
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

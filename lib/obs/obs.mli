@@ -101,6 +101,65 @@ val histogram_samples : unit -> (string * float array) list
 val merge_histogram_samples : (string * float array) list -> unit
 (** Re-observe another process' samples into this process. *)
 
+(** {1 Cost attribution}
+
+    Per-candidate cost rows: wall time, SAT calls, conflicts and
+    unsat-core skip credits, billed to whatever key is in dynamic scope
+    when the SAT layer reports a solve.  Keys are {!Engine.Candidate}
+    keys; aggregate (multi-candidate) solver calls are billed to
+    ["(...)"]-bracketed bucket keys, which {!Attr.top} excludes.  Like
+    counters, the table is fork-aware: a worker {!reset}s, tags its
+    shard with {!Attr.set_shard}, and ships {!Attr.export} home through
+    its result pipe, where the coordinator {!Attr.merge}s it exactly
+    once — a killed worker's rows die with the worker. *)
+
+module Attr : sig
+  type row = {
+    a_key : string;       (** candidate key, or a ["(...)"] bucket *)
+    a_shard : int option; (** worker index that paid the cost, if any *)
+    a_wall_s : float;     (** solver wall time billed to this key *)
+    a_sat_calls : int;
+    a_conflicts : int;
+    a_core_skips : int;   (** re-checks avoided by an unsat core *)
+    a_static : bool;      (** discharged by the abstract-interpretation
+                              tier without SAT *)
+  }
+
+  val set_shard : int option -> unit
+  (** Tag subsequently created rows with this worker index. *)
+
+  val with_key : string -> (unit -> 'a) -> 'a
+  (** [with_key k f] bills every {!charge_call} during [f] to [k].
+      Nests; restored on exit even when [f] raises. *)
+
+  val charge_call : wall_s:float -> conflicts:int -> unit
+  (** Bill one SAT call to the key in scope (no-op without one) — the
+      call site is the solver's solve wrapper. *)
+
+  val credit_core_skip : string -> unit
+  (** Credit one avoided re-check to the given candidate key. *)
+
+  val note_static : string -> unit
+  (** Mark the key as discharged by the static tier. *)
+
+  val export : unit -> row list
+  (** All rows, sorted by key — the marshalable worker payload. *)
+
+  val merge : row list -> unit
+  (** Accumulate another process' rows: numeric fields sum, an existing
+      shard tag wins over an incoming one. *)
+
+  val delta : since:row list -> row list -> row list
+  (** Rows of the second argument minus a prior {!export} snapshot;
+      all-zero rows are dropped. *)
+
+  val top : ?k:int -> row list -> row list
+  (** Deterministic top-[k] (default 10) most expensive candidates:
+      ranked by conflicts, then SAT calls, then key — wall time is
+      deliberately not a ranking criterion, so the table is
+      byte-reproducible across runs.  Bucket rows are excluded. *)
+end
+
 (** {1 Spans and events} *)
 
 type arg = Int of int | Float of float | Str of string | Bool of bool
@@ -168,5 +227,51 @@ val write_chrome : out_channel -> event list -> unit
 val write_jsonl : out_channel -> event list -> unit
 (** One JSON event object per line. *)
 
+val write_file_atomic : string -> string -> unit
+(** [write_file_atomic path contents] writes through a pid-unique
+    sibling tmp file and renames it into place — the same discipline as
+    [Proof_cache]'s flush, so an interrupted writer can never leave a
+    torn file.  Raises as [open_out]/[Sys.rename] do. *)
+
 val write_sink : sink -> event list -> unit
-(** Write (creating/overwriting) the sink's file. *)
+(** Write (creating/overwriting) the sink's file.  Atomic: the file is
+    staged as a pid-unique tmp and renamed into place. *)
+
+(** {1 Structured run log}
+
+    Leveled JSONL events ([{"ts":..,"level":..,"event":..,...}]) on an
+    [O_APPEND] descriptor, one [Unix.write] per line — whole lines
+    interleave rather than tear, so forked workers may share the fd.
+    Inactive (every call a no-op) until {!Log.set} opens a file. *)
+
+module Log : sig
+  type level = Debug | Info | Warn | Error
+
+  val level_of_string : string -> level option
+  (** ["debug"]/["info"]/["warn"]/["error"], case-insensitive. *)
+
+  val set : ?level:level -> string -> unit
+  (** Open (append) the log file and set the minimum level (default
+      [Info]).  Replaces any previously open log. *)
+
+  val close : unit -> unit
+  val active : unit -> bool
+
+  val event :
+    ?level:level -> ?stage:string -> ?shard:int ->
+    ?kv:(string * arg) list -> string -> unit
+  (** Emit one event line: [ts] (wall clock), [level], [event] name,
+      optional [stage]/[shard], then the [kv] pairs.  Dropped when no
+      log is open or the level is below the threshold. *)
+end
+
+(** {1 OpenMetrics exposition} *)
+
+val openmetrics : unit -> string
+(** The current counters and histograms in Prometheus/OpenMetrics text
+    format: each counter as [pdat_<name>_total], each histogram with
+    cumulative buckets over a fixed le-ladder
+    (1e-5 … 10, +Inf) plus [_sum]/[_count], terminated by [# EOF].
+    Histogram [_count]/[_sum] cover the retained reservoir samples.
+    Byte-deterministic for a fixed recorder state: names sanitized
+    ([^a-zA-Z0-9_] → [_]) and emitted in sorted order. *)

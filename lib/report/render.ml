@@ -279,7 +279,21 @@ let edit_json prov (e : P.edit_record) =
              e.P.e_dead) );
     ]
 
-let json ?(target = "design") ?resume prov =
+(* Deterministic projection of a cost row: wall time is deliberately
+   omitted (render.mli promises the JSON carries no wall-clock data);
+   ranking inside [top_costs] never used it either. *)
+let attr_row_json (r : Obs.Attr.row) =
+  jobj
+    [
+      ("key", jstr r.Obs.Attr.a_key);
+      ("shard", jopt_int r.Obs.Attr.a_shard);
+      ("sat_calls", string_of_int r.Obs.Attr.a_sat_calls);
+      ("conflicts", string_of_int r.Obs.Attr.a_conflicts);
+      ("core_skips", string_of_int r.Obs.Attr.a_core_skips);
+      ("static", string_of_bool r.Obs.Attr.a_static);
+    ]
+
+let json ?(target = "design") ?induction ?resume prov =
   let records = P.records prov in
   let s = summarize records in
   let edits = P.edits prov in
@@ -340,6 +354,26 @@ let json ?(target = "design") ?resume prov =
                    (float_of_int (Netlist.Stats.gate_count st_red))) );
           ]
   in
+  let costs_fields =
+    match induction with
+    | None -> []
+    | Some (st : I.stats) ->
+        [
+          ( "costs",
+            jobj
+              [
+                ( "top_candidates",
+                  jlist (List.map attr_row_json st.I.top_costs) );
+                ( "load_balance",
+                  jobj
+                    [
+                      ("workers", string_of_int st.I.workers);
+                      ( "shard_sizes",
+                        jlist (List.map string_of_int st.I.shard_sizes) );
+                    ] );
+              ] );
+        ]
+  in
   let resume_fields =
     match resume with
     | None -> []
@@ -377,7 +411,7 @@ let json ?(target = "design") ?resume prov =
              (P.unattributed_dead prov)) );
       ("area", area_json);
     ]
-    @ resume_fields)
+    @ costs_fields @ resume_fields)
   ^ "\n"
 
 (* ---------------- markdown report ----------------------------------- *)
@@ -390,7 +424,7 @@ let cand_pp prov (r : P.cand_record) =
       Printf.sprintf "`%s -> %s`" (net_label prov a) (net_label prov b)
 
 let markdown ?(target = "design") ?(timings = []) ?(histograms = []) ?commit
-    ?resume prov =
+    ?induction ?resume prov =
   let b = Buffer.create 8192 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let records = P.records prov in
@@ -544,6 +578,35 @@ let markdown ?(target = "design") ?(timings = []) ?(histograms = []) ?commit
         if r.rs_dropped_lines > 0 then
           pr "; %d torn journal line(s) truncated" r.rs_dropped_lines;
         pr ".\n"
+      end);
+  (* --- cost attribution -------------------------------------------- *)
+  (match induction with
+  | None -> ()
+  | Some (st : I.stats) ->
+      if st.I.top_costs <> [] then begin
+        pr "\n## Most expensive candidates\n\n";
+        pr "| candidate | shard | SAT calls | conflicts | core skips | \
+            wall (s) | static |\n";
+        pr "|---|---|---|---|---|---|---|\n";
+        List.iter
+          (fun (r : Obs.Attr.row) ->
+            pr "| `%s` | %s | %d | %d | %d | %.4f | %s |\n" r.Obs.Attr.a_key
+              (match r.Obs.Attr.a_shard with
+              | Some i -> string_of_int i
+              | None -> "—")
+              r.Obs.Attr.a_sat_calls r.Obs.Attr.a_conflicts
+              r.Obs.Attr.a_core_skips r.Obs.Attr.a_wall_s
+              (if r.Obs.Attr.a_static then "yes" else ""))
+          st.I.top_costs
+      end;
+      if st.I.workers > 0 then begin
+        pr "\n## Shard load balance\n\n";
+        pr "| workers | shard sizes | max wall (s) | mean wall (s) | \
+            idle |\n|---|---|---|---|---|\n";
+        pr "| %d | %s | %.2f | %.2f | %.0f%% |\n" st.I.workers
+          (String.concat ";" (List.map string_of_int st.I.shard_sizes))
+          st.I.worker_wall_max_s st.I.worker_wall_mean_s
+          (100. *. st.I.worker_idle_frac)
       end);
   (* --- optional non-deterministic sections ------------------------- *)
   if timings <> [] then begin

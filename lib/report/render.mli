@@ -29,13 +29,28 @@ type resume_summary = {
     the golden tests rely on.  The JSON rendering keeps only the
     journal's basename so reports stay machine-independent. *)
 
-val json : ?target:string -> ?resume:resume_summary -> Provenance.t -> string
+val json :
+  ?target:string ->
+  ?induction:Engine.Induction.stats ->
+  ?resume:resume_summary ->
+  Provenance.t ->
+  string
+(** [induction], when given, adds a ["costs"] object: the run's
+    deterministic top-K candidate-cost table (key, shard, SAT calls,
+    conflicts, core-skip credits, static flag — {e no wall time}, so
+    the golden byte-determinism property is preserved) and the shard
+    load-balance shape (worker count, shard sizes). *)
 
 val markdown :
   ?target:string ->
   ?timings:(string * float) list ->
   ?histograms:(string * Obs.histogram) list ->
   ?commit:string ->
+  ?induction:Engine.Induction.stats ->
   ?resume:resume_summary ->
   Provenance.t ->
   string
+(** [induction] appends the cost-attribution table (here including
+    per-candidate wall seconds) and the shard load-balance gauges
+    (max/mean worker wall, idle fraction) — wall data lives in these
+    non-deterministic markdown sections, never in the JSON. *)

@@ -509,6 +509,329 @@ let test_histogram_merge () =
   Alcotest.(check bool) "reset clears distributions" true
     (Obs.histogram "m.x" = None)
 
+(* --- cost attribution ---------------------------------------------------- *)
+
+let test_attr_billing () =
+  Obs.reset ();
+  (* a charge with no key in scope is dropped, not misfiled *)
+  Obs.Attr.charge_call ~wall_s:1.0 ~conflicts:5;
+  check "untagged charge is a no-op" true (Obs.Attr.export () = []);
+  Obs.Attr.with_key "C1:0" (fun () ->
+      Obs.Attr.charge_call ~wall_s:0.5 ~conflicts:3;
+      Obs.Attr.charge_call ~wall_s:0.25 ~conflicts:1);
+  Obs.Attr.credit_core_skip "C1:0";
+  Obs.Attr.note_static "C2:0";
+  (match Obs.Attr.export () with
+  | [ r1; r2 ] ->
+      check "rows sorted by key" true
+        (r1.Obs.Attr.a_key = "C1:0" && r2.Obs.Attr.a_key = "C2:0");
+      check_int "calls accumulated" 2 r1.Obs.Attr.a_sat_calls;
+      check_int "conflicts accumulated" 4 r1.Obs.Attr.a_conflicts;
+      check_int "core skip credited" 1 r1.Obs.Attr.a_core_skips;
+      Alcotest.(check (float 1e-9)) "wall accumulated" 0.75 r1.Obs.Attr.a_wall_s;
+      check "static flag set" true r2.Obs.Attr.a_static;
+      check_int "static row has no SAT calls" 0 r2.Obs.Attr.a_sat_calls
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  (* the key scope is restored even when the body raises *)
+  (try Obs.Attr.with_key "C9:0" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Obs.Attr.charge_call ~wall_s:0.1 ~conflicts:1;
+  check_int "key restored after raise: charge dropped again" 2
+    (List.length (Obs.Attr.export ()));
+  Obs.reset ();
+  check "reset clears the attribution table" true (Obs.Attr.export () = [])
+
+let test_attr_delta_and_top () =
+  Obs.reset ();
+  Obs.Attr.with_key "(base-aggregate)" (fun () ->
+      Obs.Attr.charge_call ~wall_s:1.0 ~conflicts:100);
+  Obs.Attr.with_key "C1:0" (fun () ->
+      Obs.Attr.charge_call ~wall_s:0.1 ~conflicts:2);
+  Obs.Attr.note_static "C5:0";
+  let since = Obs.Attr.export () in
+  Obs.Attr.with_key "C1:0" (fun () ->
+      Obs.Attr.charge_call ~wall_s:0.1 ~conflicts:8);
+  Obs.Attr.with_key "C2:0" (fun () ->
+      Obs.Attr.charge_call ~wall_s:0.1 ~conflicts:10);
+  Obs.Attr.with_key "C3:0" (fun () ->
+      Obs.Attr.charge_call ~wall_s:0.1 ~conflicts:10);
+  let d = Obs.Attr.delta ~since (Obs.Attr.export ()) in
+  (* unmoved rows are dropped — including a row whose static flag was
+     already set before the window, which must not leak in again *)
+  check "delta drops unmoved rows" true
+    (List.for_all
+       (fun r ->
+         r.Obs.Attr.a_key <> "(base-aggregate)" && r.Obs.Attr.a_key <> "C5:0")
+       d);
+  (match List.find_opt (fun r -> r.Obs.Attr.a_key = "C1:0") d with
+  | Some r -> check_int "delta is windowed, not cumulative" 8 r.Obs.Attr.a_conflicts
+  | None -> Alcotest.fail "C1:0 missing from delta");
+  let top = Obs.Attr.top ~k:2 d in
+  check_int "top honors k" 2 (List.length top);
+  (* conflicts desc, then SAT calls desc, then key asc: C2/C3 tie on
+     both counters and the tie breaks on the key *)
+  check "deterministic ranking" true
+    (List.map (fun r -> r.Obs.Attr.a_key) top = [ "C2:0"; "C3:0" ]);
+  check "aggregate buckets never surface in top" true
+    (List.for_all
+       (fun r -> r.Obs.Attr.a_key.[0] <> '(')
+       (Obs.Attr.top (Obs.Attr.export ())))
+
+let test_attr_merge () =
+  let row key shard conflicts =
+    {
+      Obs.Attr.a_key = key;
+      a_shard = shard;
+      a_wall_s = 0.1;
+      a_sat_calls = 1;
+      a_conflicts = conflicts;
+      a_core_skips = 0;
+      a_static = false;
+    }
+  in
+  Obs.reset ();
+  Obs.Attr.merge [ row "C1:0" (Some 0) 2 ];
+  Obs.Attr.merge [ row "C1:0" (Some 1) 3; row "C2:0" None 1 ];
+  (match Obs.Attr.export () with
+  | [ r1; r2 ] ->
+      check_int "calls sum across merges" 2 r1.Obs.Attr.a_sat_calls;
+      check_int "conflicts sum across merges" 5 r1.Obs.Attr.a_conflicts;
+      check "existing shard tag wins" true (r1.Obs.Attr.a_shard = Some 0);
+      check "new key inserted" true (r2.Obs.Attr.a_key = "C2:0")
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  Obs.reset ()
+
+(* twin design plus one deliberately false claim per block: the false
+   claim is refuted by an aggregate round, whose cost the prover bills
+   to the candidates the round killed — so the cost table is non-empty
+   and its exactly-once merge under worker kills is observable *)
+let twin_with_refuted () =
+  let d = D.create "twin_r" in
+  let block name =
+    let a = D.add_input d name in
+    let na = D.add_cell d C.Inv [| a |] in
+    let zero = D.add_cell d C.And2 [| a; na |] in
+    let one = D.add_cell d C.Inv [| zero |] in
+    let r = D.add_dff d ~d:zero () in
+    D.add_output d ("y_" ^ name) r;
+    D.add_output d ("o_" ^ name) one;
+    [
+      Engine.Candidate.Const (zero, false);
+      Engine.Candidate.Const (r, false);
+      (* false: [one] is constantly high *)
+      Engine.Candidate.Const (one, false);
+    ]
+  in
+  let cands = block "a" @ block "b" in
+  (d, cands)
+
+(* the cost-table signature we require to be reproducible: everything
+   except wall time, which is deliberately not part of the contract *)
+let attr_sig (st : Engine.Induction.stats) =
+  List.map
+    (fun (r : Obs.Attr.row) ->
+      ( r.Obs.Attr.a_key,
+        r.Obs.Attr.a_shard,
+        r.Obs.Attr.a_sat_calls,
+        r.Obs.Attr.a_conflicts,
+        r.Obs.Attr.a_core_skips,
+        r.Obs.Attr.a_static ))
+    st.Engine.Induction.top_costs
+
+let test_attr_chaos_merge_once () =
+  let d, cands = twin_with_refuted () in
+  Engine.Chaos.reset ();
+  Obs.reset ();
+  let clean, clean_st =
+    Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands
+  in
+  let clean_sig = attr_sig clean_st in
+  let clean_hist =
+    match Obs.histogram "sat.call_s" with
+    | Some h -> h.Obs.count
+    | None -> 0
+  in
+  check "refuted candidates produced cost rows" true (clean_sig <> []);
+  check "parallel rows carry their shard tag" true
+    (List.exists (fun (_, s, _, _, _, _) -> s <> None) clean_sig);
+  (* same run with every worker's first attempt SIGKILLed: the killed
+     attempt's partial rows and samples die with the worker, the retry
+     ships them once, so the merged table and the histogram are
+     byte-identical to the clean run *)
+  Obs.reset ();
+  let chaos, chaos_st =
+    with_env_var "PDAT_CHAOS" "worker-kill" (fun () ->
+        Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands)
+  in
+  Engine.Chaos.reset ();
+  check "chaos run retried killed workers" true
+    (chaos_st.Engine.Induction.worker_retries >= 1);
+  check "proved set unchanged under kills" true
+    (List.sort Engine.Candidate.compare chaos
+    = List.sort Engine.Candidate.compare clean);
+  check "attribution merged exactly once under kills" true
+    (attr_sig chaos_st = clean_sig);
+  let chaos_hist =
+    match Obs.histogram "sat.call_s" with
+    | Some h -> h.Obs.count
+    | None -> 0
+  in
+  check_int "histogram samples merged exactly once under kills" clean_hist
+    chaos_hist
+
+(* --- structured run log -------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let log_lines path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map Json.parse
+
+let event_name o =
+  match Json.member "event" o with Some (Json.Str s) -> s | _ -> ""
+
+let test_log_jsonl () =
+  check "level_of_string accepts synonyms" true
+    (Obs.Log.level_of_string "WARNING" = Some Obs.Log.Warn);
+  check "level_of_string rejects garbage" true
+    (Obs.Log.level_of_string "loud" = None);
+  with_temp_file ".jsonl" @@ fun path ->
+  check "inactive before set" false (Obs.Log.active ());
+  Obs.Log.event "dropped-without-a-sink";
+  Obs.Log.set path;
+  check "active after set" true (Obs.Log.active ());
+  Obs.Log.event ~stage:"prove" ~shard:1
+    ~kv:[ ("attempt", Obs.Int 0); ("wall_s", Obs.Float 0.25) ]
+    "worker-start";
+  Obs.Log.event ~level:Obs.Log.Debug "invisible";
+  Obs.Log.event ~level:Obs.Log.Warn
+    ~kv:[ ("reason", Obs.Str "say \"hi\"") ]
+    "warned";
+  Obs.Log.close ();
+  check "inactive after close" false (Obs.Log.active ());
+  let objs = log_lines path in
+  check_int "debug filtered below the Info threshold" 2 (List.length objs);
+  List.iter
+    (fun o ->
+      check "ts present" true (Json.member "ts" o <> None);
+      check "level present" true (Json.member "level" o <> None))
+    objs;
+  let first = List.nth objs 0 in
+  check "event name" true (event_name first = "worker-start");
+  check "level label" true (Json.member "level" first = Some (Json.Str "info"));
+  check "stage field" true (Json.member "stage" first = Some (Json.Str "prove"));
+  check "shard field" true (Json.member "shard" first = Some (Json.Num 1.));
+  check "int kv" true (Json.member "attempt" first = Some (Json.Num 0.));
+  check "float kv" true (Json.member "wall_s" first = Some (Json.Num 0.25));
+  let second = List.nth objs 1 in
+  check "warn level" true (Json.member "level" second = Some (Json.Str "warn"));
+  check "string kv escapes round-trip" true
+    (Json.member "reason" second = Some (Json.Str "say \"hi\""))
+
+let test_pipeline_log_and_metrics () =
+  let d = Netlist.Generate.random ~seed:11 ~config:gen_config () in
+  let env = Pdat.Environment.unconstrained d in
+  with_temp_file ".jsonl" @@ fun log_path ->
+  with_temp_file ".txt" @@ fun metrics_path ->
+  let r =
+    Pdat.Pipeline.run ~log:log_path ~metrics_out:metrics_path ~design:d ~env ()
+  in
+  check "pipeline closed the log it opened" false (Obs.Log.active ());
+  let evs = log_lines log_path in
+  let names = List.map event_name evs in
+  List.iter
+    (fun n ->
+      check (Printf.sprintf "log has a %S event" n) true (List.mem n names))
+    [ "run-start"; "stage-start"; "stage-end"; "run-end" ];
+  check "stage events carry the stage name" true
+    (List.exists
+       (fun o ->
+         event_name o = "stage-end"
+         && Json.member "stage" o = Some (Json.Str "mine")
+         && Json.member "wall_s" o <> None)
+       evs);
+  (match List.find_opt (fun o -> event_name o = "run-end") evs with
+  | Some o ->
+      check "run-end reports the proved count" true
+        (Json.member "proved" o
+        = Some
+            (Json.Num
+               (float_of_int r.Pdat.Pipeline.report.Pdat.Pipeline.proved)))
+  | None -> Alcotest.fail "no run-end event");
+  (* --metrics-out dumped the recorder as OpenMetrics text *)
+  let m = read_file metrics_path in
+  check "metrics end with the EOF trailer" true
+    (String.length m >= 6 && String.sub m (String.length m - 6) 6 = "# EOF\n");
+  check "metrics include the SAT call counter" true
+    (contains m "pdat_sat_calls_total")
+
+let test_pdat_log_env_var () =
+  let d = Netlist.Generate.random ~seed:3 ~config:gen_config () in
+  let env = Pdat.Environment.unconstrained d in
+  with_temp_file ".jsonl" @@ fun path ->
+  let _ =
+    with_env_var "PDAT_LOG" path (fun () -> Pdat.Pipeline.run ~design:d ~env ())
+  in
+  check "PDAT_LOG-selected file got events" true
+    (List.mem "run-end" (List.map event_name (log_lines path)))
+
+(* --- OpenMetrics exposition ---------------------------------------------- *)
+
+let test_openmetrics_golden () =
+  Obs.reset ();
+  Obs.add_int "sat.calls" 3;
+  Obs.observe "solve.s" 0.0005;
+  Obs.observe "solve.s" 0.02;
+  Obs.observe "solve.s" 5.0;
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE pdat_sat_calls counter";
+        "pdat_sat_calls_total 3";
+        "# TYPE pdat_solve_s histogram";
+        "pdat_solve_s_bucket{le=\"1e-05\"} 0";
+        "pdat_solve_s_bucket{le=\"0.0001\"} 0";
+        "pdat_solve_s_bucket{le=\"0.001\"} 1";
+        "pdat_solve_s_bucket{le=\"0.01\"} 1";
+        "pdat_solve_s_bucket{le=\"0.1\"} 2";
+        "pdat_solve_s_bucket{le=\"1\"} 2";
+        "pdat_solve_s_bucket{le=\"10\"} 3";
+        "pdat_solve_s_bucket{le=\"+Inf\"} 3";
+        "pdat_solve_s_sum 5.0205";
+        "pdat_solve_s_count 3";
+        "# EOF";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition" expected (Obs.openmetrics ());
+  check "byte-deterministic across calls" true
+    (Obs.openmetrics () = Obs.openmetrics ());
+  Obs.reset ();
+  Alcotest.(check string) "empty recorder is just the trailer" "# EOF\n"
+    (Obs.openmetrics ())
+
+let test_write_file_atomic () =
+  let dir = Filename.temp_file "pdat_atomic" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with _ -> ())
+  @@ fun () ->
+  let path = Filename.concat dir "out.txt" in
+  Obs.write_file_atomic path "first\n";
+  Obs.write_file_atomic path "second\n";
+  Alcotest.(check string) "last write wins" "second\n" (read_file path);
+  check "no tmp file left behind" true
+    (Sys.readdir dir |> Array.to_list |> List.for_all (fun f -> f = "out.txt"))
+
 let () =
   Alcotest.run "obs"
     [
@@ -553,5 +876,29 @@ let () =
             test_pipeline_trace_golden;
           Alcotest.test_case "PDAT_TRACE env var, jsonl sink" `Quick
             test_pdat_trace_env_var;
+        ] );
+      ( "attr",
+        [
+          Alcotest.test_case "billing, scoping and reset" `Quick
+            test_attr_billing;
+          Alcotest.test_case "delta window and deterministic top" `Quick
+            test_attr_delta_and_top;
+          Alcotest.test_case "merge sums rows, keeps first shard" `Quick
+            test_attr_merge;
+          Alcotest.test_case "exactly-once merge under worker kills" `Quick
+            test_attr_chaos_merge_once;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "leveled JSONL events" `Quick test_log_jsonl;
+          Alcotest.test_case "pipeline --log + --metrics-out" `Quick
+            test_pipeline_log_and_metrics;
+          Alcotest.test_case "PDAT_LOG env var" `Quick test_pdat_log_env_var;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "golden exposition text" `Quick
+            test_openmetrics_golden;
+          Alcotest.test_case "atomic file writes" `Quick test_write_file_atomic;
         ] );
     ]

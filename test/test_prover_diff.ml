@@ -250,6 +250,59 @@ let test_chaos_kill_every_worker () =
          has_sub "signal" || has_sub "exit")
        st.Engine.Induction.worker_failures)
 
+(* the cost-attribution table must be part of the chaos identity: a
+   killed attempt's partial rows die with the worker and the retry's
+   rows merge exactly once, so (wall time aside — it is deliberately
+   outside the determinism contract) the table matches a clean run's *)
+let test_chaos_attribution_identity () =
+  let d = D.create "twin_r" in
+  let block name =
+    let a = D.add_input d name in
+    let na = D.add_cell d C.Inv [| a |] in
+    let zero = D.add_cell d C.And2 [| a; na |] in
+    let one = D.add_cell d C.Inv [| zero |] in
+    let r = D.add_dff d ~d:zero () in
+    D.add_output d ("y_" ^ name) r;
+    D.add_output d ("o_" ^ name) one;
+    [
+      Engine.Candidate.Const (zero, false);
+      Engine.Candidate.Const (r, false);
+      (* false claim: refuted by an aggregate round, whose cost is
+         billed to the killed candidate — a non-empty cost table *)
+      Engine.Candidate.Const (one, false);
+    ]
+  in
+  let cands = block "a" @ block "b" in
+  let attr_sig (st : Engine.Induction.stats) =
+    List.map
+      (fun (r : Obs.Attr.row) ->
+        ( r.Obs.Attr.a_key,
+          r.Obs.Attr.a_shard,
+          r.Obs.Attr.a_sat_calls,
+          r.Obs.Attr.a_conflicts,
+          r.Obs.Attr.a_core_skips,
+          r.Obs.Attr.a_static ))
+      st.Engine.Induction.top_costs
+  in
+  Engine.Chaos.reset ();
+  Obs.reset ();
+  let clean, clean_st =
+    Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands
+  in
+  check "clean run billed the refuted candidates" true
+    (attr_sig clean_st <> []);
+  Obs.reset ();
+  let par, st =
+    with_env_var "PDAT_CHAOS" "worker-kill" (fun () ->
+        Engine.Induction.prove_parallel ~jobs:2 ~assume:D.net_true d cands)
+  in
+  Engine.Chaos.reset ();
+  check "every first attempt killed" true
+    (st.Engine.Induction.workers_failed >= 1);
+  check "proved set survives the kills" true (same_set clean par);
+  check "cost table identical to the clean run" true
+    (attr_sig st = attr_sig clean_st)
+
 (* --- invariant cache ---------------------------------------------------- *)
 
 let cache_fixture () =
@@ -701,6 +754,8 @@ let () =
             `Quick test_crash_fallback;
           Alcotest.test_case "chaos kill of every worker still recovers"
             `Quick test_chaos_kill_every_worker;
+          Alcotest.test_case "attribution identical under chaos kills" `Quick
+            test_chaos_attribution_identity;
           Alcotest.test_case "checkpointed shards resume without workers"
             `Quick test_shard_checkpoint_resume;
           Alcotest.test_case "sieve + chaos worker kills still match serial"
